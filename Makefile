@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench experiments examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# One testing.B benchmark per table/figure of the paper's evaluation.
+bench:
+	go test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Full row sets at the default scale (N=1000); see -list for ids.
+experiments:
+	go run ./cmd/experiments -run all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/illegalfishing
+	go run ./examples/protectedarea
+	go run ./examples/compression
+	go run ./examples/livemonitor

@@ -1,0 +1,234 @@
+// Package repro's root benchmark suite: one testing.B benchmark per
+// table and figure of the paper's evaluation (§5), delegating to the
+// experiment harness in internal/expbench. Each benchmark reports the
+// headline metric of its figure via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation at CI scale. cmd/experiments runs
+// the same harness at larger scales and prints the full row sets.
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expbench"
+	"repro/internal/maritime"
+)
+
+// Benchmarks share the CI-scale workloads; building them once keeps
+// -bench=. runs affordable.
+var (
+	benchOnceShort, benchOnceLong sync.Once
+	benchShort, benchLong         *expbench.Workload
+)
+
+func benchShortWL() *expbench.Workload {
+	benchOnceShort.Do(func() {
+		benchShort = expbench.BuildWorkload(expbench.ScaleCI.Vessels, expbench.ScaleCI.Short, expbench.ScaleCI.Seed)
+	})
+	return benchShort
+}
+
+func benchLongWL() *expbench.Workload {
+	benchOnceLong.Do(func() {
+		benchLong = expbench.BuildWorkload(expbench.ScaleCI.Vessels, expbench.ScaleCI.Long, expbench.ScaleCI.Seed)
+	})
+	return benchLong
+}
+
+// BenchmarkFig6aTrackingSmallWindows reproduces Figure 6(a): online
+// tracking cost per slide for small window ranges. Reported metric:
+// worst mean-per-slide across the sweep, in microseconds.
+func BenchmarkFig6aTrackingSmallWindows(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig6a(wl)
+		var worst time.Duration
+		for _, r := range rows {
+			if r.Mean > worst {
+				worst = r.Mean
+			}
+		}
+		b.ReportMetric(float64(worst.Microseconds()), "worst-slide-µs")
+	}
+}
+
+// BenchmarkFig6bTrackingLargeWindows reproduces Figure 6(b): the same
+// measurement for ω ∈ {6 h, 24 h}.
+func BenchmarkFig6bTrackingLargeWindows(b *testing.B) {
+	wl := benchLongWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig6b(wl)
+		var worst time.Duration
+		for _, r := range rows {
+			if r.Mean > worst {
+				worst = r.Mean
+			}
+		}
+		b.ReportMetric(float64(worst.Microseconds()), "worst-slide-µs")
+	}
+}
+
+// BenchmarkFig7ArrivalRates reproduces Figure 7: tracking latency at
+// inflated arrival rates. Reported metric: mean per-slide latency at
+// the highest rate, in microseconds.
+func BenchmarkFig7ArrivalRates(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig7(wl, nil, expbench.ScaleCI.Fig7Reps, 3)
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.Mean.Microseconds()), "10k-slide-µs")
+	}
+}
+
+// BenchmarkFig8RMSE reproduces Figure 8: trajectory approximation
+// error across the Δθ sweep. Reported metrics: average RMSE at the
+// default Δθ = 15° and the worst max-RMSE of the sweep, in meters.
+func BenchmarkFig8RMSE(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig89(wl)
+		b.ReportMetric(rows[2].AvgRMSE, "avg-rmse-m@15°")
+		var worst float64
+		for _, r := range rows {
+			if r.MaxRMSE > worst {
+				worst = r.MaxRMSE
+			}
+		}
+		b.ReportMetric(worst, "worst-max-rmse-m")
+	}
+}
+
+// BenchmarkFig9Compression reproduces Figure 9: compression ratio
+// across the Δθ sweep. Reported metric: compression percentage at the
+// default Δθ = 15°.
+func BenchmarkFig9Compression(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig89(wl)
+		b.ReportMetric(rows[2].Compression*100, "compression-%@15°")
+	}
+}
+
+// BenchmarkFig10Maintenance reproduces Figure 10: the per-slide
+// trajectory maintenance breakdown. Reported metrics: tracking and
+// total archival (staging+reconstruction+loading) cost per slide for
+// the ω = 24 h configuration, in microseconds.
+func BenchmarkFig10Maintenance(b *testing.B) {
+	wl := benchLongWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig10(wl)
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.Tracking.Microseconds()), "tracking-µs")
+		archival := last.Staging + last.Reconstruction + last.Loading
+		b.ReportMetric(float64(archival.Microseconds()), "archival-µs")
+	}
+}
+
+// BenchmarkTable4Reconstruction reproduces Table 4: end-of-stream trip
+// reconstruction statistics. Reported metrics: trips completed and the
+// fraction of critical points left in the staging area.
+func BenchmarkTable4Reconstruction(b *testing.B) {
+	wl := benchLongWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4 := expbench.Table4(wl)
+		b.ReportMetric(float64(t4.Trips), "trips")
+		total := t4.PointsInTrajectories + t4.PointsInStaging
+		if total > 0 {
+			b.ReportMetric(float64(t4.PointsInStaging)/float64(total)*100, "staged-%")
+		}
+	}
+}
+
+// BenchmarkFig11aRecognition reproduces Figure 11(a): CE recognition
+// time with on-demand spatial reasoning. Reported metrics: mean
+// per-query recognition time at ω = 9 h for one and two processors, in
+// microseconds.
+func BenchmarkFig11aRecognition(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig11a(wl)
+		for _, r := range rows {
+			if r.Window == 9*time.Hour {
+				switch r.Procs {
+				case 1:
+					b.ReportMetric(float64(r.MeanStep.Microseconds()), "1proc-9h-µs")
+				case 2:
+					b.ReportMetric(float64(r.MeanStep.Microseconds()), "2proc-9h-µs")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11bRecognitionSF reproduces Figure 11(b): recognition
+// over precomputed spatial facts. Reported metric: mean per-query time
+// at ω = 9 h with two processors, in microseconds.
+func BenchmarkFig11bRecognitionSF(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := expbench.Fig11b(wl)
+		for _, r := range rows {
+			if r.Window == 9*time.Hour && r.Procs == 2 && r.Mode == maritime.SpatialFacts {
+				b.ReportMetric(float64(r.MeanStep.Microseconds()), "2proc-9h-sf-µs")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNoOutlierFilter measures the outlier-filter
+// ablation. Reported metric: max-RMSE degradation factor without the
+// filter.
+func BenchmarkAblationNoOutlierFilter(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := expbench.RunAblationOutlier(wl)
+		if a.WithFilter.TruthAvgRMSE > 0 {
+			b.ReportMetric(a.WithoutFilter.TruthAvgRMSE/a.WithFilter.TruthAvgRMSE, "truth-rmse-×")
+		}
+		if a.WithFilter.Critical > 0 {
+			// Spurious turn/speed-change points admitted by outliers.
+			b.ReportMetric(float64(a.WithoutFilter.Critical)/float64(a.WithFilter.Critical), "critical-×")
+		}
+	}
+}
+
+// BenchmarkAblationUnboundedWindow measures recognition with an
+// unbounded working memory against the windowed configuration.
+// Reported metric: per-query slowdown factor of never forgetting.
+func BenchmarkAblationUnboundedWindow(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := expbench.RunAblationWindow(wl)
+		if a.Windowed.MeanStep > 0 {
+			b.ReportMetric(float64(a.Unbounded.MeanStep)/float64(a.Windowed.MeanStep), "slowdown-×")
+		}
+	}
+}
+
+// BenchmarkAblationNoGridIndex measures close/3 with and without the
+// uniform grid index. Reported metric: linear-scan slowdown factor.
+func BenchmarkAblationNoGridIndex(b *testing.B) {
+	wl := benchShortWL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := expbench.RunAblationGrid(wl)
+		if a.WithGrid > 0 {
+			b.ReportMetric(float64(a.LinearScan)/float64(a.WithGrid), "scan-slowdown-×")
+		}
+	}
+}

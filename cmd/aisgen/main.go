@@ -1,0 +1,155 @@
+// Command aisgen generates a synthetic AIS dataset with the fleet
+// simulator: a deterministic, Aegean-like positional stream standing in
+// for the proprietary dataset of the paper's evaluation. Output is
+// either the scanner's CSV format (mmsi,lon,lat,unix) or timestamped
+// NMEA AIVDM sentences.
+//
+// Usage:
+//
+//	aisgen -vessels 500 -hours 6 -seed 1 -format csv > fleet.csv
+//	aisgen -vessels 100 -hours 2 -format nmea > fleet.nmea
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/fleetsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aisgen: ")
+
+	var (
+		vessels = flag.Int("vessels", 500, "fleet size N")
+		hours   = flag.Float64("hours", 6, "simulated duration in hours")
+		seed    = flag.Int64("seed", 1, "random seed")
+		areas   = flag.Int("areas", 35, "number of areas of interest")
+		format  = flag.String("format", "csv", "output format: csv or nmea")
+		truth   = flag.String("truth", "", "also write scripted ground truth to this file")
+	)
+	flag.Parse()
+
+	cfg := fleetsim.DefaultConfig()
+	cfg.Vessels = *vessels
+	cfg.Seed = *seed
+	cfg.NumAreas = *areas
+	cfg.Duration = time.Duration(*hours * float64(time.Hour))
+
+	sim := fleetsim.NewSimulator(cfg)
+	fixes := sim.Run()
+	log.Printf("generated %d fixes from %d vessels over %s", len(fixes), *vessels, cfg.Duration)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *format {
+	case "csv":
+		for _, f := range fixes {
+			if err := ais.WriteFixCSV(w, f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "nmea":
+		// Interleave type 5 static/voyage reports roughly every half hour
+		// per vessel. Their destination field is deliberately unreliable
+		// — blank, stale, or a random port — modelling the paper's
+		// observation (§3.2) that the crew-typed voyage data cannot be
+		// trusted for trip semantics.
+		vrng := rand.New(rand.NewSource(cfg.Seed + 99))
+		specs := make(map[uint32]fleetsim.VesselSpec, len(sim.Fleet()))
+		for _, v := range sim.Fleet() {
+			specs[v.MMSI] = v
+		}
+		lastVoyage := make(map[uint32]time.Time)
+		for i, f := range fixes {
+			if last, ok := lastVoyage[f.MMSI]; !ok || f.Time.Sub(last) >= 30*time.Minute {
+				lastVoyage[f.MMSI] = f.Time
+				for _, line := range ais.EncodeVoyageSentences(voyageFor(vrng, sim, specs[f.MMSI]), "A", i) {
+					fmt.Fprintf(w, "%d %s\n", f.Time.Unix(), line)
+				}
+			}
+			r := &ais.PositionReport{
+				Type: ais.TypePositionA, MMSI: f.MMSI,
+				Lon: f.Pos.Lon, Lat: f.Pos.Lat,
+				UTCSecond: f.Time.Second(),
+			}
+			lines, err := ais.EncodeSentences(r, "A", i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, line := range lines {
+				fmt.Fprintf(w, "%d %s\n", f.Time.Unix(), line)
+			}
+		}
+	default:
+		log.Fatalf("unknown format %q (want csv or nmea)", *format)
+	}
+
+	if *truth != "" {
+		tf, err := os.Create(*truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		tw := bufio.NewWriter(tf)
+		defer tw.Flush()
+		for _, ev := range sim.Truth() {
+			fmt.Fprintf(tw, "%s,%d,%s,%d,%d\n", ev.Kind, ev.MMSI, ev.AreaID,
+				ev.Start.Unix(), ev.End.Unix())
+		}
+		log.Printf("wrote %d ground-truth episodes to %s", len(sim.Truth()), *truth)
+	}
+}
+
+// shipTypeCode maps the simulator taxonomy onto AIS ship type codes.
+func shipTypeCode(t fleetsim.VesselType) int {
+	switch t {
+	case fleetsim.TypeCargo:
+		return 70
+	case fleetsim.TypeTanker:
+		return 80
+	case fleetsim.TypePassenger:
+		return 60
+	case fleetsim.TypeFishing:
+		return 30
+	default:
+		return 90
+	}
+}
+
+// voyageFor builds a type 5 report for the vessel. The destination
+// field reproduces the unreliability the paper describes: often blank,
+// sometimes a wrong port, occasionally mistyped.
+func voyageFor(rng *rand.Rand, sim *fleetsim.Simulator, spec fleetsim.VesselSpec) *ais.StaticVoyage {
+	v := &ais.StaticVoyage{
+		MMSI:     spec.MMSI,
+		IMO:      9_000_000 + spec.MMSI%1_000_000,
+		CallSign: fmt.Sprintf("SV%04d", spec.MMSI%10000),
+		ShipName: strings.ToUpper(spec.Name),
+		ShipType: shipTypeCode(spec.Type),
+		DraughtM: spec.DraftM,
+	}
+	ports := sim.World().Ports
+	switch r := rng.Float64(); {
+	case r < 0.4:
+		// Left blank by the crew.
+	case r < 0.6:
+		// A stale or wrong port.
+		v.Destination = strings.ToUpper(ports[rng.Intn(len(ports))].Name)
+	default:
+		name := strings.ToUpper(ports[rng.Intn(len(ports))].Name)
+		if rng.Float64() < 0.3 && len(name) > 4 {
+			name = name[:len(name)-2] // the classic truncated entry
+		}
+		v.Destination = name
+	}
+	return v
+}

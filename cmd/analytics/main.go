@@ -1,0 +1,158 @@
+// Command analytics demonstrates the offline trajectory analytics of
+// the paper's §3.3: it runs the pipeline over a simulated fleet to
+// populate the moving-object store, then prints travel statistics,
+// origin–destination matrices, frequent routes ("corridors"),
+// spatiotemporal trip clusters, idle periods at dock, and per-period
+// aggregates. Optionally the store is persisted to (or restored from)
+// a snapshot file, exercising the paper's disk-backed archive.
+//
+// Usage:
+//
+//	analytics -vessels 400 -hours 24
+//	analytics -vessels 400 -hours 24 -save mod.snapshot
+//	analytics -load mod.snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleetsim"
+	"repro/internal/mod"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analytics: ")
+
+	var (
+		vessels = flag.Int("vessels", 400, "fleet size")
+		hours   = flag.Float64("hours", 24, "simulated duration")
+		seed    = flag.Int64("seed", 1, "world/fleet seed")
+		save    = flag.String("save", "", "persist the store to this snapshot file")
+		load    = flag.String("load", "", "restore the store from this snapshot file instead of simulating")
+		k       = flag.Int("clusters", 4, "trip clusters to compute")
+	)
+	flag.Parse()
+
+	cfg := fleetsim.DefaultConfig()
+	cfg.Vessels = *vessels
+	cfg.Seed = *seed
+	cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	sim := fleetsim.NewSimulator(cfg)
+	_, _, ports := core.AdaptWorld(sim)
+
+	var store *mod.MOD
+	if *load != "" {
+		store = mod.New(ports)
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.RestoreSnapshot(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("restored %d trips (%d points staged) from %s",
+			len(store.Trips()), store.StagedCount(), *load)
+	} else {
+		log.Printf("simulating %d vessels for %s ...", *vessels, cfg.Duration)
+		fixes := sim.Run()
+		sys := core.NewSystem(core.Config{
+			Window:             stream.WindowSpec{Range: 6 * time.Hour, Slide: time.Hour},
+			Tracker:            tracker.DefaultParams(),
+			DisableRecognition: true,
+		}, nil, nil, ports)
+		sys.RunAll(stream.NewBatcher(stream.NewSliceSource(fixes), time.Hour))
+		store = sys.Store()
+	}
+
+	fmt.Println("=== Table 4 statistics ===")
+	store.Table4Stats().Write(os.Stdout)
+
+	fmt.Println("\n=== Frequent routes (corridors) ===")
+	for i, r := range store.FrequentRoutes(2) {
+		if i >= 8 {
+			break
+		}
+		origin := r.Pair.Origin
+		if origin == "" {
+			origin = "?"
+		}
+		fmt.Printf("  %-14s → %-14s %d trips\n", origin, r.Pair.Dest, r.Count)
+	}
+
+	fmt.Println("\n=== Busiest vessels ===")
+	stats := store.VesselStats()
+	printed := 0
+	for _, t := range store.Trips() {
+		s := stats[t.MMSI]
+		if s.Trips < 3 || printed >= 5 {
+			continue
+		}
+		delete(stats, t.MMSI)
+		fmt.Printf("  %d: %d trips, %.0f km, %s at sea, ports %v\n",
+			s.MMSI, s.Trips, s.DistanceMeters/1000, s.TravelTime.Round(time.Minute), s.VisitedPorts)
+		printed++
+	}
+
+	fmt.Println("\n=== Idle periods at dock ===")
+	idles := store.IdlePeriods()
+	fmt.Printf("  %d docked intervals", len(idles))
+	if len(idles) > 0 {
+		var total time.Duration
+		for _, p := range idles {
+			total += p.Duration()
+		}
+		fmt.Printf(", mean %s", (total / time.Duration(len(idles))).Round(time.Minute))
+	}
+	fmt.Println()
+
+	fmt.Println("\n=== Trips per day ===")
+	for _, p := range store.AggregateTrips(mod.ByDay) {
+		fmt.Printf("  %s: %d trips by %d vessels, %.0f km total\n",
+			p.Period.Format("2006-01-02"), p.Trips, p.Vessels, p.DistanceMeters/1000)
+	}
+
+	fmt.Println("\n=== Vessels traveling together ===")
+	pairs := store.TravelingTogether(1500, time.Hour)
+	if len(pairs) == 0 {
+		fmt.Println("  none detected")
+	}
+	for i, c := range pairs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d & %d for %s (max separation %.0f m)\n",
+			c.A.MMSI, c.B.MMSI, c.Overlap().Round(time.Minute), c.MaxDist)
+	}
+
+	if trips := store.Trips(); len(trips) >= *k {
+		fmt.Printf("\n=== Spatiotemporal clusters (k=%d) ===\n", *k)
+		clusters := mod.TripClusters(trips, mod.ClusterOptions{
+			K: *k, TemporalWeight: 10, Seed: *seed,
+		})
+		for i, c := range clusters {
+			fmt.Printf("  cluster %d: %d trips around %s (departs ~%s)\n",
+				i+1, len(c.Trips), c.Medoid, c.Medoid.Start.Format("15:04"))
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := store.SaveSnapshot(f); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved snapshot to %s", *save)
+	}
+}

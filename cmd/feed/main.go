@@ -1,0 +1,58 @@
+// Command feed serves a simulated AIS fleet as a live NMEA stream over
+// TCP, standing in for the live Aegean feed the paper planned to
+// integrate (§7). Clients (e.g. `recognize -feed <addr>`) receive
+// timestamped AIVDM sentences paced at the configured time
+// acceleration.
+//
+// Usage:
+//
+//	feed -addr :4001 -vessels 300 -hours 6 -speedup 600
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/feed"
+	"repro/internal/fleetsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("feed: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4001", "listen address")
+		vessels = flag.Int("vessels", 300, "fleet size")
+		hours   = flag.Float64("hours", 6, "simulated duration")
+		seed    = flag.Int64("seed", 1, "world/fleet seed")
+		speedup = flag.Float64("speedup", 600, "time acceleration (0 = as fast as possible)")
+	)
+	flag.Parse()
+
+	cfg := fleetsim.DefaultConfig()
+	cfg.Vessels = *vessels
+	cfg.Seed = *seed
+	cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	sim := fleetsim.NewSimulator(cfg)
+	fixes := sim.Run()
+	log.Printf("replaying %d fixes from %d vessels at %gx", len(fixes), *vessels, *speedup)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	srv := &feed.Server{Fixes: fixes, Speedup: *speedup, Logf: log.Printf}
+	addrCh := make(chan net.Addr, 1)
+	go func() {
+		a := <-addrCh
+		log.Printf("listening on %s", a)
+	}()
+	if err := srv.ListenAndServe(ctx, *addr, addrCh); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Event Recognition
+// for Maritime Surveillance" (Patroumpas, Artikis, Katzouris, Vodas,
+// Theodoridis, Pelekis — EDBT 2015): online trajectory detection over
+// streaming AIS positions, complex event recognition with an Event
+// Calculus runtime (RTEC), trajectory archival in a moving-object
+// store, and the paper's full empirical evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds only the benchmark suite
+// (bench_test.go), one testing.B benchmark per table and figure of the
+// paper's evaluation; the implementation lives under internal/ and the
+// runnable surfaces under cmd/ and examples/.
+package repro

@@ -1,0 +1,111 @@
+// Live monitor: the control-center deployment the paper targets (§7) —
+// an in-process feed server replays a simulated Aegean fleet at 600×
+// real time over TCP, and a monitoring client consumes the live NMEA
+// stream, tracks trajectories, recognizes complex events, watches for
+// collision courses, and issues short-term position forecasts.
+//
+//	go run ./examples/livemonitor
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/collision"
+	"repro/internal/core"
+	"repro/internal/feed"
+	"repro/internal/fleetsim"
+	"repro/internal/forecast"
+	"repro/internal/maritime"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+func main() {
+	// The "at-sea" side: a feed server replaying three simulated hours.
+	simCfg := fleetsim.DefaultConfig()
+	simCfg.Vessels = 150
+	simCfg.Duration = 3 * time.Hour
+	sim := fleetsim.NewSimulator(simCfg)
+	fixes := sim.Run()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := &feed.Server{Fixes: fixes, Speedup: 600} // 3 h in ~18 s
+	addrCh := make(chan net.Addr, 1)
+	go func() {
+		if err := srv.ListenAndServe(ctx, "127.0.0.1:0", addrCh); err != nil {
+			fmt.Fprintln(os.Stderr, "feed:", err)
+		}
+	}()
+	addr := (<-addrCh).String()
+	fmt.Printf("live AIS feed on %s (%d fixes at 600x)\n\n", addr, len(fixes))
+
+	// The control-center side.
+	vessels, areas, ports := core.AdaptWorld(sim)
+	window := stream.WindowSpec{Range: time.Hour, Slide: 10 * time.Minute}
+	sys := core.NewSystem(core.Config{
+		Window:      window,
+		Tracker:     tracker.DefaultParams(),
+		Recognition: maritime.Config{Window: window.Range},
+	}, vessels, areas, ports)
+	watch := collision.New(collision.Params{DistanceMeters: 400})
+	oracle := forecast.New(tracker.DefaultParams())
+
+	client, err := feed.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	batcher := stream.NewBatcher(client, window.Slide)
+	alertCount := 0
+	reported := make(map[[2]uint32]time.Time) // encounter pair → last report
+	var lastQ time.Time
+	for {
+		batch, ok := batcher.Next()
+		if !ok {
+			break
+		}
+		lastQ = batch.Query
+		for _, f := range batch.Fixes {
+			watch.Observe(f)
+			oracle.ObserveFix(f)
+		}
+		report := sys.ProcessBatch(batch)
+		oracle.ObserveEvents(nil)
+
+		for _, a := range report.Alerts {
+			fmt.Printf("CE ALERT   %s\n", a)
+			alertCount++
+		}
+		for _, e := range watch.Encounters(batch.Query) {
+			pair := [2]uint32{e.A, e.B}
+			if last, ok := reported[pair]; ok && batch.Query.Sub(last) < time.Hour {
+				continue // an ongoing encounter is reported once per hour
+			}
+			reported[pair] = batch.Query
+			fmt.Printf("COLLISION  %d vs %d: CPA %.0f m in %s near %s\n",
+				e.A, e.B, e.DCPA, e.TCPA.Round(time.Second), e.Where)
+		}
+	}
+	if err := client.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "client:", err)
+	}
+
+	fmt.Printf("\nfeed ended at %s; %d complex events recognized\n", lastQ.Format("15:04"), alertCount)
+	fmt.Println("\n15-minute forecasts for the three fastest tracks:")
+	printed := 0
+	for _, p := range oracle.PredictAll(lastQ, 15*time.Minute) {
+		if p.Confidence != forecast.ConfidenceHigh || printed >= 3 {
+			continue
+		}
+		fmt.Printf("  vessel %d expected at %s by %s\n",
+			p.MMSI, p.Pos, p.At.Format("15:04"))
+		printed++
+	}
+}

@@ -1,0 +1,159 @@
+// Package ais implements the subset of the Automatic Identification
+// System (ITU-R M.1371) that the maritime surveillance system consumes:
+// position reports of message types 1, 2, 3 (Class A) and 18, 19
+// (Class B), their binary payload encoding, the NMEA 0183 AIVDM sentence
+// layer with 6-bit ASCII armoring and checksums, and a Scanner that
+// plays the role of the paper's Data Scanner (§2): it decodes each AIS
+// message, extracts the ⟨MMSI, Lon, Lat, τ⟩ tuple, and discards
+// messages corrupted in transmission.
+package ais
+
+import "fmt"
+
+// bitBuffer is a big-endian bit vector used to pack and unpack AIS
+// binary payloads. AIS fields are MSB-first within the payload.
+type bitBuffer struct {
+	bits []byte // one byte per bit, values 0 or 1; simple and fast enough
+}
+
+// newBitBuffer returns a buffer pre-sized to n bits, all zero.
+func newBitBuffer(n int) *bitBuffer {
+	return &bitBuffer{bits: make([]byte, n)}
+}
+
+// len returns the number of bits in the buffer.
+func (b *bitBuffer) len() int { return len(b.bits) }
+
+// setUint writes an unsigned value into bits [start, start+width).
+func (b *bitBuffer) setUint(start, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := (v >> uint(width-1-i)) & 1
+		b.bits[start+i] = byte(bit)
+	}
+}
+
+// uint reads an unsigned value from bits [start, start+width).
+func (b *bitBuffer) uint(start, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v = v<<1 | uint64(b.bits[start+i])
+	}
+	return v
+}
+
+// setInt writes a signed value in two's complement.
+func (b *bitBuffer) setInt(start, width int, v int64) {
+	b.setUint(start, width, uint64(v)&((1<<uint(width))-1))
+}
+
+// int reads a signed two's-complement value.
+func (b *bitBuffer) int(start, width int) int64 {
+	v := b.uint(start, width)
+	if v&(1<<uint(width-1)) != 0 { // sign bit set
+		v |= ^uint64(0) << uint(width)
+	}
+	return int64(v)
+}
+
+// sixBitText is the AIS 6-bit character set (ITU-R M.1371 table 44).
+const sixBitText = "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?"
+
+// setString writes s as n 6-bit characters, padding with '@'.
+func (b *bitBuffer) setString(start, chars int, s string) {
+	for i := 0; i < chars; i++ {
+		code := 0 // '@' padding
+		if i < len(s) {
+			c := s[i]
+			for j := 0; j < 64; j++ {
+				if sixBitText[j] == c {
+					code = j
+					break
+				}
+			}
+		}
+		b.setUint(start+i*6, 6, uint64(code))
+	}
+}
+
+// string reads n 6-bit characters, trimming trailing '@' padding and
+// trailing spaces.
+func (b *bitBuffer) string(start, chars int) string {
+	out := make([]byte, 0, chars)
+	for i := 0; i < chars; i++ {
+		code := b.uint(start+i*6, 6)
+		out = append(out, sixBitText[code])
+	}
+	// Trim '@' padding and trailing blanks.
+	end := len(out)
+	for end > 0 && (out[end-1] == '@' || out[end-1] == ' ') {
+		end--
+	}
+	return string(out[:end])
+}
+
+// armor encodes the bit buffer into the AIVDM 6-bit ASCII payload
+// alphabet and returns the payload characters plus the number of fill
+// bits appended to reach a multiple of six.
+func (b *bitBuffer) armor() (payload string, fillBits int) {
+	n := len(b.bits)
+	rem := n % 6
+	if rem != 0 {
+		fillBits = 6 - rem
+	}
+	out := make([]byte, 0, (n+fillBits)/6)
+	for i := 0; i < n; i += 6 {
+		var v byte
+		for j := 0; j < 6; j++ {
+			v <<= 1
+			if i+j < n {
+				v |= b.bits[i+j]
+			}
+		}
+		out = append(out, armorChar(v))
+	}
+	return string(out), fillBits
+}
+
+// armorChar maps a 6-bit value to its AIVDM payload character.
+func armorChar(v byte) byte {
+	if v < 40 {
+		return v + 48
+	}
+	return v + 56
+}
+
+// dearmorChar maps an AIVDM payload character back to its 6-bit value,
+// reporting false for characters outside the alphabet.
+func dearmorChar(c byte) (byte, bool) {
+	switch {
+	case c >= 48 && c <= 87: // '0'..'W'
+		return c - 48, true
+	case c >= 96 && c <= 119: // '`'..'w'
+		return c - 56, true
+	default:
+		return 0, false
+	}
+}
+
+// dearmor decodes an AIVDM payload string into a bit buffer, dropping
+// the trailing fillBits.
+func dearmor(payload string, fillBits int) (*bitBuffer, error) {
+	if fillBits < 0 || fillBits > 5 {
+		return nil, fmt.Errorf("ais: invalid fill bits %d", fillBits)
+	}
+	b := &bitBuffer{bits: make([]byte, 0, len(payload)*6)}
+	for i := 0; i < len(payload); i++ {
+		v, ok := dearmorChar(payload[i])
+		if !ok {
+			return nil, fmt.Errorf("ais: invalid payload character %q at offset %d", payload[i], i)
+		}
+		for j := 5; j >= 0; j-- {
+			b.bits = append(b.bits, (v>>uint(j))&1)
+		}
+	}
+	if fillBits > len(b.bits) {
+		return nil, fmt.Errorf("ais: fill bits %d exceed payload length", fillBits)
+	}
+	b.bits = b.bits[:len(b.bits)-fillBits]
+	return b, nil
+}

@@ -1,0 +1,125 @@
+package ais
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitBufferUintRoundTrip(t *testing.T) {
+	f := func(raw uint64, widthSeed uint8, startSeed uint8) bool {
+		width := int(widthSeed%64) + 1
+		start := int(startSeed % 32)
+		b := newBitBuffer(start + width + 7)
+		v := raw
+		if width < 64 {
+			v &= (1 << uint(width)) - 1
+		}
+		b.setUint(start, width, v)
+		return b.uint(start, width) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitBufferIntRoundTrip(t *testing.T) {
+	f := func(raw int64, widthSeed uint8) bool {
+		width := int(widthSeed%61) + 2 // 2..62 bits; 63 would overflow the span computation
+		b := newBitBuffer(width)
+		// Fold raw into the representable range.
+		min := int64(-1) << uint(width-1)
+		max := -min - 1
+		v := raw
+		if v < min || v > max {
+			span := max - min + 1
+			v = min + ((raw%span)+span)%span
+		}
+		b.setInt(0, width, v)
+		return b.int(0, width) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitBufferIntNegativeValues(t *testing.T) {
+	b := newBitBuffer(8)
+	for _, v := range []int64{-128, -1, 0, 1, 127} {
+		b.setInt(0, 8, v)
+		if got := b.int(0, 8); got != v {
+			t.Errorf("int8 roundtrip of %d = %d", v, got)
+		}
+	}
+}
+
+func TestSixBitStringRoundTrip(t *testing.T) {
+	cases := []string{"", "AEGEAN QUEEN", "MV-42", "0123456789", "A"}
+	for _, s := range cases {
+		b := newBitBuffer(20 * 6)
+		b.setString(0, 20, s)
+		if got := b.string(0, 20); got != s {
+			t.Errorf("string roundtrip %q = %q", s, got)
+		}
+	}
+}
+
+func TestSixBitStringTruncates(t *testing.T) {
+	long := "THIS VESSEL NAME IS FAR TOO LONG FOR AIS"
+	b := newBitBuffer(20 * 6)
+	b.setString(0, 20, long)
+	// The 20-char prefix ends in a blank, which the decoder trims along
+	// with '@' padding.
+	want := strings.TrimRight(long[:20], " ")
+	if got := b.string(0, 20); got != want {
+		t.Errorf("truncated = %q, want %q", got, want)
+	}
+}
+
+func TestArmorDearmorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		b := newBitBuffer(n)
+		for i := range b.bits {
+			b.bits[i] = byte(rng.Intn(2))
+		}
+		payload, fill := b.armor()
+		back, err := dearmor(payload, fill)
+		if err != nil {
+			t.Fatalf("dearmor: %v", err)
+		}
+		if back.len() != n {
+			t.Fatalf("length %d, want %d", back.len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if back.bits[i] != b.bits[i] {
+				t.Fatalf("bit %d differs (n=%d)", i, n)
+			}
+		}
+	}
+}
+
+func TestDearmorRejectsBadInput(t *testing.T) {
+	if _, err := dearmor("zz", 0); err == nil {
+		t.Error("invalid armor characters accepted")
+	}
+	if _, err := dearmor("00", 6); err == nil {
+		t.Error("fill bits 6 accepted")
+	}
+	if _, err := dearmor("0", 6); err == nil {
+		t.Error("fill bits exceeding payload accepted")
+	}
+}
+
+func TestArmorAlphabetValid(t *testing.T) {
+	// Every 6-bit value must round-trip through the armor alphabet.
+	for v := byte(0); v < 64; v++ {
+		c := armorChar(v)
+		got, ok := dearmorChar(c)
+		if !ok || got != v {
+			t.Errorf("armor char for %d: %q round-trips to %d, ok=%v", v, c, got, ok)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package ais_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ais"
+)
+
+// ExampleScanner shows the Data Scanner cleaning a mixed feed: a CSV
+// tuple, a valid AIVDM sentence, and a corrupted line that is dropped.
+func ExampleScanner() {
+	feed := strings.Join([]string{
+		"237000001,23.646700,37.942100,1243814400",
+		"1243814455 !AIVDM,1,1,,A,15RTgt0PAso;90TKcjM8h6g208CQ,0*4A",
+		"1243814460 !AIVDM,1,1,,A,garbage,0*00",
+	}, "\n")
+
+	sc := ais.NewScanner(strings.NewReader(feed))
+	for sc.Scan() {
+		fmt.Println(sc.Fix())
+	}
+	fmt.Println("dropped:", sc.Stats().Dropped())
+	// Output:
+	// 237000001@2009-06-01T00:00:00Z (23.646700, 37.942100)
+	// 371798000@2009-06-01T00:00:55Z (-123.395383, 48.381633)
+	// dropped: 1
+}

@@ -1,0 +1,203 @@
+package ais
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Message type numbers handled by the system (paper §2: "we consider AIS
+// messages of certain types (1, 2, 3, 18, 19) and extract position
+// reports").
+const (
+	TypePositionA         = 1  // Class A position report (scheduled)
+	TypePositionAAssigned = 2  // Class A position report (assigned schedule)
+	TypePositionAResponse = 3  // Class A position report (interrogation response)
+	TypePositionB         = 18 // Class B standard position report
+	TypePositionBExtended = 19 // Class B extended position report
+)
+
+// Navigation status values (types 1–3).
+const (
+	NavUnderWayEngine = 0
+	NavAtAnchor       = 1
+	NavNotUnderWay    = 2
+	NavMoored         = 5
+	NavUnderWaySail   = 8
+	NavNotDefined     = 15
+)
+
+// Sentinels defined by ITU-R M.1371 for "not available" fields.
+const (
+	LonNotAvailable     = 181.0
+	LatNotAvailable     = 91.0
+	SpeedNotAvailable   = 102.3 // SOG raw value 1023
+	CourseNotAvailable  = 360.0 // COG raw value 3600
+	HeadingNotAvailable = 511
+)
+
+// PositionReport is the decoded content of an AIS position report of
+// type 1, 2, 3, 18 or 19. Fields that a given type lacks are left at
+// their zero or not-available values.
+type PositionReport struct {
+	Type       int     // message type, one of the Type* constants
+	Repeat     int     // repeat indicator
+	MMSI       uint32  // Maritime Mobile Service Identity (30 bits)
+	NavStatus  int     // navigation status (types 1–3 only)
+	RateOfTurn int     // raw ROT field, -128..127 (types 1–3 only)
+	SpeedKnots float64 // speed over ground, 0.1-knot resolution
+	Accuracy   bool    // position accuracy flag (<10 m when true)
+	Lon        float64 // longitude, 1/10000-minute resolution
+	Lat        float64 // latitude, 1/10000-minute resolution
+	CourseDeg  float64 // course over ground, 0.1-degree resolution
+	HeadingDeg int     // true heading in degrees, 511 = not available
+	UTCSecond  int     // UTC second of the fix, 0–59 (60+ = unavailable)
+	ShipName   string  // type 19 only
+	ShipType   int     // type 19 only
+}
+
+// Errors returned by Decode.
+var (
+	ErrUnsupportedType = errors.New("ais: unsupported message type")
+	ErrTruncated       = errors.New("ais: truncated payload")
+)
+
+// Lengths in bits of the supported payload types.
+const (
+	lenPositionA    = 168
+	lenPositionB    = 168
+	lenPositionBExt = 312
+)
+
+// HasPosition reports whether the report carries an available position
+// fix (i.e. neither coordinate is the not-available sentinel) within the
+// legal WGS-84 ranges.
+func (r *PositionReport) HasPosition() bool {
+	return r.Lon >= -180 && r.Lon <= 180 && r.Lat >= -90 && r.Lat <= 90
+}
+
+// encodeLon converts a longitude to the 28-bit 1/10000-minute raw field.
+func encodeLon(lon float64) int64 { return int64(math.Round(lon * 600000)) }
+
+// encodeLat converts a latitude to the 27-bit 1/10000-minute raw field.
+func encodeLat(lat float64) int64 { return int64(math.Round(lat * 600000)) }
+
+// Encode packs the report into its binary payload bits. Only the
+// supported message types are accepted.
+func (r *PositionReport) encode() (*bitBuffer, error) {
+	switch r.Type {
+	case TypePositionA, TypePositionAAssigned, TypePositionAResponse:
+		return r.encodeClassA(), nil
+	case TypePositionB:
+		return r.encodeClassB(false), nil
+	case TypePositionBExtended:
+		return r.encodeClassB(true), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedType, r.Type)
+	}
+}
+
+func (r *PositionReport) encodeClassA() *bitBuffer {
+	b := newBitBuffer(lenPositionA)
+	b.setUint(0, 6, uint64(r.Type))
+	b.setUint(6, 2, uint64(r.Repeat))
+	b.setUint(8, 30, uint64(r.MMSI))
+	b.setUint(38, 4, uint64(r.NavStatus))
+	b.setInt(42, 8, int64(r.RateOfTurn))
+	b.setUint(50, 10, uint64(math.Round(r.SpeedKnots*10)))
+	if r.Accuracy {
+		b.setUint(60, 1, 1)
+	}
+	b.setInt(61, 28, encodeLon(r.Lon))
+	b.setInt(89, 27, encodeLat(r.Lat))
+	b.setUint(116, 12, uint64(math.Round(r.CourseDeg*10)))
+	b.setUint(128, 9, uint64(r.HeadingDeg))
+	b.setUint(137, 6, uint64(r.UTCSecond))
+	// Bits 143–167: maneuver indicator, spare, RAIM, radio status — zero.
+	return b
+}
+
+func (r *PositionReport) encodeClassB(extended bool) *bitBuffer {
+	n := lenPositionB
+	if extended {
+		n = lenPositionBExt
+	}
+	b := newBitBuffer(n)
+	b.setUint(0, 6, uint64(r.Type))
+	b.setUint(6, 2, uint64(r.Repeat))
+	b.setUint(8, 30, uint64(r.MMSI))
+	// Bits 38–45 reserved.
+	b.setUint(46, 10, uint64(math.Round(r.SpeedKnots*10)))
+	if r.Accuracy {
+		b.setUint(56, 1, 1)
+	}
+	b.setInt(57, 28, encodeLon(r.Lon))
+	b.setInt(85, 27, encodeLat(r.Lat))
+	b.setUint(112, 12, uint64(math.Round(r.CourseDeg*10)))
+	b.setUint(124, 9, uint64(r.HeadingDeg))
+	b.setUint(133, 6, uint64(r.UTCSecond))
+	if extended {
+		// Bits 139–142 reserved.
+		b.setString(143, 20, r.ShipName)
+		b.setUint(263, 8, uint64(r.ShipType))
+		// Bits 271–311: dimensions, EPFD, flags — zero.
+	}
+	return b
+}
+
+// decodePositionReport unpacks a payload bit buffer into a
+// PositionReport. It validates only structure (type and length), not
+// positional plausibility; the Scanner applies semantic filtering.
+func decodePositionReport(b *bitBuffer) (*PositionReport, error) {
+	if b.len() < 6 {
+		return nil, ErrTruncated
+	}
+	msgType := int(b.uint(0, 6))
+	switch msgType {
+	case TypePositionA, TypePositionAAssigned, TypePositionAResponse:
+		if b.len() < lenPositionA {
+			return nil, fmt.Errorf("%w: type %d needs %d bits, got %d", ErrTruncated, msgType, lenPositionA, b.len())
+		}
+		return &PositionReport{
+			Type:       msgType,
+			Repeat:     int(b.uint(6, 2)),
+			MMSI:       uint32(b.uint(8, 30)),
+			NavStatus:  int(b.uint(38, 4)),
+			RateOfTurn: int(b.int(42, 8)),
+			SpeedKnots: float64(b.uint(50, 10)) / 10,
+			Accuracy:   b.uint(60, 1) == 1,
+			Lon:        float64(b.int(61, 28)) / 600000,
+			Lat:        float64(b.int(89, 27)) / 600000,
+			CourseDeg:  float64(b.uint(116, 12)) / 10,
+			HeadingDeg: int(b.uint(128, 9)),
+			UTCSecond:  int(b.uint(137, 6)),
+		}, nil
+	case TypePositionB, TypePositionBExtended:
+		need := lenPositionB
+		if msgType == TypePositionBExtended {
+			need = lenPositionBExt
+		}
+		if b.len() < need {
+			return nil, fmt.Errorf("%w: type %d needs %d bits, got %d", ErrTruncated, msgType, need, b.len())
+		}
+		r := &PositionReport{
+			Type:       msgType,
+			Repeat:     int(b.uint(6, 2)),
+			MMSI:       uint32(b.uint(8, 30)),
+			SpeedKnots: float64(b.uint(46, 10)) / 10,
+			Accuracy:   b.uint(56, 1) == 1,
+			Lon:        float64(b.int(57, 28)) / 600000,
+			Lat:        float64(b.int(85, 27)) / 600000,
+			CourseDeg:  float64(b.uint(112, 12)) / 10,
+			HeadingDeg: int(b.uint(124, 9)),
+			UTCSecond:  int(b.uint(133, 6)),
+		}
+		if msgType == TypePositionBExtended {
+			r.ShipName = b.string(143, 20)
+			r.ShipType = int(b.uint(263, 8))
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedType, msgType)
+	}
+}

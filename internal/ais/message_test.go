@@ -1,0 +1,224 @@
+package ais
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// roundTrip encodes a report to sentences and decodes it back.
+func roundTrip(t *testing.T, r *PositionReport) *PositionReport {
+	t.Helper()
+	lines, err := EncodeSentences(r, "A", 1)
+	if err != nil {
+		t.Fatalf("EncodeSentences: %v", err)
+	}
+	asm := NewAssembler()
+	var msg any
+	for _, line := range lines {
+		s, err := ParseSentence(line)
+		if err != nil {
+			t.Fatalf("ParseSentence(%q): %v", line, err)
+		}
+		msg, err = asm.Push(s)
+		if err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	got, ok := msg.(*PositionReport)
+	if !ok {
+		t.Fatalf("decoded %T, want *PositionReport", msg)
+	}
+	return got
+}
+
+func TestPositionReportRoundTripClassA(t *testing.T) {
+	r := &PositionReport{
+		Type:       TypePositionA,
+		MMSI:       237123456,
+		NavStatus:  NavUnderWayEngine,
+		RateOfTurn: -12,
+		SpeedKnots: 14.3,
+		Accuracy:   true,
+		Lon:        23.64671,
+		Lat:        37.94215,
+		CourseDeg:  187.4,
+		HeadingDeg: 185,
+		UTCSecond:  42,
+	}
+	got := roundTrip(t, r)
+	if got.Type != r.Type || got.MMSI != r.MMSI || got.NavStatus != r.NavStatus ||
+		got.RateOfTurn != r.RateOfTurn || got.Accuracy != r.Accuracy ||
+		got.HeadingDeg != r.HeadingDeg || got.UTCSecond != r.UTCSecond {
+		t.Errorf("integer fields differ: got %+v", got)
+	}
+	if math.Abs(got.SpeedKnots-r.SpeedKnots) > 0.05 {
+		t.Errorf("speed %v, want %v", got.SpeedKnots, r.SpeedKnots)
+	}
+	if math.Abs(got.CourseDeg-r.CourseDeg) > 0.05 {
+		t.Errorf("course %v, want %v", got.CourseDeg, r.CourseDeg)
+	}
+	// 1/10000 arc-minute is ~0.18 m, i.e. ~1.7e-6 degrees.
+	if math.Abs(got.Lon-r.Lon) > 2e-6 || math.Abs(got.Lat-r.Lat) > 2e-6 {
+		t.Errorf("position (%v, %v), want (%v, %v)", got.Lon, got.Lat, r.Lon, r.Lat)
+	}
+}
+
+func TestPositionReportRoundTripAllTypes(t *testing.T) {
+	for _, typ := range []int{1, 2, 3, 18, 19} {
+		r := &PositionReport{
+			Type:       typ,
+			MMSI:       239000123,
+			SpeedKnots: 8.7,
+			Lon:        -25.5,
+			Lat:        -36.25,
+			CourseDeg:  271.3,
+			HeadingDeg: 270,
+			UTCSecond:  7,
+		}
+		if typ == 19 {
+			r.ShipName = "AEGEAN QUEEN"
+			r.ShipType = 70
+		}
+		got := roundTrip(t, r)
+		if got.Type != typ || got.MMSI != r.MMSI {
+			t.Errorf("type %d: got %+v", typ, got)
+		}
+		if math.Abs(got.Lon-r.Lon) > 2e-6 || math.Abs(got.Lat-r.Lat) > 2e-6 {
+			t.Errorf("type %d position: (%v, %v)", typ, got.Lon, got.Lat)
+		}
+		if typ == 19 {
+			if got.ShipName != r.ShipName {
+				t.Errorf("ship name %q, want %q", got.ShipName, r.ShipName)
+			}
+			if got.ShipType != r.ShipType {
+				t.Errorf("ship type %d, want %d", got.ShipType, r.ShipType)
+			}
+		}
+	}
+}
+
+func TestPositionReportRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	types := []int{1, 2, 3, 18, 19}
+	for trial := 0; trial < 500; trial++ {
+		r := &PositionReport{
+			Type:       types[rng.Intn(len(types))],
+			MMSI:       uint32(rng.Intn(1 << 30)),
+			SpeedKnots: float64(rng.Intn(1023)) / 10,
+			Lon:        rng.Float64()*360 - 180,
+			Lat:        rng.Float64()*180 - 90,
+			CourseDeg:  float64(rng.Intn(3600)) / 10,
+			HeadingDeg: rng.Intn(360),
+			UTCSecond:  rng.Intn(60),
+		}
+		if r.Type <= 3 {
+			r.NavStatus = rng.Intn(16)
+			r.RateOfTurn = rng.Intn(256) - 128
+		}
+		got := roundTrip(t, r)
+		if got.MMSI != r.MMSI {
+			t.Fatalf("trial %d: MMSI %d, want %d", trial, got.MMSI, r.MMSI)
+		}
+		if math.Abs(got.Lon-r.Lon) > 2e-6 || math.Abs(got.Lat-r.Lat) > 2e-6 {
+			t.Fatalf("trial %d: position error too large", trial)
+		}
+		if math.Abs(got.SpeedKnots-r.SpeedKnots) > 0.051 {
+			t.Fatalf("trial %d: speed %v, want %v", trial, got.SpeedKnots, r.SpeedKnots)
+		}
+	}
+}
+
+func TestDecodeKnownVector(t *testing.T) {
+	// A widely published AIVDM test vector (type 1, MMSI 371798000,
+	// off Vancouver; see the GPSd AIVDM documentation).
+	line := "!AIVDM,1,1,,A,15RTgt0PAso;90TKcjM8h6g208CQ,0*4A"
+	s, err := ParseSentence(line)
+	if err != nil {
+		t.Fatalf("ParseSentence: %v", err)
+	}
+	msg, err := NewAssembler().Push(s)
+	if err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	r, ok := msg.(*PositionReport)
+	if !ok {
+		t.Fatalf("decoded %T, want *PositionReport", msg)
+	}
+	if r.Type != 1 {
+		t.Errorf("type = %d, want 1", r.Type)
+	}
+	if r.MMSI != 371798000 {
+		t.Errorf("MMSI = %d, want 371798000", r.MMSI)
+	}
+	if math.Abs(r.Lon-(-123.3954)) > 0.001 {
+		t.Errorf("lon = %v, want ~-123.395", r.Lon)
+	}
+	if math.Abs(r.Lat-48.3816) > 0.001 {
+		t.Errorf("lat = %v, want ~48.382", r.Lat)
+	}
+	if math.Abs(r.SpeedKnots-12.3) > 0.05 {
+		t.Errorf("speed = %v, want 12.3", r.SpeedKnots)
+	}
+}
+
+func TestEncodeRejectsUnsupportedType(t *testing.T) {
+	r := &PositionReport{Type: 5}
+	if _, err := EncodeSentences(r, "A", 1); !errors.Is(err, ErrUnsupportedType) {
+		t.Errorf("err = %v, want ErrUnsupportedType", err)
+	}
+}
+
+func TestDecodeRejectsUnsupportedType(t *testing.T) {
+	b := newBitBuffer(168)
+	b.setUint(0, 6, 4) // type 4 = base station report, not handled
+	payload, fill := b.armor()
+	_, err := decodeArmored(payload, fill)
+	if !errors.Is(err, ErrUnsupportedType) {
+		t.Errorf("err = %v, want ErrUnsupportedType", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	b := newBitBuffer(100) // type 1 needs 168 bits
+	b.setUint(0, 6, 1)
+	payload, fill := b.armor()
+	_, err := decodeArmored(payload, fill)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestHasPosition(t *testing.T) {
+	ok := &PositionReport{Lon: 23.5, Lat: 37.9}
+	if !ok.HasPosition() {
+		t.Error("valid position reported unavailable")
+	}
+	sentinel := &PositionReport{Lon: LonNotAvailable, Lat: LatNotAvailable}
+	if sentinel.HasPosition() {
+		t.Error("sentinel position reported available")
+	}
+}
+
+func TestType19MultiSentence(t *testing.T) {
+	// Type 19 is 312 bits = 52 armored chars; force fragmentation by
+	// checking the encoder splits when payload exceeds the limit. The
+	// standard payload fits in one sentence, so craft one directly.
+	r := &PositionReport{
+		Type: TypePositionBExtended, MMSI: 237999111,
+		Lon: 24.1, Lat: 38.3, ShipName: "TEST RUNNER", ShipType: 30,
+	}
+	lines, err := EncodeSentences(r, "B", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 312 bits -> 52 chars: single sentence under the 60-char limit.
+	if len(lines) != 1 {
+		t.Fatalf("type 19 encoded to %d sentences, want 1", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "!AIVDM,1,1,") {
+		t.Errorf("unexpected sentence header: %s", lines[0])
+	}
+}

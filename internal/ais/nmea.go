@@ -1,0 +1,197 @@
+package ais
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sentence is one parsed NMEA 0183 AIVDM sentence. AIS payloads that do
+// not fit in a single sentence (82-character NMEA limit) are fragmented;
+// FragmentCount/FragmentNum/MessageID describe the grouping.
+type Sentence struct {
+	Talker        string // "AIVDM" or "AIVDO"
+	FragmentCount int
+	FragmentNum   int
+	MessageID     string // sequential message ID for multi-sentence groups, may be empty
+	Channel       string // radio channel, "A" or "B"
+	Payload       string // 6-bit armored payload
+	FillBits      int
+}
+
+// Errors from the NMEA layer.
+var (
+	ErrBadChecksum  = errors.New("ais: bad NMEA checksum")
+	ErrMalformed    = errors.New("ais: malformed NMEA sentence")
+	ErrNotAIVDM     = errors.New("ais: not an AIVDM/AIVDO sentence")
+	ErrFragmentLost = errors.New("ais: incomplete multi-sentence group")
+)
+
+// maxPayloadChars is the maximum armored payload per sentence such that
+// the whole sentence respects the 82-character NMEA line limit.
+const maxPayloadChars = 60
+
+// nmeaChecksum computes the XOR checksum over the sentence body (between
+// '!' and '*', exclusive).
+func nmeaChecksum(body string) byte {
+	var sum byte
+	for i := 0; i < len(body); i++ {
+		sum ^= body[i]
+	}
+	return sum
+}
+
+// FormatSentence renders the sentence in wire format including the
+// leading '!' and the checksum.
+func FormatSentence(s Sentence) string {
+	seq := s.MessageID
+	body := fmt.Sprintf("%s,%d,%d,%s,%s,%s,%d",
+		s.Talker, s.FragmentCount, s.FragmentNum, seq, s.Channel, s.Payload, s.FillBits)
+	return fmt.Sprintf("!%s*%02X", body, nmeaChecksum(body))
+}
+
+// ParseSentence parses one AIVDM/AIVDO line (with or without trailing
+// CR/LF) and validates its checksum.
+func ParseSentence(line string) (Sentence, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) == 0 || line[0] != '!' {
+		return Sentence{}, fmt.Errorf("%w: missing '!' start", ErrMalformed)
+	}
+	star := strings.LastIndexByte(line, '*')
+	if star < 0 || star+3 > len(line) {
+		return Sentence{}, fmt.Errorf("%w: missing checksum", ErrMalformed)
+	}
+	body := line[1:star]
+	wantSum, err := strconv.ParseUint(line[star+1:star+3], 16, 8)
+	if err != nil {
+		return Sentence{}, fmt.Errorf("%w: unparsable checksum %q", ErrMalformed, line[star+1:])
+	}
+	if nmeaChecksum(body) != byte(wantSum) {
+		return Sentence{}, ErrBadChecksum
+	}
+
+	fields := strings.Split(body, ",")
+	if len(fields) != 7 {
+		return Sentence{}, fmt.Errorf("%w: %d fields, want 7", ErrMalformed, len(fields))
+	}
+	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
+		return Sentence{}, fmt.Errorf("%w: talker %q", ErrNotAIVDM, fields[0])
+	}
+	fragCount, err := strconv.Atoi(fields[1])
+	if err != nil || fragCount < 1 {
+		return Sentence{}, fmt.Errorf("%w: fragment count %q", ErrMalformed, fields[1])
+	}
+	fragNum, err := strconv.Atoi(fields[2])
+	if err != nil || fragNum < 1 || fragNum > fragCount {
+		return Sentence{}, fmt.Errorf("%w: fragment number %q", ErrMalformed, fields[2])
+	}
+	fill, err := strconv.Atoi(fields[6])
+	if err != nil || fill < 0 || fill > 5 {
+		return Sentence{}, fmt.Errorf("%w: fill bits %q", ErrMalformed, fields[6])
+	}
+	return Sentence{
+		Talker:        fields[0],
+		FragmentCount: fragCount,
+		FragmentNum:   fragNum,
+		MessageID:     fields[3],
+		Channel:       fields[4],
+		Payload:       fields[5],
+		FillBits:      fill,
+	}, nil
+}
+
+// EncodeSentences encodes a position report into one or more AIVDM wire
+// lines, fragmenting the armored payload when necessary. messageID is
+// used to correlate fragments of multi-sentence messages.
+func EncodeSentences(r *PositionReport, channel string, messageID int) ([]string, error) {
+	bits, err := r.encode()
+	if err != nil {
+		return nil, err
+	}
+	payload, fill := bits.armor()
+
+	n := (len(payload) + maxPayloadChars - 1) / maxPayloadChars
+	if n == 0 {
+		n = 1
+	}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * maxPayloadChars
+		hi := lo + maxPayloadChars
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		s := Sentence{
+			Talker:        "AIVDM",
+			FragmentCount: n,
+			FragmentNum:   i + 1,
+			Channel:       channel,
+			Payload:       payload[lo:hi],
+		}
+		if i == n-1 {
+			s.FillBits = fill
+		}
+		if n > 1 {
+			s.MessageID = strconv.Itoa(messageID % 10)
+		}
+		lines = append(lines, FormatSentence(s))
+	}
+	return lines, nil
+}
+
+// Assembler reassembles multi-sentence AIVDM groups and decodes complete
+// payloads into position reports. It tolerates interleaved groups on
+// different (channel, messageID) keys, as real AIS receivers emit them.
+type Assembler struct {
+	partial map[string][]Sentence
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{partial: make(map[string][]Sentence)}
+}
+
+// Push feeds one parsed sentence. When the sentence completes a
+// message, the decoded message — a *PositionReport or a *StaticVoyage —
+// is returned; otherwise the message is nil. An error is returned for
+// out-of-sequence fragments (the group is dropped) or payload decoding
+// failures.
+func (a *Assembler) Push(s Sentence) (any, error) {
+	if s.FragmentCount == 1 {
+		return decodeArmored(s.Payload, s.FillBits)
+	}
+	key := s.Channel + "/" + s.MessageID
+	frags := a.partial[key]
+	if s.FragmentNum != len(frags)+1 {
+		delete(a.partial, key)
+		return nil, fmt.Errorf("%w: got fragment %d/%d on %q, want %d",
+			ErrFragmentLost, s.FragmentNum, s.FragmentCount, key, len(frags)+1)
+	}
+	frags = append(frags, s)
+	if s.FragmentNum < s.FragmentCount {
+		a.partial[key] = frags
+		return nil, nil
+	}
+	delete(a.partial, key)
+	var payload strings.Builder
+	for _, f := range frags {
+		payload.WriteString(f.Payload)
+	}
+	return decodeArmored(payload.String(), s.FillBits)
+}
+
+// Pending returns the number of incomplete multi-sentence groups held.
+func (a *Assembler) Pending() int { return len(a.partial) }
+
+// decodeArmored dearmors a payload and decodes the message it carries.
+func decodeArmored(payload string, fillBits int) (any, error) {
+	bits, err := dearmor(payload, fillBits)
+	if err != nil {
+		return nil, err
+	}
+	if bits.len() >= 6 && bits.uint(0, 6) == TypeStaticVoyage {
+		return decodeStaticVoyage(bits)
+	}
+	return decodePositionReport(bits)
+}

@@ -1,0 +1,124 @@
+package ais
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSentenceChecksum(t *testing.T) {
+	good := "!AIVDM,1,1,,A,15RTgt0PAso;90TKcjM8h6g208CQ,0*4A"
+	if _, err := ParseSentence(good); err != nil {
+		t.Fatalf("valid sentence rejected: %v", err)
+	}
+	// Flip one payload character: checksum must fail.
+	bad := strings.Replace(good, "15RTgt0", "15RTgt1", 1)
+	if _, err := ParseSentence(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted sentence: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestParseSentenceMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"AIVDM,1,1,,A,xyz,0*00", // missing '!'
+		"!AIVDM,1,1,,A,xyz,0",   // missing checksum
+		"!AIVDM,1,1,,A,0*XY",    // bad hex
+		"!AIVDM,1,1,A,0*26",     // too few fields
+		"!AIVDM,0,1,,A,0,0*55",  // fragment count 0
+		"!AIVDM,1,2,,A,0,0*56",  // fragment num > count
+		"!AIVDM,1,1,,A,0,9*5C",  // fill bits out of range
+	}
+	for _, line := range cases {
+		if _, err := ParseSentence(line); err == nil {
+			t.Errorf("ParseSentence(%q) accepted malformed input", line)
+		}
+	}
+}
+
+func TestParseSentenceNotAIVDM(t *testing.T) {
+	// A GPS sentence with a correct checksum for its body.
+	body := "GPGGA,1,1,,A,x,0"
+	line := "!" + body + "*"
+	sum := nmeaChecksum(body)
+	line = line + hexByte(sum)
+	if _, err := ParseSentence(line); !errors.Is(err, ErrNotAIVDM) {
+		t.Errorf("err = %v, want ErrNotAIVDM", err)
+	}
+}
+
+func hexByte(b byte) string {
+	const hexdigits = "0123456789ABCDEF"
+	return string([]byte{hexdigits[b>>4], hexdigits[b&0xF]})
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	s := Sentence{
+		Talker: "AIVDM", FragmentCount: 2, FragmentNum: 1,
+		MessageID: "3", Channel: "B", Payload: "55NBjP01mtGIL@CW", FillBits: 0,
+	}
+	line := FormatSentence(s)
+	got, err := ParseSentence(line)
+	if err != nil {
+		t.Fatalf("ParseSentence(%q): %v", line, err)
+	}
+	if got != s {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+}
+
+func TestAssemblerInterleavedGroups(t *testing.T) {
+	// Two interleaved 2-fragment groups on different message IDs.
+	rA := &PositionReport{Type: 1, MMSI: 111111111, Lon: 20, Lat: 35}
+	rB := &PositionReport{Type: 1, MMSI: 222222222, Lon: 21, Lat: 36}
+	// Force multi-fragment by hand: split each encoded payload in two.
+	mk := func(r *PositionReport, id string) []Sentence {
+		bits, err := r.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, fill := bits.armor()
+		half := len(payload) / 2
+		return []Sentence{
+			{Talker: "AIVDM", FragmentCount: 2, FragmentNum: 1, MessageID: id, Channel: "A", Payload: payload[:half]},
+			{Talker: "AIVDM", FragmentCount: 2, FragmentNum: 2, MessageID: id, Channel: "A", Payload: payload[half:], FillBits: fill},
+		}
+	}
+	fragsA := mk(rA, "1")
+	fragsB := mk(rB, "2")
+
+	asm := NewAssembler()
+	if rep, err := asm.Push(fragsA[0]); err != nil || rep != nil {
+		t.Fatalf("A1: rep=%v err=%v", rep, err)
+	}
+	if rep, err := asm.Push(fragsB[0]); err != nil || rep != nil {
+		t.Fatalf("B1: rep=%v err=%v", rep, err)
+	}
+	if asm.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", asm.Pending())
+	}
+	msgA, err := asm.Push(fragsA[1])
+	repA, okA := msgA.(*PositionReport)
+	if err != nil || !okA || repA.MMSI != 111111111 {
+		t.Fatalf("A2: rep=%+v err=%v", msgA, err)
+	}
+	msgB, err := asm.Push(fragsB[1])
+	repB, okB := msgB.(*PositionReport)
+	if err != nil || !okB || repB.MMSI != 222222222 {
+		t.Fatalf("B2: rep=%+v err=%v", msgB, err)
+	}
+	if asm.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", asm.Pending())
+	}
+}
+
+func TestAssemblerOutOfSequence(t *testing.T) {
+	asm := NewAssembler()
+	s := Sentence{Talker: "AIVDM", FragmentCount: 2, FragmentNum: 2, MessageID: "5", Channel: "A", Payload: "000"}
+	if _, err := asm.Push(s); !errors.Is(err, ErrFragmentLost) {
+		t.Errorf("err = %v, want ErrFragmentLost", err)
+	}
+	if asm.Pending() != 0 {
+		t.Errorf("broken group retained")
+	}
+}

@@ -1,0 +1,110 @@
+package ais
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestScannerSurvivesGarbage feeds the scanner adversarial byte soup:
+// it must never panic, never emit an invalid fix, and account every
+// line.
+func TestScannerSurvivesGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var sb strings.Builder
+	lines := 0
+	for i := 0; i < 2000; i++ {
+		lines++
+		switch i % 7 {
+		case 0: // random binary-ish junk
+			n := rng.Intn(120)
+			buf := make([]byte, n)
+			for j := range buf {
+				buf[j] = byte(32 + rng.Intn(94))
+			}
+			sb.Write(buf)
+		case 1: // truncated NMEA
+			sb.WriteString("1243814400 !AIVDM,1,1,,A,15RTgt0")
+		case 2: // valid-looking CSV with overflowing numbers
+			sb.WriteString("99999999999999999999,999,999,99999999999999999999")
+		case 3: // CSV with NaN-ish fields
+			sb.WriteString("237000001,NaN,+Inf,1243814400")
+		case 4: // empty-ish
+			sb.WriteString("   ")
+		case 5: // a checksum of the wrong length
+			sb.WriteString("1243814400 !AIVDM,1,1,,A,0,0*F")
+		case 6: // stray comma storm
+			sb.WriteString(strings.Repeat(",", rng.Intn(30)))
+		}
+		sb.WriteByte('\n')
+	}
+	sc := NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		f := sc.Fix()
+		if !f.Pos.Valid() {
+			t.Fatalf("scanner emitted an invalid position: %v", f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanner err: %v", err)
+	}
+	st := sc.Stats()
+	if st.Lines != lines {
+		t.Errorf("lines accounted = %d, want %d", st.Lines, lines)
+	}
+	// Some of the mod-3 NaN lines could in principle parse as floats;
+	// nothing else may have survived.
+	if st.Fixes > lines/7+1 {
+		t.Errorf("garbage produced %d fixes", st.Fixes)
+	}
+}
+
+// TestScannerNaNCoordinatesRejected pins the NaN/Inf case: ParseFloat
+// accepts them, Point.Valid must not.
+func TestScannerNaNCoordinatesRejected(t *testing.T) {
+	input := strings.Join([]string{
+		"237000001,NaN,37.0,1243814400",
+		"237000001,23.5,+Inf,1243814400",
+		"237000001,-Inf,-Inf,1243814400",
+	}, "\n")
+	sc := NewScanner(strings.NewReader(input))
+	for sc.Scan() {
+		t.Fatalf("non-finite coordinates emitted: %v", sc.Fix())
+	}
+	if sc.Stats().NoPosition != 3 {
+		t.Errorf("stats = %+v, want 3 NoPosition drops", sc.Stats())
+	}
+}
+
+// TestDearmorNeverPanics hammers the payload decoder with random
+// strings.
+func TestDearmorNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		fill := rng.Intn(8) - 1
+		if bits, err := dearmor(string(buf), fill); err == nil {
+			// Any successfully decoded payload must also survive the
+			// report decoder (which may still reject it cleanly).
+			_, _ = decodePositionReport(bits)
+		}
+	}
+}
+
+// TestParseSentenceNeverPanics hammers the NMEA parser.
+func TestParseSentenceNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alphabet := "!AIVDM,0123456789*ABCDEF\r\n \x00ü"
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(90)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		_, _ = ParseSentence(string(buf))
+	}
+}

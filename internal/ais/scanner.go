@@ -1,0 +1,202 @@
+package ais
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Fix is one cleaned positional tuple ⟨MMSI, Lon, Lat, τ⟩ — the unit of
+// the positional stream that the rest of the system consumes (paper §2).
+type Fix struct {
+	MMSI uint32
+	Pos  geo.Point
+	Time time.Time
+}
+
+// String renders the fix for logs and exports.
+func (f Fix) String() string {
+	return fmt.Sprintf("%d@%s %s", f.MMSI, f.Time.UTC().Format(time.RFC3339), f.Pos)
+}
+
+// ScannerStats counts what the Data Scanner saw and why it dropped
+// input. The paper notes that AIS data "is not noise-free; messages may
+// be delayed, intermittent, or conflicting" and that the scanner cleans
+// distortions such as bad checksums.
+type ScannerStats struct {
+	Lines         int // input lines consumed
+	Fixes         int // cleaned fixes emitted
+	BadChecksum   int // NMEA checksum failures
+	Malformed     int // unparsable lines
+	Unsupported   int // AIS types other than 1, 2, 3, 5, 18, 19
+	NoPosition    int // reports with not-available coordinates
+	FragmentLoss  int // broken multi-sentence groups
+	VoyageReports int // type 5 static/voyage messages collected
+}
+
+// Dropped returns the total number of dropped input lines.
+func (s ScannerStats) Dropped() int {
+	return s.BadChecksum + s.Malformed + s.Unsupported + s.NoPosition + s.FragmentLoss
+}
+
+// Scanner implements the paper's Data Scanner: it reads a line-oriented
+// AIS feed, decodes and validates each message, and emits an append-only
+// stream of cleaned fixes. Two line formats are accepted and may be
+// mixed:
+//
+//	<unix-seconds> !AIVDM,...        timestamped NMEA, as archived feeds store it
+//	<mmsi>,<lon>,<lat>,<unix-seconds> plain CSV, the shape of the paper's dataset
+//
+// Lines starting with '#' and blank lines are skipped.
+type Scanner struct {
+	r       *bufio.Scanner
+	asm     *Assembler
+	stats   ScannerStats
+	err     error
+	fix     Fix
+	voyages map[uint32]StaticVoyage
+}
+
+// NewScanner wraps the reader. Lines may be up to 1 MiB long.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Scanner{r: sc, asm: NewAssembler(), voyages: make(map[uint32]StaticVoyage)}
+}
+
+// Voyages returns the latest static/voyage report collected per vessel.
+// Trip semantics deliberately ignore the declared destinations (paper
+// §3.2: manually entered, "often missing or error-prone"); they are
+// surfaced for display and comparison only.
+func (s *Scanner) Voyages() map[uint32]StaticVoyage { return s.voyages }
+
+// Scan advances to the next cleaned fix. It returns false at end of
+// input or on a read error (see Err); decoding errors only increment
+// the drop counters.
+func (s *Scanner) Scan() bool {
+	for s.r.Scan() {
+		s.stats.Lines++
+		line := strings.TrimSpace(s.r.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fix, ok := s.consume(line)
+		if ok {
+			s.fix = fix
+			s.stats.Fixes++
+			return true
+		}
+	}
+	s.err = s.r.Err()
+	return false
+}
+
+// Fix returns the fix produced by the last successful Scan.
+func (s *Scanner) Fix() Fix { return s.fix }
+
+// Err returns the first read error encountered, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Stats returns a snapshot of the drop counters.
+func (s *Scanner) Stats() ScannerStats { return s.stats }
+
+// consume handles one non-empty line.
+func (s *Scanner) consume(line string) (Fix, bool) {
+	if i := strings.IndexByte(line, '!'); i >= 0 {
+		return s.consumeNMEA(line[:i], line[i:])
+	}
+	return s.consumeCSV(line)
+}
+
+// consumeNMEA parses "<ts> !AIVDM..." lines.
+func (s *Scanner) consumeNMEA(prefix, sentence string) (Fix, bool) {
+	ts, err := strconv.ParseInt(strings.TrimSpace(prefix), 10, 64)
+	if err != nil {
+		s.stats.Malformed++
+		return Fix{}, false
+	}
+	sent, err := ParseSentence(sentence)
+	if err != nil {
+		switch {
+		case isErr(err, ErrBadChecksum):
+			s.stats.BadChecksum++
+		case isErr(err, ErrNotAIVDM):
+			s.stats.Unsupported++
+		default:
+			s.stats.Malformed++
+		}
+		return Fix{}, false
+	}
+	msg, err := s.asm.Push(sent)
+	if err != nil {
+		switch {
+		case isErr(err, ErrUnsupportedType):
+			s.stats.Unsupported++
+		case isErr(err, ErrFragmentLost):
+			s.stats.FragmentLoss++
+		default:
+			s.stats.Malformed++
+		}
+		return Fix{}, false
+	}
+	switch report := msg.(type) {
+	case nil:
+		return Fix{}, false // awaiting more fragments
+	case *StaticVoyage:
+		s.stats.VoyageReports++
+		s.voyages[report.MMSI] = *report
+		return Fix{}, false
+	case *PositionReport:
+		if !report.HasPosition() {
+			s.stats.NoPosition++
+			return Fix{}, false
+		}
+		return Fix{
+			MMSI: report.MMSI,
+			Pos:  geo.Point{Lon: report.Lon, Lat: report.Lat},
+			Time: time.Unix(ts, 0).UTC(),
+		}, true
+	default:
+		s.stats.Malformed++
+		return Fix{}, false
+	}
+}
+
+// consumeCSV parses "mmsi,lon,lat,unix-seconds" lines.
+func (s *Scanner) consumeCSV(line string) (Fix, bool) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 4 {
+		s.stats.Malformed++
+		return Fix{}, false
+	}
+	mmsi, err1 := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
+	lon, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	lat, err3 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	ts, err4 := strconv.ParseInt(strings.TrimSpace(parts[3]), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		s.stats.Malformed++
+		return Fix{}, false
+	}
+	p := geo.Point{Lon: lon, Lat: lat}
+	if !p.Valid() {
+		s.stats.NoPosition++
+		return Fix{}, false
+	}
+	return Fix{MMSI: uint32(mmsi), Pos: p, Time: time.Unix(ts, 0).UTC()}, true
+}
+
+// isErr unwraps with errors.Is semantics; a tiny indirection to keep the
+// switch above readable.
+func isErr(err, target error) bool { return errors.Is(err, target) }
+
+// WriteFixCSV renders a fix in the scanner's CSV input format.
+func WriteFixCSV(w io.Writer, f Fix) error {
+	_, err := fmt.Fprintf(w, "%d,%.6f,%.6f,%d\n", f.MMSI, f.Pos.Lon, f.Pos.Lat, f.Time.Unix())
+	return err
+}

@@ -1,0 +1,124 @@
+package ais
+
+import (
+	"fmt"
+	"math"
+)
+
+// TypeStaticVoyage is the AIS message carrying static ship data and
+// voyage particulars. The paper consults it for trip semantics and
+// rejects it (§3.2): "AIS messages sometimes include information
+// regarding the destination of sailing vessels. Unfortunately ... this
+// voyage-related information is often missing or error-prone, mainly
+// because it is updated manually by the crew" — which is why trip
+// destinations are derived from long-term stops inside port polygons
+// instead. The codec is still implemented so the scanner can surface
+// the declared (unreliable) values, and because the 424-bit payload is
+// the one message of the supported set that genuinely needs
+// multi-sentence AIVDM fragmentation.
+const TypeStaticVoyage = 5
+
+// lenStaticVoyage is the payload length in bits.
+const lenStaticVoyage = 424
+
+// StaticVoyage is the decoded content of a type 5 message.
+type StaticVoyage struct {
+	MMSI        uint32
+	IMO         uint32 // IMO ship identification number
+	CallSign    string // up to 7 six-bit characters
+	ShipName    string // up to 20 six-bit characters
+	ShipType    int
+	DimToBowM   int // distance from reference point to bow
+	DimToSternM int
+	DraughtM    float64 // maximum present static draught, 0.1 m units
+	// ETA as declared by the crew (month 0 and day 0 mean unavailable).
+	ETAMonth, ETADay, ETAHour, ETAMinute int
+	// Destination as typed by the crew — the unreliable field.
+	Destination string
+}
+
+// String renders the voyage particulars.
+func (v *StaticVoyage) String() string {
+	dest := v.Destination
+	if dest == "" {
+		dest = "(none)"
+	}
+	return fmt.Sprintf("%d %q → %s (draught %.1f m)", v.MMSI, v.ShipName, dest, v.DraughtM)
+}
+
+// encode packs the voyage report into its 424-bit payload.
+func (v *StaticVoyage) encode() *bitBuffer {
+	b := newBitBuffer(lenStaticVoyage)
+	b.setUint(0, 6, TypeStaticVoyage)
+	// Bits 6–7: repeat indicator, zero.
+	b.setUint(8, 30, uint64(v.MMSI))
+	// Bits 38–39: AIS version, zero.
+	b.setUint(40, 30, uint64(v.IMO))
+	b.setString(70, 7, v.CallSign)
+	b.setString(112, 20, v.ShipName)
+	b.setUint(232, 8, uint64(v.ShipType))
+	b.setUint(240, 9, uint64(v.DimToBowM))
+	b.setUint(249, 9, uint64(v.DimToSternM))
+	// Bits 258–269: port/starboard dimensions, zero.
+	// Bits 270–273: EPFD type, zero.
+	b.setUint(274, 4, uint64(v.ETAMonth))
+	b.setUint(278, 5, uint64(v.ETADay))
+	b.setUint(283, 5, uint64(v.ETAHour))
+	b.setUint(288, 6, uint64(v.ETAMinute))
+	b.setUint(294, 8, uint64(math.Round(v.DraughtM*10)))
+	b.setString(302, 20, v.Destination)
+	// Bits 422–423: DTE and spare, zero.
+	return b
+}
+
+// EncodeVoyageSentences encodes the voyage report as AIVDM wire lines.
+// At 424 bits the payload always spans two sentences.
+func EncodeVoyageSentences(v *StaticVoyage, channel string, messageID int) []string {
+	payload, fill := v.encode().armor()
+	n := (len(payload) + maxPayloadChars - 1) / maxPayloadChars
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * maxPayloadChars
+		hi := lo + maxPayloadChars
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		s := Sentence{
+			Talker:        "AIVDM",
+			FragmentCount: n,
+			FragmentNum:   i + 1,
+			Channel:       channel,
+			Payload:       payload[lo:hi],
+		}
+		if i == n-1 {
+			s.FillBits = fill
+		}
+		if n > 1 {
+			s.MessageID = fmt.Sprintf("%d", messageID%10)
+		}
+		lines = append(lines, FormatSentence(s))
+	}
+	return lines
+}
+
+// decodeStaticVoyage unpacks a 424-bit type 5 payload.
+func decodeStaticVoyage(b *bitBuffer) (*StaticVoyage, error) {
+	if b.len() < lenStaticVoyage {
+		return nil, fmt.Errorf("%w: type 5 needs %d bits, got %d", ErrTruncated, lenStaticVoyage, b.len())
+	}
+	return &StaticVoyage{
+		MMSI:        uint32(b.uint(8, 30)),
+		IMO:         uint32(b.uint(40, 30)),
+		CallSign:    b.string(70, 7),
+		ShipName:    b.string(112, 20),
+		ShipType:    int(b.uint(232, 8)),
+		DimToBowM:   int(b.uint(240, 9)),
+		DimToSternM: int(b.uint(249, 9)),
+		ETAMonth:    int(b.uint(274, 4)),
+		ETADay:      int(b.uint(278, 5)),
+		ETAHour:     int(b.uint(283, 5)),
+		ETAMinute:   int(b.uint(288, 6)),
+		DraughtM:    float64(b.uint(294, 8)) / 10,
+		Destination: b.string(302, 20),
+	}, nil
+}

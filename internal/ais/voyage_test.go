@@ -1,0 +1,137 @@
+package ais
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleVoyage() *StaticVoyage {
+	return &StaticVoyage{
+		MMSI:        237123456,
+		IMO:         9074729,
+		CallSign:    "SV2BZ",
+		ShipName:    "BLUE STAR PAROS",
+		ShipType:    60, // passenger
+		DimToBowM:   90,
+		DimToSternM: 35,
+		DraughtM:    5.6,
+		ETAMonth:    6, ETADay: 2, ETAHour: 14, ETAMinute: 30,
+		Destination: "PIRAEUS",
+	}
+}
+
+func TestStaticVoyageSpansTwoSentences(t *testing.T) {
+	// 424 bits = 71 armored characters: the one supported message that
+	// genuinely exercises multi-sentence AIVDM.
+	lines := EncodeVoyageSentences(sampleVoyage(), "A", 2)
+	if len(lines) != 2 {
+		t.Fatalf("type 5 encoded to %d sentences, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "!AIVDM,2,1,2,") {
+		t.Errorf("fragment 1 header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "!AIVDM,2,2,2,") {
+		t.Errorf("fragment 2 header: %s", lines[1])
+	}
+}
+
+func TestStaticVoyageRoundTrip(t *testing.T) {
+	want := sampleVoyage()
+	asm := NewAssembler()
+	var msg any
+	var err error
+	for _, line := range EncodeVoyageSentences(want, "B", 7) {
+		s, perr := ParseSentence(line)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		msg, err = asm.Push(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := msg.(*StaticVoyage)
+	if !ok {
+		t.Fatalf("decoded %T, want *StaticVoyage", msg)
+	}
+	if got.MMSI != want.MMSI || got.IMO != want.IMO ||
+		got.CallSign != want.CallSign || got.ShipName != want.ShipName ||
+		got.ShipType != want.ShipType || got.Destination != want.Destination {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.DraughtM != want.DraughtM {
+		t.Errorf("draught = %v, want %v", got.DraughtM, want.DraughtM)
+	}
+	if got.ETAMonth != 6 || got.ETADay != 2 || got.ETAHour != 14 || got.ETAMinute != 30 {
+		t.Errorf("ETA = %d-%d %d:%d", got.ETAMonth, got.ETADay, got.ETAHour, got.ETAMinute)
+	}
+	if got.DimToBowM != 90 || got.DimToSternM != 35 {
+		t.Errorf("dimensions = %d/%d", got.DimToBowM, got.DimToSternM)
+	}
+}
+
+func TestStaticVoyageTruncatedRejected(t *testing.T) {
+	b := newBitBuffer(200)
+	b.setUint(0, 6, TypeStaticVoyage)
+	payload, fill := b.armor()
+	_, err := decodeArmored(payload, fill)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestScannerCollectsVoyageReports(t *testing.T) {
+	// A position fix interleaved with a two-fragment voyage report: the
+	// scanner emits the fix and records the voyage particulars.
+	pos := &PositionReport{Type: 1, MMSI: 237123456, Lon: 23.7, Lat: 37.9}
+	posLines, err := EncodeSentences(pos, "A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voyLines := EncodeVoyageSentences(sampleVoyage(), "A", 3)
+
+	input := "1243814400 " + voyLines[0] + "\n" +
+		"1243814400 " + voyLines[1] + "\n" +
+		"1243814410 " + posLines[0] + "\n"
+	sc := NewScanner(strings.NewReader(input))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("fixes = %d, want 1", n)
+	}
+	if sc.Stats().VoyageReports != 1 {
+		t.Fatalf("voyage reports = %d, want 1", sc.Stats().VoyageReports)
+	}
+	v, ok := sc.Voyages()[237123456]
+	if !ok {
+		t.Fatal("voyage not recorded for the vessel")
+	}
+	if v.Destination != "PIRAEUS" || v.ShipName != "BLUE STAR PAROS" {
+		t.Errorf("voyage = %+v", v)
+	}
+	if v.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestScannerVoyageOverwrittenByNewer(t *testing.T) {
+	first := sampleVoyage()
+	second := sampleVoyage()
+	second.Destination = "RHODES" // crew updated the plan
+	var sb strings.Builder
+	for _, line := range EncodeVoyageSentences(first, "A", 1) {
+		sb.WriteString("1243814400 " + line + "\n")
+	}
+	for _, line := range EncodeVoyageSentences(second, "A", 2) {
+		sb.WriteString("1243818000 " + line + "\n")
+	}
+	sc := NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+	}
+	if got := sc.Voyages()[237123456].Destination; got != "RHODES" {
+		t.Errorf("destination = %q, want the newer report", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package collision implements the online collision detection the
+// paper cites as a beneficiary of trajectory compression (§1:
+// "reducing latency of online collision detection") and the purpose
+// AIS exists for ("AIS is intended to assist vessel crews in collision
+// avoidance"). The detector keeps one kinematic state per vessel and,
+// on demand, finds pairs on conflicting courses via closest point of
+// approach (CPA): time-to-CPA and distance-at-CPA computed from the
+// current velocity vectors, with a spatial hash so only plausibly
+// reachable pairs are examined.
+package collision
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+// Params configures the detector.
+type Params struct {
+	// DistanceMeters is the DCPA threshold: pairs predicted to pass
+	// closer than this raise an encounter (default 500 m).
+	DistanceMeters float64
+	// Horizon bounds the look-ahead: encounters with TCPA beyond it are
+	// ignored (default 20 minutes).
+	Horizon time.Duration
+	// MaxSpeedKnots bounds plausible vessel speed for the spatial
+	// pruning radius (default 40 knots).
+	MaxSpeedKnots float64
+	// Stale drops vessels not heard from for this long (default 15
+	// minutes): their projected positions are meaningless.
+	Stale time.Duration
+	// MinSpeedKnots: at least one vessel of a pair must move this fast
+	// (default 3 knots) — moored neighbors sharing a quay are not
+	// collision traffic.
+	MinSpeedKnots float64
+	// MinClosingMS is the minimum relative speed in m/s (default 0.5):
+	// pairs in near-identical motion (a loitering group, ships berthed
+	// side by side) never alarm.
+	MinClosingMS float64
+}
+
+// withDefaults fills unset fields.
+func (p Params) withDefaults() Params {
+	if p.DistanceMeters <= 0 {
+		p.DistanceMeters = 500
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 20 * time.Minute
+	}
+	if p.MaxSpeedKnots <= 0 {
+		p.MaxSpeedKnots = 40
+	}
+	if p.Stale <= 0 {
+		p.Stale = 15 * time.Minute
+	}
+	if p.MinSpeedKnots <= 0 {
+		p.MinSpeedKnots = 3
+	}
+	if p.MinClosingMS <= 0 {
+		p.MinClosingMS = 0.5
+	}
+	return p
+}
+
+// Encounter is one predicted close approach between two vessels.
+type Encounter struct {
+	A, B  uint32        // MMSIs, A < B
+	TCPA  time.Duration // time to closest point of approach from query time
+	DCPA  float64       // distance at CPA in meters
+	Where geo.Point     // midpoint of the two projected CPA positions
+}
+
+// Detector tracks vessel kinematics and answers encounter queries.
+type Detector struct {
+	params  Params
+	vessels map[uint32]*kinematics
+}
+
+type kinematics struct {
+	pos      geo.Point
+	at       time.Time
+	vel      geo.Velocity
+	haveVel  bool
+	prev     ais.Fix
+	havePrev bool
+}
+
+// New returns an empty detector.
+func New(params Params) *Detector {
+	return &Detector{
+		params:  params.withDefaults(),
+		vessels: make(map[uint32]*kinematics),
+	}
+}
+
+// Observe updates a vessel's kinematics with a cleaned fix.
+func (d *Detector) Observe(f ais.Fix) {
+	k := d.vessels[f.MMSI]
+	if k == nil {
+		k = &kinematics{}
+		d.vessels[f.MMSI] = k
+	}
+	if k.havePrev && f.Time.After(k.prev.Time) {
+		if v, ok := geo.VelocityBetween(k.prev.Pos, k.prev.Time, f.Pos, f.Time); ok {
+			k.vel = v
+			k.haveVel = true
+		}
+	}
+	k.prev = f
+	k.havePrev = true
+	k.pos = f.Pos
+	k.at = f.Time
+}
+
+// VesselCount returns the number of vessels with kinematic state.
+func (d *Detector) VesselCount() int { return len(d.vessels) }
+
+// planar is a vessel state projected onto a local plane: meters east/
+// north of a reference point, with velocity in meters/second.
+type planar struct {
+	mmsi    uint32
+	x, y    float64
+	vx, vy  float64
+	speedKn float64
+}
+
+// Encounters returns every pair predicted to pass within the DCPA
+// threshold inside the horizon, as of query time now, ordered by TCPA.
+// Vessels silent beyond Stale are excluded.
+func (d *Detector) Encounters(now time.Time) []Encounter {
+	p := d.params
+	// Project live vessels to a shared local plane; dead-reckon each to
+	// the query time so projections start from a common instant.
+	var ref geo.Point
+	var states []planar
+	first := true
+	for mmsi, k := range d.vessels {
+		if !k.haveVel || now.Sub(k.at) > p.Stale {
+			continue
+		}
+		if first {
+			ref = k.pos
+			first = false
+		}
+		ms := geo.KnotsToMetersPerSecond(k.vel.SpeedKnots)
+		brng := k.vel.HeadingDeg * math.Pi / 180
+		pos := geo.Destination(k.pos, k.vel.HeadingDeg, ms*now.Sub(k.at).Seconds())
+		x, y := planarOffset(ref, pos)
+		states = append(states, planar{
+			mmsi: mmsi,
+			x:    x, y: y,
+			vx: ms * math.Sin(brng), vy: ms * math.Cos(brng),
+			speedKn: k.vel.SpeedKnots,
+		})
+	}
+	// Spatial hash: two vessels can only meet within the horizon if they
+	// are currently within reach = 2·maxSpeed·horizon + threshold.
+	reach := 2*geo.KnotsToMetersPerSecond(p.MaxSpeedKnots)*p.Horizon.Seconds() + p.DistanceMeters
+	cells := make(map[[2]int][]int)
+	cellOf := func(x, y float64) [2]int {
+		return [2]int{int(math.Floor(x / reach)), int(math.Floor(y / reach))}
+	}
+	for i, s := range states {
+		c := cellOf(s.x, s.y)
+		cells[c] = append(cells[c], i)
+	}
+
+	var out []Encounter
+	seen := make(map[[2]uint32]bool)
+	for i, s := range states {
+		c := cellOf(s.x, s.y)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range cells[[2]int{c[0] + dx, c[1] + dy}] {
+					if j == i {
+						continue
+					}
+					o := states[j]
+					a, b := s.mmsi, o.mmsi
+					if a > b {
+						a, b = b, a
+					}
+					key := [2]uint32{a, b}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					if enc, ok := cpa(s, o, p); ok {
+						enc.A, enc.B = a, b
+						enc.Where = planarToGeo(ref, enc.Where.Lon, enc.Where.Lat)
+						out = append(out, enc)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TCPA != out[j].TCPA {
+			return out[i].TCPA < out[j].TCPA
+		}
+		return out[i].A < out[j].A
+	})
+	return out
+}
+
+// cpa computes the closest point of approach of two planar states. The
+// returned Encounter carries the CPA midpoint in plane coordinates in
+// Where (converted by the caller). ok is false when the pair never
+// comes within threshold inside the horizon.
+func cpa(a, b planar, p Params) (Encounter, bool) {
+	if a.speedKn < p.MinSpeedKnots && b.speedKn < p.MinSpeedKnots {
+		return Encounter{}, false // both effectively moored or adrift
+	}
+	dx, dy := b.x-a.x, b.y-a.y
+	dvx, dvy := b.vx-a.vx, b.vy-a.vy
+	relSq := dvx*dvx + dvy*dvy
+	if relSq < p.MinClosingMS*p.MinClosingMS {
+		return Encounter{}, false // near-identical motion: no closing
+	}
+
+	tcpa := -(dx*dvx + dy*dvy) / relSq
+	if tcpa < 0 {
+		tcpa = 0 // already diverging: closest approach is now
+	}
+	if tcpa > p.Horizon.Seconds() {
+		return Encounter{}, false
+	}
+	cx, cy := dx+dvx*tcpa, dy+dvy*tcpa
+	dcpa := math.Hypot(cx, cy)
+	if dcpa > p.DistanceMeters {
+		return Encounter{}, false
+	}
+	// CPA midpoint in plane coordinates, smuggled through Where.
+	ax, ay := a.x+a.vx*tcpa, a.y+a.vy*tcpa
+	bx, by := b.x+b.vx*tcpa, b.y+b.vy*tcpa
+	return Encounter{
+		TCPA:  time.Duration(tcpa * float64(time.Second)),
+		DCPA:  dcpa,
+		Where: geo.Point{Lon: (ax + bx) / 2, Lat: (ay + by) / 2},
+	}, true
+}
+
+// planarOffset returns p's offset from ref in meters east (x) and
+// north (y).
+func planarOffset(ref, p geo.Point) (x, y float64) {
+	const mPerDegLat = math.Pi * geo.EarthRadiusMeters / 180
+	y = (p.Lat - ref.Lat) * mPerDegLat
+	x = (p.Lon - ref.Lon) * mPerDegLat * math.Cos(ref.Lat*math.Pi/180)
+	return x, y
+}
+
+// planarToGeo converts plane meters back to coordinates.
+func planarToGeo(ref geo.Point, x, y float64) geo.Point {
+	const mPerDegLat = math.Pi * geo.EarthRadiusMeters / 180
+	return geo.Point{
+		Lon: ref.Lon + x/(mPerDegLat*math.Cos(ref.Lat*math.Pi/180)),
+		Lat: ref.Lat + y/mPerDegLat,
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fleetsim"
+	"repro/internal/geo"
+	"repro/internal/maritime"
+	"repro/internal/mod"
+)
+
+// AdaptWorld converts a simulator's static world into the inputs of the
+// surveillance system: the vessel registry with fishing designations
+// and drafts, the areas of interest (including watch areas around the
+// loitering rendezvous spots, standing in for the "potentially
+// suspicious areas" officials are familiar with — paper §4.1), and the
+// port polygons for trip segmentation.
+func AdaptWorld(sim *fleetsim.Simulator) (vessels []maritime.Vessel, areas []maritime.Area, ports []mod.PortArea) {
+	for _, v := range sim.Fleet() {
+		vessels = append(vessels, maritime.Vessel{
+			MMSI:    v.MMSI,
+			Fishing: v.Fishing,
+			DraftM:  v.DraftM,
+		})
+	}
+	for _, a := range sim.World().Areas {
+		areas = append(areas, maritime.Area{
+			ID:        a.ID,
+			Kind:      adaptKind(a.Kind),
+			Poly:      a.Poly,
+			MinDepthM: a.MinDepthM,
+		})
+	}
+	for i, spot := range sim.LoiterSpots() {
+		areas = append(areas, maritime.Area{
+			ID:   fmt.Sprintf("watch-%02d", i),
+			Kind: maritime.KindWatch,
+			Poly: squareAround(spot, 0.01),
+		})
+	}
+	for _, p := range sim.World().Ports {
+		ports = append(ports, mod.PortArea{Name: p.Name, Poly: p.Poly})
+	}
+	return vessels, areas, ports
+}
+
+// adaptKind maps the simulator's area taxonomy onto the recognizer's.
+func adaptKind(k fleetsim.AreaKind) maritime.AreaKind {
+	switch k {
+	case fleetsim.AreaProtected:
+		return maritime.KindProtected
+	case fleetsim.AreaForbiddenFishing:
+		return maritime.KindForbiddenFishing
+	default:
+		return maritime.KindShallow
+	}
+}
+
+// squareAround returns a square polygon of the given half-side (deg)
+// centered at c.
+func squareAround(c geo.Point, half float64) *geo.Polygon {
+	return geo.MustPolygon([]geo.Point{
+		{Lon: c.Lon - half, Lat: c.Lat - half},
+		{Lon: c.Lon + half, Lat: c.Lat - half},
+		{Lon: c.Lon + half, Lat: c.Lat + half},
+		{Lon: c.Lon - half, Lat: c.Lat + half},
+	})
+}

@@ -1,0 +1,318 @@
+// Package core assembles the complete maritime surveillance system of
+// the paper's Figure 1: the Data Scanner feeds a sliding window whose
+// slides drive the Mobility Tracker and Compressor; fresh critical
+// points go to complex event recognition (RTEC with the maritime CE
+// definitions); expired "delta" points go through the staging area into
+// trajectory reconstruction and loading in the moving-object store.
+// Per-slide timings of every stage are collected for the performance
+// experiments.
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/maritime"
+	"repro/internal/mod"
+	"repro/internal/rtec"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+// Config assembles the system configuration.
+type Config struct {
+	// Window is the sliding window driving both trajectory detection and
+	// CE recognition (ω and β).
+	Window stream.WindowSpec
+	// Tracker holds the mobility tracking parameters (paper Table 3).
+	Tracker tracker.Params
+	// Recognition configures the CE module; its Window defaults to the
+	// system window range.
+	Recognition maritime.Config
+	// Processors splits CE recognition geographically across this many
+	// parallel recognizers (the paper's §5.2 distributed setting: "One
+	// may further distribute CE recognition by dividing further the
+	// monitored area"). 0 or 1 runs a single recognizer.
+	Processors int
+	// DisableRecognition turns the CE module off, for experiments that
+	// time trajectory detection alone.
+	DisableRecognition bool
+	// DisableArchival turns staging/reconstruction/loading off, for
+	// experiments that time online processing alone.
+	DisableArchival bool
+}
+
+// Timings breaks one slide's processing cost into the stages of the
+// paper's Figure 10 plus CE recognition.
+type Timings struct {
+	Tracking       time.Duration // window update + trajectory event detection
+	Staging        time.Duration // delta points into the staging area
+	Reconstruction time.Duration // trip segmentation
+	Loading        time.Duration // inserting trips into the store
+	Recognition    time.Duration // RTEC query step
+}
+
+// Total returns the summed stage costs.
+func (t Timings) Total() time.Duration {
+	return t.Tracking + t.Staging + t.Reconstruction + t.Loading + t.Recognition
+}
+
+// SlideReport is the outcome of processing one window slide.
+type SlideReport struct {
+	Query          time.Time
+	FixesIn        int
+	CriticalPoints int
+	TripsCompleted int
+	Alerts         []maritime.Alert
+	Timings        Timings
+}
+
+// System is the assembled pipeline.
+type System struct {
+	cfg        Config
+	tracker    *tracker.Tracker
+	recognizer *maritime.Recognizer
+	factGen    *maritime.FactGenerator
+	store      *mod.MOD
+
+	// Partitioned recognition (Processors > 1): one recognizer per
+	// longitude band, fed the events of vessels inside its band.
+	partitions []*partition
+}
+
+// partition is one geographic slice of the monitored region.
+type partition struct {
+	rec   *maritime.Recognizer
+	areas []maritime.Area
+	loLon float64 // inclusive lower longitude bound (-Inf for first)
+	hiLon float64 // exclusive upper bound (+Inf for last)
+}
+
+// NewSystem wires the pipeline over the given static knowledge. vessels
+// and areas feed CE recognition; ports feed trip segmentation.
+func NewSystem(cfg Config, vessels []maritime.Vessel, areas []maritime.Area, ports []mod.PortArea) *System {
+	if cfg.Recognition.Window <= 0 {
+		cfg.Recognition.Window = cfg.Window.Range
+	}
+	s := &System{
+		cfg:     cfg,
+		tracker: tracker.New(cfg.Tracker, cfg.Window),
+		store:   mod.New(ports),
+	}
+	if !cfg.DisableRecognition {
+		if cfg.Processors > 1 {
+			s.buildPartitions(vessels, areas)
+		} else {
+			s.recognizer = maritime.NewRecognizer(cfg.Recognition, vessels, areas)
+		}
+		if cfg.Recognition.Mode == maritime.SpatialFacts {
+			s.factGen = maritime.NewFactGenerator(areas, closeMetersOf(cfg.Recognition))
+		}
+	}
+	return s
+}
+
+// buildPartitions splits the areas into Processors longitude bands of
+// roughly equal area count and builds one recognizer per band.
+func (s *System) buildPartitions(vessels []maritime.Vessel, areas []maritime.Area) {
+	n := s.cfg.Processors
+	sorted := append([]maritime.Area(nil), areas...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Poly.Centroid().Lon < sorted[j].Poly.Centroid().Lon
+	})
+	per := (len(sorted) + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	lo := math.Inf(-1)
+	for i := 0; i < len(sorted); i += per {
+		hi := i + per
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		band := sorted[i:hi]
+		upper := math.Inf(1)
+		if hi < len(sorted) {
+			// Split halfway between adjacent band centroids.
+			upper = (band[len(band)-1].Poly.Centroid().Lon +
+				sorted[hi].Poly.Centroid().Lon) / 2
+		}
+		s.partitions = append(s.partitions, &partition{
+			rec:   maritime.NewRecognizer(s.cfg.Recognition, vessels, band),
+			areas: band,
+			loLon: lo,
+			hiLon: upper,
+		})
+		lo = upper
+	}
+}
+
+// closeMetersOf resolves the effective close/3 threshold.
+func closeMetersOf(cfg maritime.Config) float64 {
+	if cfg.CloseMeters > 0 {
+		return cfg.CloseMeters
+	}
+	return 3000
+}
+
+// Tracker exposes the trajectory detection component.
+func (s *System) Tracker() *tracker.Tracker { return s.tracker }
+
+// Recognizer exposes the CE recognition component (nil when disabled).
+func (s *System) Recognizer() *maritime.Recognizer { return s.recognizer }
+
+// Store exposes the moving-object store.
+func (s *System) Store() *mod.MOD { return s.store }
+
+// ProcessBatch runs one window slide through the full pipeline and
+// reports what happened, with per-stage timings.
+func (s *System) ProcessBatch(b stream.Batch) SlideReport {
+	rep := SlideReport{Query: b.Query, FixesIn: len(b.Fixes)}
+
+	t := time.Now()
+	res := s.tracker.Slide(b)
+	rep.Timings.Tracking = time.Since(t)
+	rep.CriticalPoints = len(res.Fresh)
+
+	if !s.cfg.DisableArchival {
+		t = time.Now()
+		s.store.Stage(res.Delta)
+		rep.Timings.Staging = time.Since(t)
+
+		t = time.Now()
+		trips := s.store.Reconstruct()
+		rep.Timings.Reconstruction = time.Since(t)
+
+		t = time.Now()
+		s.store.Load(trips)
+		rep.Timings.Loading = time.Since(t)
+		rep.TripsCompleted = len(trips)
+	}
+
+	if s.recognizer != nil || len(s.partitions) > 0 {
+		events := maritime.MEStream(res.Fresh)
+		var facts []maritime.SpatialFact
+		if s.factGen != nil {
+			facts = s.factGen.Facts(events)
+		}
+		t = time.Now()
+		if s.recognizer != nil {
+			snap := s.recognizer.Advance(b.Query, events, facts)
+			rep.Alerts = snap.Alerts
+		} else {
+			rep.Alerts = s.advancePartitions(b.Query, events, facts)
+		}
+		rep.Timings.Recognition = time.Since(t)
+	}
+	return rep
+}
+
+// advancePartitions fans the slide's events out to the recognizer of
+// the band each vessel is in and runs all bands in parallel (the MEs
+// are "forwarded to the appropriate processor according to vessel
+// location", paper §5.2).
+func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []maritime.SpatialFact) []maritime.Alert {
+	n := len(s.partitions)
+	evByPart := make([][]rtec.Event, n)
+	for _, ev := range events {
+		evByPart[s.partitionOf(ev.Lon)] = append(evByPart[s.partitionOf(ev.Lon)], ev)
+	}
+	factByPart := make([][]maritime.SpatialFact, n)
+	if len(facts) > 0 {
+		owner := make(map[string]int)
+		for i, p := range s.partitions {
+			for _, a := range p.areas {
+				owner[a.ID] = i
+			}
+		}
+		for _, f := range facts {
+			if i, ok := owner[f.AreaID]; ok {
+				factByPart[i] = append(factByPart[i], f)
+			}
+		}
+	}
+	snaps := make([]maritime.Snapshot, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := range s.partitions {
+		go func(i int) {
+			defer wg.Done()
+			snaps[i] = s.partitions[i].rec.Advance(q, evByPart[i], factByPart[i])
+		}(i)
+	}
+	wg.Wait()
+	var alerts []maritime.Alert
+	for _, snap := range snaps {
+		alerts = append(alerts, snap.Alerts...)
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		if !alerts[i].Time.Equal(alerts[j].Time) {
+			return alerts[i].Time.Before(alerts[j].Time)
+		}
+		if alerts[i].CE != alerts[j].CE {
+			return alerts[i].CE < alerts[j].CE
+		}
+		return alerts[i].AreaID < alerts[j].AreaID
+	})
+	return alerts
+}
+
+// partitionOf returns the index of the band owning longitude lon.
+func (s *System) partitionOf(lon float64) int {
+	for i, p := range s.partitions {
+		if lon < p.hiLon {
+			return i
+		}
+	}
+	return len(s.partitions) - 1
+}
+
+// Drain stages whatever is left in the tracker's window into the store
+// and reconstructs, for end-of-stream statistics (the paper computes
+// Table 4 "after the input stream was exhausted"). It advances the
+// window far past the last query time so every synopsis expires.
+func (s *System) Drain(last time.Time) {
+	res := s.tracker.Slide(stream.Batch{Query: last.Add(10 * s.cfg.Window.Range)})
+	if s.cfg.DisableArchival {
+		return
+	}
+	s.store.Stage(res.Delta)
+	s.store.Load(s.store.Reconstruct())
+}
+
+// RunAll replays an entire batched stream through the system, returning
+// every slide report. It is the offline driver used by the examples and
+// the experiment harness.
+func (s *System) RunAll(batches interface{ Next() (stream.Batch, bool) }) []SlideReport {
+	var reports []SlideReport
+	var last time.Time
+	for {
+		b, ok := batches.Next()
+		if !ok {
+			break
+		}
+		reports = append(reports, s.ProcessBatch(b))
+		last = b.Query
+	}
+	if !last.IsZero() {
+		s.Drain(last)
+	}
+	return reports
+}
+
+// RecognizerIntervals returns the maximal intervals of a durative CE
+// for an area as of the last slide, or nil when recognition is off.
+func (s *System) RecognizerIntervals(ce, areaID string) rtec.IntervalList {
+	key := rtec.FluentKey{Fluent: ce, Entity: areaID, Value: rtec.True}
+	if s.recognizer != nil {
+		return s.recognizer.Engine().HoldsFor(key)
+	}
+	for _, p := range s.partitions {
+		if ivs := p.rec.Engine().HoldsFor(key); ivs != nil {
+			return ivs
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package expbench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mod"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+// Fig10Row is one bar group of the paper's Figure 10: the average
+// per-slide cost of the four trajectory maintenance phases for a
+// window configuration.
+type Fig10Row struct {
+	Window         time.Duration
+	Slide          time.Duration
+	Slides         int
+	Tracking       time.Duration
+	Staging        time.Duration
+	Reconstruction time.Duration
+	Loading        time.Duration
+}
+
+// Fig10 reproduces the trajectory maintenance breakdown for the
+// paper's three configurations: (ω=1h, β=10min), (ω=6h, β=1h),
+// (ω=24h, β=1h). The paper's shape: tracking dominates and grows with
+// the window size; staging, reconstruction, and loading stay small and
+// roughly flat because they handle only the drastically reduced
+// critical points.
+func Fig10(wl *Workload) []Fig10Row {
+	configs := []stream.WindowSpec{
+		{Range: time.Hour, Slide: 10 * time.Minute},
+		{Range: 6 * time.Hour, Slide: time.Hour},
+		{Range: 24 * time.Hour, Slide: time.Hour},
+	}
+	var rows []Fig10Row
+	for _, spec := range configs {
+		sys := core.NewSystem(core.Config{
+			Window:             spec,
+			Tracker:            tracker.DefaultParams(),
+			DisableRecognition: true, // Figure 10 times trajectory maintenance alone
+		}, wl.Vessels, wl.Areas, wl.Ports)
+		batcher := stream.NewBatcher(stream.NewSliceSource(wl.Fixes), spec.Slide)
+		row := Fig10Row{Window: spec.Range, Slide: spec.Slide}
+		var sum core.Timings
+		for {
+			b, ok := batcher.Next()
+			if !ok {
+				break
+			}
+			rep := sys.ProcessBatch(b)
+			sum.Tracking += rep.Timings.Tracking
+			sum.Staging += rep.Timings.Staging
+			sum.Reconstruction += rep.Timings.Reconstruction
+			sum.Loading += rep.Timings.Loading
+			row.Slides++
+		}
+		if row.Slides > 0 {
+			n := time.Duration(row.Slides)
+			row.Tracking = sum.Tracking / n
+			row.Staging = sum.Staging / n
+			row.Reconstruction = sum.Reconstruction / n
+			row.Loading = sum.Loading / n
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteFig10 renders the rows.
+func WriteFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Figure 10 — trajectory maintenance cost per window slide")
+	fmt.Fprintf(w, "%-20s %12s %12s %16s %12s\n",
+		"window", "tracking", "staging", "reconstruction", "loading")
+	for _, r := range rows {
+		fmt.Fprintf(w, "ω=%-8s β=%-7s %12s %12s %16s %12s\n",
+			r.Window, r.Slide,
+			r.Tracking.Round(time.Microsecond), r.Staging.Round(time.Microsecond),
+			r.Reconstruction.Round(time.Microsecond), r.Loading.Round(time.Microsecond))
+	}
+}
+
+// Table4 runs the full pipeline over the workload, exhausts the input
+// stream, and compiles the reconstructed-trajectory statistics of the
+// paper's Table 4.
+func Table4(wl *Workload) mod.Table4 {
+	spec := stream.WindowSpec{Range: 6 * time.Hour, Slide: time.Hour}
+	sys := core.NewSystem(core.Config{
+		Window:             spec,
+		Tracker:            tracker.DefaultParams(),
+		DisableRecognition: true,
+	}, wl.Vessels, wl.Areas, wl.Ports)
+	sys.RunAll(stream.NewBatcher(stream.NewSliceSource(wl.Fixes), spec.Slide))
+	return sys.Store().Table4Stats()
+}
+
+// WriteTable4 renders the statistics in the paper's layout.
+func WriteTable4(w io.Writer, t4 mod.Table4) {
+	fmt.Fprintln(w, "Table 4 — statistics from compressed trajectories")
+	t4.Write(w)
+}

@@ -1,0 +1,100 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/tracker"
+)
+
+// geoJSON structures (RFC 7946 subset).
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+type feature struct {
+	Type       string         `json:"type"`
+	Geometry   geometry       `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// WriteGeoJSON renders critical points as a GeoJSON FeatureCollection:
+// a LineString feature per vessel synopsis and a Point feature per
+// critical point, with the movement-event annotations as properties.
+func WriteGeoJSON(w io.Writer, points []tracker.CriticalPoint) error {
+	fc := featureCollection{Type: "FeatureCollection", Features: []feature{}}
+	byVessel := tracker.SplitByVessel(points)
+	mmsis := make([]uint32, 0, len(byVessel))
+	for mmsi := range byVessel {
+		mmsis = append(mmsis, mmsi)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+
+	for _, mmsi := range mmsis {
+		syn := byVessel[mmsi]
+		line := make([][2]float64, len(syn))
+		for i, cp := range syn {
+			line[i] = [2]float64{cp.Pos.Lon, cp.Pos.Lat}
+		}
+		fc.Features = append(fc.Features, feature{
+			Type:     "Feature",
+			Geometry: geometry{Type: "LineString", Coordinates: line},
+			Properties: map[string]any{
+				"mmsi": mmsi,
+				"kind": "trajectory",
+			},
+		})
+		for _, cp := range syn {
+			props := map[string]any{
+				"mmsi":  mmsi,
+				"kind":  "critical-point",
+				"event": cp.Type.String(),
+				"time":  cp.Time.UTC().Format(time.RFC3339),
+			}
+			if cp.SpeedKn > 0 {
+				props["speedKnots"] = cp.SpeedKn
+				props["headingDeg"] = cp.HeadingDeg
+			}
+			if cp.Duration > 0 {
+				props["durationSeconds"] = cp.Duration.Seconds()
+			}
+			fc.Features = append(fc.Features, feature{
+				Type:       "Feature",
+				Geometry:   geometry{Type: "Point", Coordinates: [2]float64{cp.Pos.Lon, cp.Pos.Lat}},
+				Properties: props,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("export: encoding GeoJSON: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders critical points as CSV rows:
+// mmsi,event,lon,lat,unixSeconds,speedKnots,headingDeg,durationSeconds.
+func WriteCSV(w io.Writer, points []tracker.CriticalPoint) error {
+	if _, err := io.WriteString(w, "mmsi,event,lon,lat,unix,speed_kn,heading_deg,duration_s\n"); err != nil {
+		return err
+	}
+	for _, cp := range points {
+		_, err := fmt.Fprintf(w, "%d,%s,%.6f,%.6f,%d,%.2f,%.1f,%.0f\n",
+			cp.MMSI, cp.Type, cp.Pos.Lon, cp.Pos.Lat, cp.Time.Unix(),
+			cp.SpeedKn, cp.HeadingDeg, cp.Duration.Seconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package export implements the paper's Trajectory Exporter (§2): once
+// new trajectory events are detected per window slide, the annotated
+// critical points can be emitted and visualized on maps — as KML
+// polylines for trajectories and placemarks for vessel locations — or
+// exchanged as GeoJSON and CSV.
+package export
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/tracker"
+)
+
+// kml document structures (subset of OGC KML 2.2).
+type kmlRoot struct {
+	XMLName  xml.Name    `xml:"kml"`
+	Xmlns    string      `xml:"xmlns,attr"`
+	Document kmlDocument `xml:"Document"`
+}
+
+type kmlDocument struct {
+	Name       string         `xml:"name"`
+	Placemarks []kmlPlacemark `xml:"Placemark"`
+}
+
+type kmlPlacemark struct {
+	Name        string         `xml:"name"`
+	Description string         `xml:"description,omitempty"`
+	TimeStamp   *kmlTimeStamp  `xml:"TimeStamp,omitempty"`
+	Point       *kmlPoint      `xml:"Point,omitempty"`
+	LineString  *kmlLineString `xml:"LineString,omitempty"`
+}
+
+type kmlTimeStamp struct {
+	When string `xml:"when"`
+}
+
+type kmlPoint struct {
+	Coordinates string `xml:"coordinates"`
+}
+
+type kmlLineString struct {
+	Tessellate  int    `xml:"tessellate"`
+	Coordinates string `xml:"coordinates"`
+}
+
+// WriteKML renders the critical points of one or more vessels as a KML
+// document: one polyline per vessel trajectory synopsis plus one
+// placemark per critical point.
+func WriteKML(w io.Writer, name string, points []tracker.CriticalPoint) error {
+	doc := kmlRoot{
+		Xmlns:    "http://www.opengis.net/kml/2.2",
+		Document: kmlDocument{Name: name},
+	}
+	byVessel := tracker.SplitByVessel(points)
+	mmsis := make([]uint32, 0, len(byVessel))
+	for mmsi := range byVessel {
+		mmsis = append(mmsis, mmsi)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+
+	for _, mmsi := range mmsis {
+		syn := byVessel[mmsi]
+		var coords strings.Builder
+		for _, cp := range syn {
+			fmt.Fprintf(&coords, "%.6f,%.6f,0 ", cp.Pos.Lon, cp.Pos.Lat)
+		}
+		doc.Document.Placemarks = append(doc.Document.Placemarks, kmlPlacemark{
+			Name: fmt.Sprintf("trajectory %d", mmsi),
+			LineString: &kmlLineString{
+				Tessellate:  1,
+				Coordinates: strings.TrimSpace(coords.String()),
+			},
+		})
+		for _, cp := range syn {
+			doc.Document.Placemarks = append(doc.Document.Placemarks, kmlPlacemark{
+				Name:        fmt.Sprintf("%d %s", mmsi, cp.Type),
+				Description: describe(cp),
+				TimeStamp:   &kmlTimeStamp{When: cp.Time.UTC().Format(time.RFC3339)},
+				Point: &kmlPoint{
+					Coordinates: fmt.Sprintf("%.6f,%.6f,0", cp.Pos.Lon, cp.Pos.Lat),
+				},
+			})
+		}
+	}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("export: encoding KML: %w", err)
+	}
+	return enc.Close()
+}
+
+// describe renders the annotation line shown in placemark balloons.
+func describe(cp tracker.CriticalPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "event=%s", cp.Type)
+	if cp.SpeedKn > 0 {
+		fmt.Fprintf(&b, " speed=%.1fkn heading=%.0f°", cp.SpeedKn, cp.HeadingDeg)
+	}
+	if cp.Duration > 0 {
+		fmt.Fprintf(&b, " duration=%s", cp.Duration)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/maritime"
+	"repro/internal/mod"
+)
+
+// WriteWorldGeoJSON renders the static geography — the areas of
+// interest and the port polygons — as a GeoJSON FeatureCollection, so
+// the map display the paper's control centers use (§2, Trajectory
+// Exporter) can draw the context the alerts refer to.
+func WriteWorldGeoJSON(w io.Writer, areas []maritime.Area, ports []mod.PortArea) error {
+	fc := featureCollection{Type: "FeatureCollection", Features: []feature{}}
+	for _, a := range areas {
+		fc.Features = append(fc.Features, polygonFeature(a.Poly.Vertices(), map[string]any{
+			"kind":      a.Kind.String(),
+			"id":        a.ID,
+			"minDepthM": a.MinDepthM,
+		}))
+	}
+	for _, p := range ports {
+		fc.Features = append(fc.Features, polygonFeature(p.Poly.Vertices(), map[string]any{
+			"kind": "port",
+			"id":   p.Name,
+		}))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("export: encoding world GeoJSON: %w", err)
+	}
+	return nil
+}
+
+// polygonFeature closes the ring (GeoJSON requires first == last) and
+// wraps it as a Feature.
+func polygonFeature(ring []geo.Point, props map[string]any) feature {
+	coords := make([][2]float64, 0, len(ring)+1)
+	for _, v := range ring {
+		coords = append(coords, [2]float64{v.Lon, v.Lat})
+	}
+	if len(coords) > 0 {
+		coords = append(coords, coords[0])
+	}
+	return feature{
+		Type:       "Feature",
+		Geometry:   geometry{Type: "Polygon", Coordinates: [][][2]float64{coords}},
+		Properties: props,
+	}
+}
+
+// WriteAlertsGeoJSON renders recognized complex events as point
+// features (located at their area's centroid), for overlay on the
+// world layer.
+func WriteAlertsGeoJSON(w io.Writer, alerts []maritime.Alert, areas []maritime.Area) error {
+	byID := make(map[string]maritime.Area, len(areas))
+	for _, a := range areas {
+		byID[a.ID] = a
+	}
+	fc := featureCollection{Type: "FeatureCollection", Features: []feature{}}
+	for _, al := range alerts {
+		a, ok := byID[al.AreaID]
+		if !ok {
+			continue
+		}
+		c := a.Poly.Centroid()
+		fc.Features = append(fc.Features, feature{
+			Type:     "Feature",
+			Geometry: geometry{Type: "Point", Coordinates: [2]float64{c.Lon, c.Lat}},
+			Properties: map[string]any{
+				"kind": "alert",
+				"ce":   al.CE,
+				"area": al.AreaID,
+				"time": al.Time.UTC().Format(time.RFC3339),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("export: encoding alerts GeoJSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package feed provides the live AIS feed integration the paper plans
+// for its deployment (§7: "we soon expect to be given access to live
+// AIS feeds from all vessels across the Aegean Sea"): a TCP server that
+// replays a positional stream as timestamped NMEA AIVDM lines at a
+// configurable time acceleration, and a client that connects to such a
+// feed and exposes it as a FixSource for the surveillance pipeline.
+package feed
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ais"
+)
+
+// Server replays a fix stream to every connected client, paced by the
+// original timestamps divided by Speedup (Speedup 0 or ≥ 1e6 replays
+// as fast as the sockets drain).
+type Server struct {
+	Fixes   []ais.Fix
+	Speedup float64
+	// Logf receives connection lifecycle messages; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	served   int
+}
+
+// Serve listens on addr ("host:port", port 0 picks a free one) and
+// streams to each client until ctx is cancelled. It returns the bound
+// address on a channel-free API: call Addr after Serve has started, or
+// use ListenAndServe for the common case.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // clean shutdown
+			}
+			return fmt.Errorf("feed: accept: %w", err)
+		}
+		s.logf("client %s connected", conn.RemoteAddr())
+		go s.stream(ctx, conn)
+	}
+}
+
+// ListenAndServe binds addr and serves until ctx is cancelled. The
+// bound address is reported through addrCh (buffered, length 1) before
+// the first Accept.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, addrCh chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("feed: listen: %w", err)
+	}
+	if addrCh != nil {
+		addrCh <- ln.Addr()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// ClientsServed returns how many client connections completed.
+func (s *Server) ClientsServed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// stream writes the fix stream to one client.
+func (s *Server) stream(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+	}()
+	w := bufio.NewWriter(conn)
+	var streamStart time.Time
+	var wallStart time.Time
+	for i, f := range s.Fixes {
+		if ctx.Err() != nil {
+			return
+		}
+		if s.Speedup > 0 && s.Speedup < 1e6 {
+			if i == 0 {
+				streamStart = f.Time
+				wallStart = time.Now()
+			} else {
+				due := wallStart.Add(time.Duration(float64(f.Time.Sub(streamStart)) / s.Speedup))
+				if d := time.Until(due); d > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(d):
+					}
+				}
+			}
+		}
+		report := &ais.PositionReport{
+			Type: ais.TypePositionA, MMSI: f.MMSI,
+			Lon: f.Pos.Lon, Lat: f.Pos.Lat,
+			UTCSecond: f.Time.Second(),
+		}
+		lines, err := ais.EncodeSentences(report, "A", i)
+		if err != nil {
+			s.logf("encode: %v", err)
+			continue
+		}
+		for _, line := range lines {
+			if _, err := fmt.Fprintf(w, "%d %s\n", f.Time.Unix(), line); err != nil {
+				s.logf("client %s dropped: %v", conn.RemoteAddr(), err)
+				return
+			}
+		}
+		// Flush per fix so paced clients see data promptly.
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+	s.logf("client %s finished (%d fixes)", conn.RemoteAddr(), len(s.Fixes))
+}
+
+// Client consumes a live feed as a FixSource: it dials the feed address
+// and scans cleaned fixes off the wire. Close when done.
+type Client struct {
+	conn    net.Conn
+	scanner *ais.Scanner
+}
+
+// Dial connects to a feed server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("feed: dial: %w", err)
+	}
+	return &Client{conn: conn, scanner: ais.NewScanner(conn)}, nil
+}
+
+// NewClient wraps an existing connection (e.g. one end of net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, scanner: ais.NewScanner(conn)}
+}
+
+// Scan advances to the next fix from the wire.
+func (c *Client) Scan() bool { return c.scanner.Scan() }
+
+// Fix returns the current fix.
+func (c *Client) Fix() ais.Fix { return c.scanner.Fix() }
+
+// Err returns the first transport or scan error, filtering the EOF of
+// a finished feed.
+func (c *Client) Err() error {
+	err := c.scanner.Err()
+	if err == io.EOF {
+		return nil
+	}
+	return err
+}
+
+// Stats exposes the underlying scanner's drop counters.
+func (c *Client) Stats() ais.ScannerStats { return c.scanner.Stats() }
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Relay pumps a client's fixes into a callback until the feed ends or
+// ctx is cancelled, a convenience for live pipelines.
+func Relay(ctx context.Context, c *Client, fn func(ais.Fix)) error {
+	done := make(chan struct{})
+	var scanErr error
+	go func() {
+		defer close(done)
+		for c.Scan() {
+			fn(c.Fix())
+		}
+		scanErr = c.Err()
+	}()
+	select {
+	case <-ctx.Done():
+		c.Close()
+		<-done
+		return ctx.Err()
+	case <-done:
+		return scanErr
+	}
+}

@@ -1,0 +1,188 @@
+package feed
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/stream"
+)
+
+var t0 = time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testFixes(n int) []ais.Fix {
+	fixes := make([]ais.Fix, n)
+	pos := geo.Point{Lon: 24, Lat: 37}
+	for i := 0; i < n; i++ {
+		pos = geo.Destination(pos, 90, 300)
+		fixes[i] = ais.Fix{
+			MMSI: 237000000 + uint32(i%3),
+			Pos:  pos,
+			Time: t0.Add(time.Duration(i) * time.Minute),
+		}
+	}
+	return fixes
+}
+
+// startServer runs a server over a loopback listener and returns the
+// server, its address, and a shutdown func.
+func startServer(t *testing.T, fixes []ais.Fix, speedup float64) (*Server, string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &Server{Fixes: fixes, Speedup: speedup, Logf: t.Logf}
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(ctx, "127.0.0.1:0", addrCh) }()
+	select {
+	case addr := <-addrCh:
+		return srv, addr.String(), func() {
+			cancel()
+			if err := <-errCh; err != nil {
+				t.Errorf("server: %v", err)
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("server failed to start: %v", err)
+		return nil, "", nil
+	}
+}
+
+func TestFeedRoundTrip(t *testing.T) {
+	fixes := testFixes(50)
+	srv, addr, shutdown := startServer(t, fixes, 0) // replay at full speed
+	defer shutdown()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := stream.Collect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fixes) {
+		t.Fatalf("received %d fixes, want %d", len(got), len(fixes))
+	}
+	// The server has finished streaming (the client read to EOF); it
+	// accounts the completed connection shortly after.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ClientsServed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.ClientsServed() != 1 {
+		t.Errorf("ClientsServed = %d, want 1", srv.ClientsServed())
+	}
+	for i := range got {
+		if got[i].MMSI != fixes[i].MMSI {
+			t.Fatalf("fix %d MMSI = %d, want %d", i, got[i].MMSI, fixes[i].MMSI)
+		}
+		if !got[i].Time.Equal(fixes[i].Time) {
+			t.Fatalf("fix %d time drifted", i)
+		}
+		// AIS position resolution is 1/10000 arc-minute (~0.2 m).
+		if d := geo.Haversine(got[i].Pos, fixes[i].Pos); d > 0.5 {
+			t.Fatalf("fix %d position drifted %.2f m over the wire", i, d)
+		}
+	}
+	if c.Stats().Dropped() != 0 {
+		t.Errorf("clean feed dropped lines: %+v", c.Stats())
+	}
+}
+
+func TestFeedServesMultipleClients(t *testing.T) {
+	fixes := testFixes(30)
+	_, addr, shutdown := startServer(t, fixes, 0)
+	defer shutdown()
+
+	results := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				results <- -1
+				return
+			}
+			defer c.Close()
+			got, err := stream.Collect(c)
+			if err != nil {
+				results <- -1
+				return
+			}
+			results <- len(got)
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if n := <-results; n != len(fixes) {
+			t.Fatalf("client received %d fixes, want %d", n, len(fixes))
+		}
+	}
+}
+
+func TestFeedPacing(t *testing.T) {
+	// 10 fixes one minute apart at 1200× speedup: the replay should take
+	// roughly 9*60/1200 = 450 ms of wall time.
+	fixes := testFixes(10)
+	_, addr, shutdown := startServer(t, fixes, 1200)
+	defer shutdown()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	got, err := stream.Collect(c)
+	elapsed := time.Since(start)
+	if err != nil || len(got) != len(fixes) {
+		t.Fatalf("collect: %d fixes, err %v", len(got), err)
+	}
+	if elapsed < 300*time.Millisecond {
+		t.Errorf("paced replay finished in %v, expected ≥ 300ms", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("paced replay took %v, pacing badly off", elapsed)
+	}
+}
+
+func TestRelayCancellation(t *testing.T) {
+	// An unpaced infinite-ish feed: cancel mid-stream.
+	fixes := testFixes(5000)
+	_, addr, shutdown := startServer(t, fixes, 5) // slow replay
+	defer shutdown()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	n := 0
+	err = Relay(ctx, c, func(ais.Fix) { n++ })
+	if err != context.DeadlineExceeded {
+		t.Errorf("Relay err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestClientOverPipe(t *testing.T) {
+	// NewClient works over any net.Conn; exercise it with net.Pipe.
+	server, client := net.Pipe()
+	go func() {
+		defer server.Close()
+		r := &ais.PositionReport{Type: 1, MMSI: 237000009, Lon: 24.5, Lat: 37.5}
+		lines, _ := ais.EncodeSentences(r, "A", 0)
+		server.Write([]byte("1243814400 " + lines[0] + "\n"))
+	}()
+	c := NewClient(client)
+	defer c.Close()
+	if !c.Scan() {
+		t.Fatal("no fix over pipe")
+	}
+	if c.Fix().MMSI != 237000009 {
+		t.Errorf("MMSI = %d", c.Fix().MMSI)
+	}
+}

@@ -1,0 +1,182 @@
+package fleetsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// leg is one piecewise-linear trajectory segment: the vessel moves from
+// From at Start to To at End with constant velocity (stationary when
+// From == To).
+type leg struct {
+	From, To   geo.Point
+	Start, End time.Time
+}
+
+// timespan is a closed interval used for transmitter silences and
+// presence windows.
+type timespan struct {
+	Start, End time.Time
+}
+
+// contains reports whether t falls within the span.
+func (s timespan) contains(t time.Time) bool {
+	return !t.Before(s.Start) && !t.After(s.End)
+}
+
+// itinerary is a vessel's full scripted trajectory: contiguous legs,
+// transmitter silences, and the presence window during which the vessel
+// is inside the monitored region and reporting at all.
+type itinerary struct {
+	legs     []leg
+	silences []timespan
+	present  timespan
+}
+
+// pos returns the scripted position at time t (clamped to the itinerary
+// extent).
+func (it *itinerary) pos(t time.Time) geo.Point {
+	legs := it.legs
+	if len(legs) == 0 {
+		return geo.Point{}
+	}
+	if !t.After(legs[0].Start) {
+		return legs[0].From
+	}
+	if !t.Before(legs[len(legs)-1].End) {
+		return legs[len(legs)-1].To
+	}
+	// Binary search for the leg containing t.
+	i := sort.Search(len(legs), func(i int) bool { return !legs[i].End.Before(t) })
+	l := legs[i]
+	span := l.End.Sub(l.Start).Seconds()
+	if span <= 0 {
+		return l.From
+	}
+	f := t.Sub(l.Start).Seconds() / span
+	return geo.Interpolate(l.From, l.To, f)
+}
+
+// end returns the time at which the itinerary's last leg ends.
+func (it *itinerary) endTime() time.Time {
+	if len(it.legs) == 0 {
+		return time.Time{}
+	}
+	return it.legs[len(it.legs)-1].End
+}
+
+// itinBuilder assembles an itinerary incrementally.
+type itinBuilder struct {
+	it  itinerary
+	t   time.Time
+	pos geo.Point
+}
+
+// newItinBuilder starts an itinerary at the given position and time.
+func newItinBuilder(start time.Time, pos geo.Point) *itinBuilder {
+	b := &itinBuilder{t: start, pos: pos}
+	b.it.present = timespan{Start: start, End: start.Add(1000 * time.Hour)}
+	return b
+}
+
+// dwell holds position for d.
+func (b *itinBuilder) dwell(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	b.it.legs = append(b.it.legs, leg{From: b.pos, To: b.pos, Start: b.t, End: b.t.Add(d)})
+	b.t = b.t.Add(d)
+}
+
+// sailTo adds one straight leg to p at the given speed.
+func (b *itinBuilder) sailTo(p geo.Point, kn float64) {
+	dist := geo.Haversine(b.pos, p)
+	if dist < 1 { // already there
+		return
+	}
+	if kn <= 0 {
+		kn = 1
+	}
+	dur := time.Duration(dist / geo.KnotsToMetersPerSecond(kn) * float64(time.Second))
+	b.it.legs = append(b.it.legs, leg{From: b.pos, To: p, Start: b.t, End: b.t.Add(dur)})
+	b.t = b.t.Add(dur)
+	b.pos = p
+}
+
+// cruiseTo sails to p with a slow departure ramp, a cruise along a
+// dogleg route, and a slow arrival ramp. Ships "are expected to move
+// along almost straight, predictable paths" (paper §1): the legs
+// between waypoints are perfectly straight, and the course changes at
+// waypoints are crisp — turn angles of roughly 16°–50°, the channel
+// and cape roundings of real routes that the tracker's turn events
+// capture.
+func (b *itinBuilder) cruiseTo(p geo.Point, cruiseKn float64, nWaypoints int, rng *rand.Rand) {
+	const rampKn = 4.0
+	total := geo.Haversine(b.pos, p)
+	if total < 500 {
+		b.sailTo(p, rampKn)
+		return
+	}
+	// Departure ramp over the first ~800 m.
+	ramp := 800.0
+	if ramp > total/4 {
+		ramp = total / 4
+	}
+	brng := geo.Bearing(b.pos, p)
+	b.sailTo(geo.Destination(b.pos, brng, ramp), rampKn)
+
+	// Dogleg waypoints alternate left and right of the direct line; the
+	// lateral offset is sized so the course change at each waypoint is a
+	// sharp, detectable turn rather than a wide shallow arc.
+	start := b.pos
+	remaining := geo.Haversine(start, p)
+	side := 1.0
+	if rng.Float64() < 0.5 {
+		side = -1
+	}
+	perp := geo.Bearing(start, p) + 90
+	for i := 1; i <= nWaypoints; i++ {
+		f := float64(i) / float64(nWaypoints+1)
+		on := geo.Interpolate(start, p, f)
+		seg := remaining / float64(nWaypoints+1)
+		// Offset sized so the course change at the waypoint is at least
+		// turnDeg: a zero-lateral neighbor yields exactly turnDeg, an
+		// opposite-lateral neighbor a sharper turn.
+		turnDeg := 22 + rng.Float64()*20
+		lateral := side * seg * math.Tan(turnDeg/2*math.Pi/180)
+		b.sailTo(geo.Destination(on, perp, lateral), cruiseKn)
+		side = -side
+	}
+	// Minor course adjustments on the approach: short doglegs of
+	// 10°–20°, the harbor-entry manoeuvres whose retention depends on
+	// the turn threshold Δθ (sweeping Δθ past them trades compression
+	// for bounded extra error, the paper's Figures 8–9 sensitivity).
+	if geo.Haversine(b.pos, p) > 15000 {
+		toward := geo.Bearing(b.pos, p)
+		for _, back := range []float64{6000, 3000} {
+			on := geo.Destination(p, toward+180, back)
+			minor := 10 + rng.Float64()*10
+			lateral := side * 3000 * math.Tan(minor/2*math.Pi/180)
+			b.sailTo(geo.Destination(on, toward+90, lateral), cruiseKn)
+			side = -side
+		}
+	}
+	// Cruise to the edge of the arrival ramp, then creep in.
+	arr := 800.0
+	if arr > geo.Haversine(b.pos, p)/2 {
+		arr = geo.Haversine(b.pos, p) / 2
+	}
+	edge := geo.Destination(p, geo.Bearing(p, b.pos), arr)
+	b.sailTo(edge, cruiseKn)
+	b.sailTo(p, rampKn)
+}
+
+// build finalizes the itinerary, optionally clipping presence.
+func (b *itinBuilder) build() *itinerary {
+	it := b.it
+	return &it
+}

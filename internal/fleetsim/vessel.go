@@ -1,0 +1,197 @@
+package fleetsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VesselType is the broad category of a simulated ship, matching the
+// static vessel characteristics the paper correlates with the stream
+// (type, tonnage, cargo; §1, §5.2).
+type VesselType int
+
+// Vessel types.
+const (
+	TypeCargo VesselType = iota
+	TypeTanker
+	TypePassenger
+	TypeFishing
+	TypeOther
+)
+
+// String names the vessel type.
+func (t VesselType) String() string {
+	switch t {
+	case TypeCargo:
+		return "cargo"
+	case TypeTanker:
+		return "tanker"
+	case TypePassenger:
+		return "passenger"
+	case TypeFishing:
+		return "fishing"
+	case TypeOther:
+		return "other"
+	default:
+		return fmt.Sprintf("VesselType(%d)", int(t))
+	}
+}
+
+// Behavior is the movement script class of a simulated vessel.
+type Behavior int
+
+// Behaviors. The mix mirrors the paper's description of the dataset:
+// "Not all vessels were actually on the move at all times, since a
+// considerable part (chiefly cargo ships) were just passing by ...
+// But most vessels were frequently sailing, e.g., passenger ships or
+// ferries to the islands" (§5).
+const (
+	// BehaviorDocked vessels stay moored, emitting low-rate reports with
+	// GPS drift only (the anchored vessels of the paper's Figure 2(a)).
+	BehaviorDocked Behavior = iota
+	// BehaviorFerry vessels run periodic itineraries between two ports.
+	BehaviorFerry
+	// BehaviorVoyager vessels sail multi-leg voyages between random ports
+	// with docked intervals in between.
+	BehaviorVoyager
+	// BehaviorPassing vessels cross the monitored region once and leave.
+	BehaviorPassing
+	// BehaviorFisher vessels transit to a fishing ground, trawl slowly,
+	// and return to port.
+	BehaviorFisher
+	// BehaviorLoiterer vessels join a scripted group stop in open water —
+	// ground truth for the suspicious-area CE (≥ 4 vessels stopped).
+	BehaviorLoiterer
+	// BehaviorSmuggler vessels route through a protected area and switch
+	// their transmitter off inside — ground truth for illegalShipping.
+	BehaviorSmuggler
+	// BehaviorShoalRunner vessels cut across a shallow area at low speed —
+	// ground truth for dangerousShipping.
+	BehaviorShoalRunner
+)
+
+// String names the behavior.
+func (b Behavior) String() string {
+	names := []string{"docked", "ferry", "voyager", "passing", "fisher",
+		"loiterer", "smuggler", "shoal-runner"}
+	if int(b) < len(names) {
+		return names[b]
+	}
+	return fmt.Sprintf("Behavior(%d)", int(b))
+}
+
+// VesselSpec is the static description of one simulated vessel: the
+// registry half of the paper's "static data expressing vessel
+// characteristics".
+type VesselSpec struct {
+	MMSI        uint32
+	Name        string
+	Type        VesselType
+	Behavior    Behavior
+	DraftM      float64 // draught in meters; compared against shallow areas
+	Fishing     bool    // designated fishing vessel (for illegalFishing)
+	CruiseKn    float64 // nominal cruise speed in knots
+	ReportEvery float64 // mean seconds between AIS reports while active
+}
+
+// mmsiBase puts simulated vessels in the Greek MID range (237…).
+const mmsiBase uint32 = 237_000_000
+
+// buildFleet creates n vessel specs with a deterministic behavior mix.
+// Scripted actors (loiterer groups, smugglers, shoal runners) are
+// allocated first so they exist even in small fleets; the remainder is
+// drawn from the background mix.
+func buildFleet(rng *rand.Rand, n int) []VesselSpec {
+	fleet := make([]VesselSpec, 0, n)
+	add := func(v VesselSpec) {
+		v.MMSI = mmsiBase + uint32(len(fleet))
+		v.Name = fmt.Sprintf("%s-%04d", v.Behavior, len(fleet))
+		fleet = append(fleet, v)
+	}
+
+	// Scripted actors: two loitering groups of five, three smugglers,
+	// three shoal runners, capped for tiny fleets.
+	scripted := 0
+	want := func(k int) int {
+		if scripted+k > n/2 { // never let scripted actors dominate
+			k = n/2 - scripted
+		}
+		if k < 0 {
+			k = 0
+		}
+		scripted += k
+		return k
+	}
+	for i, k := 0, want(10); i < k; i++ {
+		add(VesselSpec{
+			Type: TypeOther, Behavior: BehaviorLoiterer,
+			DraftM: 2 + rng.Float64()*3, CruiseKn: 9 + rng.Float64()*4,
+			ReportEvery: 90,
+		})
+	}
+	for i, k := 0, want(3); i < k; i++ {
+		add(VesselSpec{
+			Type: TypeTanker, Behavior: BehaviorSmuggler,
+			DraftM: 9 + rng.Float64()*6, CruiseKn: 11 + rng.Float64()*3,
+			ReportEvery: 80,
+		})
+	}
+	for i, k := 0, want(3); i < k; i++ {
+		add(VesselSpec{
+			Type: TypeCargo, Behavior: BehaviorShoalRunner,
+			DraftM: 7 + rng.Float64()*4, CruiseKn: 10 + rng.Float64()*4,
+			ReportEvery: 80,
+		})
+	}
+
+	// Background mix for the rest of the fleet.
+	for len(fleet) < n {
+		r := rng.Float64()
+		switch {
+		case r < 0.30:
+			add(VesselSpec{
+				Type: randType(rng), Behavior: BehaviorDocked,
+				DraftM: 2 + rng.Float64()*8, CruiseKn: 0,
+				// Kept below half the gap threshold even after the
+				// at-rest slowdown, like real anchored-vessel cadence.
+				ReportEvery: 150 + rng.Float64()*60,
+			})
+		case r < 0.55:
+			add(VesselSpec{
+				Type: TypePassenger, Behavior: BehaviorFerry,
+				DraftM: 4 + rng.Float64()*3, CruiseKn: 16 + rng.Float64()*8,
+				ReportEvery: 60 + rng.Float64()*60,
+			})
+		case r < 0.75:
+			add(VesselSpec{
+				Type: heavyType(rng), Behavior: BehaviorVoyager,
+				DraftM: 6 + rng.Float64()*8, CruiseKn: 11 + rng.Float64()*5,
+				ReportEvery: 90 + rng.Float64()*90,
+			})
+		case r < 0.87:
+			add(VesselSpec{
+				Type: heavyType(rng), Behavior: BehaviorPassing,
+				DraftM: 8 + rng.Float64()*8, CruiseKn: 13 + rng.Float64()*5,
+				ReportEvery: 100 + rng.Float64()*80,
+			})
+		default:
+			add(VesselSpec{
+				Type: TypeFishing, Behavior: BehaviorFisher, Fishing: true,
+				DraftM: 1.5 + rng.Float64()*2.5, CruiseKn: 8 + rng.Float64()*3,
+				ReportEvery: 90 + rng.Float64()*60,
+			})
+		}
+	}
+	return fleet
+}
+
+func randType(rng *rand.Rand) VesselType {
+	return []VesselType{TypeCargo, TypeTanker, TypePassenger, TypeOther}[rng.Intn(4)]
+}
+
+func heavyType(rng *rand.Rand) VesselType {
+	if rng.Float64() < 0.6 {
+		return TypeCargo
+	}
+	return TypeTanker
+}

@@ -1,0 +1,223 @@
+// Package fleetsim synthesizes an Aegean-like AIS workload that stands
+// in for the proprietary IMIS Hellas dataset used in the paper's
+// evaluation (23 GB of raw AIS from 6425 vessels over summer 2009).
+//
+// The simulator reproduces the statistical shape of that dataset rather
+// than its exact contents: a fleet with a realistic mix of docked ships,
+// ferries on periodic itineraries, cargo vessels on port-to-port
+// voyages, fishing boats loitering on fishing grounds, and vessels
+// merely passing through; per-vessel AIS reporting cadence averaging
+// one position per ~2 minutes of activity; GPS jitter, off-course
+// outliers, dropped messages, and communication gaps. It also plants
+// scripted actors — loitering groups, transmitter-off crossings of
+// protected areas, slow passes over shallows — so that complex event
+// recognition has ground truth to find. Everything is deterministic
+// given a seed.
+package fleetsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// AreaKind classifies the static areas of interest used by the complex
+// event definitions (paper §5.2: "35 polygons representing protected
+// areas, forbidden fishing areas, and areas with shallow waters").
+type AreaKind int
+
+// Area kinds.
+const (
+	AreaProtected AreaKind = iota
+	AreaForbiddenFishing
+	AreaShallow
+)
+
+// String names the kind.
+func (k AreaKind) String() string {
+	switch k {
+	case AreaProtected:
+		return "protected"
+	case AreaForbiddenFishing:
+		return "forbidden-fishing"
+	case AreaShallow:
+		return "shallow"
+	default:
+		return fmt.Sprintf("AreaKind(%d)", int(k))
+	}
+}
+
+// Area is one static area of interest.
+type Area struct {
+	ID        string
+	Kind      AreaKind
+	Poly      *geo.Polygon
+	MinDepthM float64 // water depth; meaningful for AreaShallow
+}
+
+// Port is a harbor with a name, an anchorage center, and a polygon used
+// by trip segmentation ("once a stop is located inside such a polygon,
+// the name of the respective port becomes an attribute of that point",
+// paper §3.2).
+type Port struct {
+	Name   string
+	Center geo.Point
+	Poly   *geo.Polygon
+}
+
+// World bundles the static geography: ports, areas of interest, and the
+// monitored bounding region.
+type World struct {
+	Ports  []Port
+	Areas  []Area
+	Bounds geo.BBox
+}
+
+// aegeanPorts lists the ports of the simulated region with approximate
+// real coordinates around the Greek seas.
+var aegeanPorts = []struct {
+	name     string
+	lon, lat float64
+}{
+	{"Piraeus", 23.6300, 37.9400},
+	{"Thessaloniki", 22.9200, 40.6200},
+	{"Heraklion", 25.1400, 35.3450},
+	{"Rhodes", 28.2300, 36.4500},
+	{"Mykonos", 25.3200, 37.4500},
+	{"Santorini", 25.4300, 36.3900},
+	{"Patras", 21.7300, 38.2500},
+	{"Volos", 22.9500, 39.3600},
+	{"Kavala", 24.4100, 40.9300},
+	{"Chios", 26.1400, 38.3700},
+	{"Mytilene", 26.5600, 39.1000},
+	{"Syros", 24.9400, 37.4400},
+	{"Kos", 27.2900, 36.8900},
+	{"Corfu", 19.9200, 39.6200},
+	{"Chania", 24.0200, 35.5200},
+	{"Kalamata", 22.1100, 37.0200},
+	{"Lavrio", 24.0560, 37.7100},
+	{"Rafina", 24.0090, 38.0220},
+	{"Paros", 25.1300, 37.0850},
+	{"Naxos", 25.3740, 37.1070},
+	{"Milos", 24.4450, 36.7250},
+	{"Samos", 26.9770, 37.7570},
+	{"Lemnos", 25.2400, 39.8700},
+	{"Igoumenitsa", 20.2650, 39.5030},
+}
+
+// portRadiusDeg is the half-side of each port polygon (~1.1 km).
+const portRadiusDeg = 0.01
+
+// NewWorld builds the simulated geography: the fixed port table plus
+// numAreas seeded areas of interest scattered over open water, split
+// roughly evenly among the three kinds. The paper's experiments use 35
+// areas.
+func NewWorld(seed int64, numAreas int) *World {
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{
+		Bounds: geo.BBox{MinLon: 19.5, MinLat: 34.0, MaxLon: 28.8, MaxLat: 41.2},
+	}
+	for _, p := range aegeanPorts {
+		c := geo.Point{Lon: p.lon, Lat: p.lat}
+		w.Ports = append(w.Ports, Port{
+			Name:   p.name,
+			Center: c,
+			Poly:   squarePoly(c, portRadiusDeg),
+		})
+	}
+	for i := 0; i < numAreas; i++ {
+		kind := AreaKind(i % 3)
+		c := w.randomOffshorePoint(rng)
+		half := 0.01 + rng.Float64()*0.05 // 1–6 km half-side
+		a := Area{
+			ID:   fmt.Sprintf("%s-%02d", kind, i),
+			Kind: kind,
+			Poly: irregularPoly(c, half, rng),
+		}
+		if kind == AreaShallow {
+			a.MinDepthM = 3 + rng.Float64()*7 // 3–10 m of water
+		}
+		w.Areas = append(w.Areas, a)
+	}
+	return w
+}
+
+// randomOffshorePoint draws a point in the bounds that is not too close
+// to any port, so areas of interest sit in open water.
+func (w *World) randomOffshorePoint(rng *rand.Rand) geo.Point {
+	for {
+		p := geo.Point{
+			Lon: w.Bounds.MinLon + rng.Float64()*(w.Bounds.MaxLon-w.Bounds.MinLon),
+			Lat: w.Bounds.MinLat + rng.Float64()*(w.Bounds.MaxLat-w.Bounds.MinLat),
+		}
+		tooClose := false
+		for _, port := range w.Ports {
+			if geo.Haversine(p, port.Center) < 8000 {
+				tooClose = true
+				break
+			}
+		}
+		if !tooClose {
+			return p
+		}
+	}
+}
+
+// squarePoly returns an axis-aligned square of the given half-side in
+// degrees centered at c.
+func squarePoly(c geo.Point, half float64) *geo.Polygon {
+	return geo.MustPolygon([]geo.Point{
+		{Lon: c.Lon - half, Lat: c.Lat - half},
+		{Lon: c.Lon + half, Lat: c.Lat - half},
+		{Lon: c.Lon + half, Lat: c.Lat + half},
+		{Lon: c.Lon - half, Lat: c.Lat + half},
+	})
+}
+
+// irregularPoly returns a convex-ish polygon with 5–8 vertices placed on
+// a jittered ellipse around c, giving areas more realistic shapes than
+// squares.
+func irregularPoly(c geo.Point, half float64, rng *rand.Rand) *geo.Polygon {
+	n := 5 + rng.Intn(4)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		ang := float64(i) / float64(n) * 2 * math.Pi
+		r := half * (0.7 + rng.Float64()*0.5)
+		pts[i] = geo.Point{
+			Lon: c.Lon + r*math.Cos(ang),
+			Lat: c.Lat + r*math.Sin(ang)*0.8,
+		}
+	}
+	return geo.MustPolygon(pts)
+}
+
+// AreasOfKind returns the areas of the given kind.
+func (w *World) AreasOfKind(kind AreaKind) []Area {
+	var out []Area
+	for _, a := range w.Areas {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// PortAt returns the port whose polygon contains p, or nil.
+func (w *World) PortAt(p geo.Point) *Port {
+	for i := range w.Ports {
+		if w.Ports[i].Poly.Contains(p) {
+			return &w.Ports[i]
+		}
+	}
+	return nil
+}
+
+// MedianLon returns the longitude that splits the monitored region into
+// the paper's east/west halves for the two-processor experiments (§5.2:
+// one processor handles "the areas located in, and the vessels passing
+// through the west part of the area under surveillance").
+func (w *World) MedianLon() float64 {
+	return (w.Bounds.MinLon + w.Bounds.MaxLon) / 2
+}

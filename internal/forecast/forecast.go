@@ -1,0 +1,181 @@
+// Package forecast implements the short-term traffic forecasting the
+// paper lists as future work (§7): "Traffic forecasts at short-term
+// horizons (e.g., 5, 15, or 30 minutes ahead) could also be issued,
+// gracefully weighing online events with offline trajectory analytics."
+//
+// The predictor dead-reckons each vessel from its current velocity
+// vector, but weighs the projection with the online movement events of
+// the trajectory detection component: a vessel inside a long-term stop
+// is predicted to stay put, a slow-motion vessel is projected at its
+// episode speed, and a vessel in a communication gap is flagged as
+// unpredictable beyond its last known position.
+package forecast
+
+import (
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/tracker"
+)
+
+// Confidence grades a forecast.
+type Confidence int
+
+// Confidence levels.
+const (
+	// ConfidenceDead marks vessels silent beyond the gap threshold: the
+	// projection is the last known position and should not be trusted.
+	ConfidenceDead Confidence = iota
+	// ConfidenceLow marks vessels whose motion regime makes linear
+	// projection unreliable (recent turns, sparse history).
+	ConfidenceLow
+	// ConfidenceHigh marks steadily cruising or stopped vessels.
+	ConfidenceHigh
+)
+
+// String names the confidence.
+func (c Confidence) String() string {
+	return []string{"dead", "low", "high"}[c]
+}
+
+// Prediction is one vessel's forecast position at a horizon.
+type Prediction struct {
+	MMSI       uint32
+	At         time.Time
+	Pos        geo.Point
+	Confidence Confidence
+}
+
+// Forecaster maintains per-vessel kinematic state from the positional
+// stream and the tracker's movement events.
+type Forecaster struct {
+	vessels map[uint32]*fcState
+	params  tracker.Params
+}
+
+type fcState struct {
+	last     ais.Fix
+	haveLast bool
+	vel      geo.Velocity
+	haveVel  bool
+	stopped  bool
+	slow     bool
+	slowKn   float64
+	lastTurn time.Time
+}
+
+// New returns a forecaster using the given tracking parameters (for
+// the gap threshold and speed bands).
+func New(params tracker.Params) *Forecaster {
+	return &Forecaster{
+		vessels: make(map[uint32]*fcState),
+		params:  params,
+	}
+}
+
+// ObserveFix updates kinematics with a cleaned position report.
+func (f *Forecaster) ObserveFix(fx ais.Fix) {
+	st := f.state(fx.MMSI)
+	if st.haveLast && fx.Time.After(st.last.Time) {
+		if v, ok := geo.VelocityBetween(st.last.Pos, st.last.Time, fx.Pos, fx.Time); ok {
+			st.vel = v
+			st.haveVel = true
+		}
+	}
+	st.last = fx
+	st.haveLast = true
+}
+
+// ObserveEvents updates motion regimes with the tracker's critical
+// points, the "online events" the forecast weighs in.
+func (f *Forecaster) ObserveEvents(points []tracker.CriticalPoint) {
+	for _, cp := range points {
+		st := f.state(cp.MMSI)
+		switch cp.Type {
+		case tracker.EventStopStart:
+			st.stopped = true
+		case tracker.EventStopEnd:
+			st.stopped = false
+		case tracker.EventSlowStart:
+			st.slow = true
+			st.slowKn = cp.SpeedKn
+		case tracker.EventSlowEnd:
+			st.slow = false
+		case tracker.EventTurn, tracker.EventSmoothTurn:
+			st.lastTurn = cp.Time
+		case tracker.EventGapEnd:
+			// Fresh contact after silence: prior velocity is stale.
+			st.haveVel = false
+		}
+	}
+}
+
+func (f *Forecaster) state(mmsi uint32) *fcState {
+	st := f.vessels[mmsi]
+	if st == nil {
+		st = &fcState{}
+		f.vessels[mmsi] = st
+	}
+	return st
+}
+
+// Predict projects one vessel to now+horizon. ok is false for unknown
+// vessels.
+func (f *Forecaster) Predict(mmsi uint32, now time.Time, horizon time.Duration) (Prediction, bool) {
+	st := f.vessels[mmsi]
+	if st == nil || !st.haveLast {
+		return Prediction{}, false
+	}
+	p := Prediction{MMSI: mmsi, At: now.Add(horizon)}
+
+	silent := now.Sub(st.last.Time)
+	switch {
+	case silent >= f.params.GapPeriod:
+		// In a communication gap: hold the last known position, flagged.
+		p.Pos = st.last.Pos
+		p.Confidence = ConfidenceDead
+		return p, true
+	case st.stopped || !st.haveVel:
+		p.Pos = st.last.Pos
+		if st.stopped {
+			p.Confidence = ConfidenceHigh
+		} else {
+			p.Confidence = ConfidenceLow
+		}
+		return p, true
+	}
+
+	speed := st.vel.SpeedKnots
+	if st.slow && st.slowKn > 0 {
+		speed = st.slowKn
+	}
+	// Project from the last fix across the elapsed silence plus the
+	// horizon.
+	dt := now.Add(horizon).Sub(st.last.Time).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	p.Pos = geo.Destination(st.last.Pos, st.vel.HeadingDeg, geo.KnotsToMetersPerSecond(speed)*dt)
+	p.Confidence = ConfidenceHigh
+	if st.slow || now.Sub(st.lastTurn) < 5*time.Minute {
+		// Meandering regimes and fresh course changes degrade linear
+		// projection.
+		p.Confidence = ConfidenceLow
+	}
+	return p, true
+}
+
+// PredictAll projects every tracked vessel, in unspecified order.
+func (f *Forecaster) PredictAll(now time.Time, horizon time.Duration) []Prediction {
+	out := make([]Prediction, 0, len(f.vessels))
+	for mmsi := range f.vessels {
+		if p, ok := f.Predict(mmsi, now, horizon); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VesselCount returns the number of vessels with forecast state.
+func (f *Forecaster) VesselCount() int { return len(f.vessels) }

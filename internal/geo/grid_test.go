@@ -1,0 +1,142 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// squareAt returns a square polygon of the given half-side (degrees)
+// centered at c.
+func squareAt(c Point, half float64) *Polygon {
+	return MustPolygon([]Point{
+		{c.Lon - half, c.Lat - half},
+		{c.Lon + half, c.Lat - half},
+		{c.Lon + half, c.Lat + half},
+		{c.Lon - half, c.Lat + half},
+	})
+}
+
+func TestAreaIndexMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var polys []*Polygon
+	for i := 0; i < 35; i++ {
+		c := Point{Lon: 20 + rng.Float64()*8, Lat: 34 + rng.Float64()*6}
+		polys = append(polys, squareAt(c, 0.02+rng.Float64()*0.08))
+	}
+	const threshold = 3000 // meters
+	idx := NewAreaIndex(polys, threshold, 0.25)
+	if idx.Fallback() {
+		t.Fatal("index unexpectedly degenerated to linear scan")
+	}
+
+	for trial := 0; trial < 2000; trial++ {
+		p := Point{Lon: 19 + rng.Float64()*10, Lat: 33 + rng.Float64()*8}
+		got := idx.CloseTo(p, threshold)
+		var want []int32
+		for i, pg := range polys {
+			if pg.DistanceMeters(p) <= threshold {
+				want = append(want, int32(i))
+			}
+		}
+		if !equalInt32(got, want) {
+			t.Fatalf("CloseTo(%v) = %v, linear scan = %v", p, got, want)
+		}
+	}
+}
+
+func TestAreaIndexContainedIn(t *testing.T) {
+	a := squareAt(Point{23, 37}, 0.1)
+	b := squareAt(Point{23.05, 37.05}, 0.1) // overlaps a
+	c := squareAt(Point{25, 39}, 0.1)       // far away
+	idx := NewAreaIndex([]*Polygon{a, b, c}, 1000, 0.1)
+
+	got := idx.ContainedIn(Point{23.04, 37.04}) // inside both a and b
+	if !equalInt32(got, []int32{0, 1}) {
+		t.Errorf("ContainedIn = %v, want [0 1]", got)
+	}
+	if got := idx.ContainedIn(Point{10, 10}); got != nil {
+		t.Errorf("far point ContainedIn = %v, want nil", got)
+	}
+}
+
+func TestAreaIndexEmpty(t *testing.T) {
+	idx := NewAreaIndex(nil, 1000, 0.1)
+	if got := idx.CloseTo(Point{0, 0}, 1000); got != nil {
+		t.Errorf("empty index CloseTo = %v, want nil", got)
+	}
+	if idx.Len() != 0 {
+		t.Errorf("Len = %d, want 0", idx.Len())
+	}
+}
+
+func TestAreaIndexFallbackStillCorrect(t *testing.T) {
+	polys := []*Polygon{squareAt(Point{23, 37}, 0.1)}
+	// cellDeg=0 forces the fallback path.
+	idx := NewAreaIndex(polys, 1000, 0)
+	if !idx.Fallback() {
+		t.Fatal("expected fallback")
+	}
+	if got := idx.CloseTo(Point{23, 37}, 1000); !equalInt32(got, []int32{0}) {
+		t.Errorf("fallback CloseTo = %v, want [0]", got)
+	}
+}
+
+func TestAreaIndexNeverMissesWithinThreshold(t *testing.T) {
+	// Probe points just inside/outside the threshold ring of one area.
+	pg := squareAt(Point{24, 38}, 0.05)
+	idx := NewAreaIndex([]*Polygon{pg}, 2000, 0.05)
+	edgeMid := Point{24, 38 + 0.05} // midpoint of the top edge
+	for _, d := range []float64{10, 500, 1500, 1999} {
+		p := Destination(edgeMid, 0, d) // due north of the edge
+		if got := idx.CloseTo(p, 2000); len(got) != 1 {
+			t.Errorf("point %.0f m away not found (got %v)", d, got)
+		}
+	}
+	far := Destination(edgeMid, 0, 5000)
+	if got := idx.CloseTo(far, 2000); got != nil {
+		t.Errorf("point 5 km away reported close: %v", got)
+	}
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkAreaIndexCloseTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var polys []*Polygon
+	for i := 0; i < 35; i++ {
+		c := Point{Lon: 20 + rng.Float64()*8, Lat: 34 + rng.Float64()*6}
+		polys = append(polys, squareAt(c, 0.05))
+	}
+	idx := NewAreaIndex(polys, 3000, 0.25)
+	pts := make([]Point, 1024)
+	for i := range pts {
+		pts[i] = Point{Lon: 20 + rng.Float64()*8, Lat: 34 + rng.Float64()*6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.CloseTo(pts[i%len(pts)], 3000)
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	p1 := Point{23.6467, 37.9421}
+	p2 := Point{25.1442, 35.3387}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Haversine(p1, p2)
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("NaN")
+	}
+}

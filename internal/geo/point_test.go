@@ -1,0 +1,306 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// almostEqual reports |a-b| <= tol.
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64
+	}{
+		{"zero", Point{23.0, 37.0}, Point{23.0, 37.0}, 0, 1e-9},
+		// Piraeus (23.6467E, 37.9421N) to Heraklion (25.1442E, 35.3387N):
+		// roughly 320 km across the Aegean.
+		{"piraeus-heraklion", Point{23.6467, 37.9421}, Point{25.1442, 35.3387}, 320000, 10000},
+		// One degree of latitude is ~111.19 km on the sphere.
+		{"one-degree-lat", Point{0, 0}, Point{0, 1}, 111194.9, 10},
+		// One degree of longitude at 60N is about half of that at the equator.
+		{"one-degree-lon-60N", Point{0, 60}, Point{1, 60}, 55597.5, 50},
+		{"antipodal", Point{0, 0}, Point{180, 0}, math.Pi * EarthRadiusMeters, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Haversine(tc.a, tc.b)
+			if !almostEqual(got, tc.want, tc.tol) {
+				t.Errorf("Haversine(%v, %v) = %.1f, want %.1f ± %.1f", tc.a, tc.b, got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lon1, lat1, lon2, lat2 float64) bool {
+		a := Point{Lon: math.Mod(lon1, 180), Lat: math.Mod(lat1, 90)}
+		b := Point{Lon: math.Mod(lon2, 180), Lat: math.Mod(lat2, 90)}
+		d1, d2 := Haversine(a, b), Haversine(b, a)
+		return almostEqual(d1, d2, 1e-6) && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(lon1, lat1, lon2, lat2, lon3, lat3 float64) bool {
+		a := Point{Lon: math.Mod(lon1, 180), Lat: math.Mod(lat1, 90)}
+		b := Point{Lon: math.Mod(lon2, 180), Lat: math.Mod(lat2, 90)}
+		c := Point{Lon: math.Mod(lon3, 180), Lat: math.Mod(lat3, 90)}
+		// Allow a small absolute slack for floating-point noise.
+		return Haversine(a, c) <= Haversine(a, b)+Haversine(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	origin := Point{Lon: 23.0, Lat: 37.0}
+	tests := []struct {
+		name string
+		to   Point
+		want float64
+		tol  float64
+	}{
+		{"north", Point{23.0, 38.0}, 0, 0.01},
+		{"south", Point{23.0, 36.0}, 180, 0.01},
+		{"east", Point{24.0, 37.0}, 90, 0.5},
+		{"west", Point{22.0, 37.0}, 270, 0.5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Bearing(origin, tc.to)
+			if HeadingDelta(got, tc.want) > tc.tol {
+				t.Errorf("Bearing to %v = %.2f, want %.2f", tc.to, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	f := func(rawLon, rawLat, rawBrng, rawDist float64) bool {
+		p := Point{
+			Lon: math.Mod(rawLon, 170),
+			Lat: math.Mod(rawLat, 80), // keep away from the poles
+		}
+		brng := math.Mod(math.Abs(rawBrng), 360)
+		dist := math.Mod(math.Abs(rawDist), 100000) // up to 100 km
+		q := Destination(p, brng, dist)
+		back := Haversine(p, q)
+		return almostEqual(back, dist, math.Max(1e-6*dist, 1e-3))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationBearingConsistency(t *testing.T) {
+	p := Point{Lon: 24.5, Lat: 38.2}
+	for brng := 0.0; brng < 360; brng += 30 {
+		q := Destination(p, brng, 5000)
+		got := Bearing(p, q)
+		if HeadingDelta(got, brng) > 0.1 {
+			t.Errorf("bearing %v: Destination then Bearing gives %.3f", brng, got)
+		}
+	}
+}
+
+func TestInterpolateEndpoints(t *testing.T) {
+	a := Point{Lon: 23.1, Lat: 37.5}
+	b := Point{Lon: 25.9, Lat: 35.2}
+	if got := Interpolate(a, b, 0); got != a {
+		t.Errorf("Interpolate(f=0) = %v, want %v", got, a)
+	}
+	if got := Interpolate(a, b, 1); got != b {
+		t.Errorf("Interpolate(f=1) = %v, want %v", got, b)
+	}
+	mid := Interpolate(a, b, 0.5)
+	if !almostEqual(mid.Lon, 24.5, 1e-9) || !almostEqual(mid.Lat, 36.35, 1e-9) {
+		t.Errorf("midpoint = %v", mid)
+	}
+}
+
+func TestInterpolateAntimeridian(t *testing.T) {
+	a := Point{Lon: 179.5, Lat: 0}
+	b := Point{Lon: -179.5, Lat: 0}
+	mid := Interpolate(a, b, 0.5)
+	if !(almostEqual(mid.Lon, 180, 1e-9) || almostEqual(mid.Lon, -180, 1e-9)) {
+		t.Errorf("antimeridian midpoint = %v, want ±180", mid)
+	}
+	q := Interpolate(a, b, 0.25)
+	if !almostEqual(q.Lon, 179.75, 1e-9) {
+		t.Errorf("quarter point = %v, want lon 179.75", q)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	c := Centroid(pts)
+	if c != (Point{1, 1}) {
+		t.Errorf("Centroid = %v, want (1,1)", c)
+	}
+}
+
+func TestCentroidPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Centroid(nil) did not panic")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestHeadingDelta(t *testing.T) {
+	tests := []struct {
+		h1, h2, want float64
+	}{
+		{0, 0, 0},
+		{10, 350, 20},
+		{350, 10, 20},
+		{90, 270, 180},
+		{0, 180, 180},
+		{45, 60, 15},
+		{720, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := HeadingDelta(tc.h1, tc.h2); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("HeadingDelta(%v, %v) = %v, want %v", tc.h1, tc.h2, got, tc.want)
+		}
+	}
+}
+
+func TestSignedHeadingDelta(t *testing.T) {
+	tests := []struct {
+		from, to, want float64
+	}{
+		{0, 10, 10},
+		{10, 0, -10},
+		{350, 10, 20},
+		{10, 350, -20},
+		{0, 180, 180},
+		{180, 0, 180}, // exactly opposite: canonicalized to +180
+	}
+	for _, tc := range tests {
+		if got := SignedHeadingDelta(tc.from, tc.to); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("SignedHeadingDelta(%v, %v) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestSignedHeadingDeltaInRange(t *testing.T) {
+	f := func(from, to float64) bool {
+		d := SignedHeadingDelta(math.Mod(from, 360), math.Mod(to, 360))
+		return d > -180-1e-9 && d <= 180+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	valid := []Point{{0, 0}, {-180, -90}, {180, 90}, {23.5, 37.9}}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Point{{181, 0}, {0, 91}, {-181, 0}, {0, -91}, {181, 91}}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if got := KnotsToMetersPerSecond(1); !almostEqual(got, 0.5144, 0.001) {
+		t.Errorf("1 knot = %v m/s", got)
+	}
+	f := func(raw float64) bool {
+		kn := math.Mod(raw, 100) // realistic vessel speeds
+		return almostEqual(MetersPerSecondToKnots(KnotsToMetersPerSecond(kn)), kn, math.Abs(kn)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVelocityBetween(t *testing.T) {
+	t0 := time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+	a := Point{Lon: 23.0, Lat: 37.0}
+	b := Destination(a, 90, 1852) // one nautical mile east
+
+	v, ok := VelocityBetween(a, t0, b, t0.Add(time.Hour))
+	if !ok {
+		t.Fatal("VelocityBetween returned !ok for advancing timestamps")
+	}
+	if !almostEqual(v.SpeedKnots, 1.0, 0.001) {
+		t.Errorf("speed = %v knots, want 1.0", v.SpeedKnots)
+	}
+	if HeadingDelta(v.HeadingDeg, 90) > 0.5 {
+		t.Errorf("heading = %v, want ~90", v.HeadingDeg)
+	}
+}
+
+func TestVelocityBetweenRejectsNonAdvancingTime(t *testing.T) {
+	t0 := time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+	a := Point{23, 37}
+	b := Point{23.01, 37}
+	if _, ok := VelocityBetween(a, t0, b, t0); ok {
+		t.Error("equal timestamps should return !ok")
+	}
+	if _, ok := VelocityBetween(a, t0, b, t0.Add(-time.Second)); ok {
+		t.Error("regressed timestamp should return !ok")
+	}
+}
+
+func TestMeanVelocity(t *testing.T) {
+	if _, ok := MeanVelocity(nil); ok {
+		t.Error("MeanVelocity(nil) should return !ok")
+	}
+	vs := []Velocity{
+		{SpeedKnots: 10, HeadingDeg: 350},
+		{SpeedKnots: 10, HeadingDeg: 10},
+	}
+	m, ok := MeanVelocity(vs)
+	if !ok {
+		t.Fatal("!ok")
+	}
+	if HeadingDelta(m.HeadingDeg, 0) > 0.001 {
+		t.Errorf("mean heading = %v, want ~0 (circular mean)", m.HeadingDeg)
+	}
+	if !almostEqual(m.SpeedKnots, 10, 1e-9) {
+		t.Errorf("mean speed = %v, want 10", m.SpeedKnots)
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	ref := Velocity{SpeedKnots: 10, HeadingDeg: 90}
+	sf, hd := Deviation(Velocity{SpeedKnots: 15, HeadingDeg: 120}, ref)
+	if !almostEqual(sf, 0.5, 1e-9) {
+		t.Errorf("speed fraction = %v, want 0.5", sf)
+	}
+	if !almostEqual(hd, 30, 1e-9) {
+		t.Errorf("heading delta = %v, want 30", hd)
+	}
+
+	// Reference at rest, vessel moving: infinite relative change.
+	sf, _ = Deviation(Velocity{SpeedKnots: 5}, Velocity{})
+	if !math.IsInf(sf, 1) {
+		t.Errorf("speed fraction vs rest = %v, want +Inf", sf)
+	}
+
+	// Both at rest: no deviation.
+	sf, _ = Deviation(Velocity{}, Velocity{})
+	if sf != 0 {
+		t.Errorf("rest vs rest = %v, want 0", sf)
+	}
+}

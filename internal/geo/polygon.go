@@ -1,0 +1,202 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BBox is an axis-aligned bounding box in lon/lat space.
+type BBox struct {
+	MinLon, MinLat, MaxLon, MaxLat float64
+}
+
+// Contains reports whether p lies inside or on the boundary of the box.
+func (b BBox) Contains(p Point) bool {
+	return p.Lon >= b.MinLon && p.Lon <= b.MaxLon &&
+		p.Lat >= b.MinLat && p.Lat <= b.MaxLat
+}
+
+// Expand grows the box by the given margin in degrees on every side.
+func (b BBox) Expand(deg float64) BBox {
+	return BBox{
+		MinLon: b.MinLon - deg, MinLat: b.MinLat - deg,
+		MaxLon: b.MaxLon + deg, MaxLat: b.MaxLat + deg,
+	}
+}
+
+// Intersects reports whether the two boxes overlap.
+func (b BBox) Intersects(o BBox) bool {
+	return b.MinLon <= o.MaxLon && b.MaxLon >= o.MinLon &&
+		b.MinLat <= o.MaxLat && b.MaxLat >= o.MinLat
+}
+
+// Center returns the center point of the box.
+func (b BBox) Center() Point {
+	return Point{Lon: (b.MinLon + b.MaxLon) / 2, Lat: (b.MinLat + b.MaxLat) / 2}
+}
+
+// Polygon is a simple (non-self-intersecting) polygon on the lon/lat
+// plane, given as an open ring: the closing edge from the last vertex
+// back to the first is implicit. Areas of interest in the paper —
+// ports, protected areas, forbidden-fishing areas, shallow waters — are
+// all polygons of modest extent, so planar containment tests on
+// geographic coordinates are adequate.
+type Polygon struct {
+	vertices []Point
+	bbox     BBox
+}
+
+// ErrDegeneratePolygon is returned by NewPolygon for rings with fewer
+// than three vertices.
+var ErrDegeneratePolygon = errors.New("geo: polygon needs at least 3 vertices")
+
+// NewPolygon builds a polygon from the given open ring of vertices.
+// The slice is copied.
+func NewPolygon(vertices []Point) (*Polygon, error) {
+	if len(vertices) < 3 {
+		return nil, ErrDegeneratePolygon
+	}
+	vs := make([]Point, len(vertices))
+	copy(vs, vertices)
+	pg := &Polygon{vertices: vs}
+	pg.bbox = BBox{
+		MinLon: vs[0].Lon, MaxLon: vs[0].Lon,
+		MinLat: vs[0].Lat, MaxLat: vs[0].Lat,
+	}
+	for _, v := range vs[1:] {
+		if v.Lon < pg.bbox.MinLon {
+			pg.bbox.MinLon = v.Lon
+		}
+		if v.Lon > pg.bbox.MaxLon {
+			pg.bbox.MaxLon = v.Lon
+		}
+		if v.Lat < pg.bbox.MinLat {
+			pg.bbox.MinLat = v.Lat
+		}
+		if v.Lat > pg.bbox.MaxLat {
+			pg.bbox.MaxLat = v.Lat
+		}
+	}
+	return pg, nil
+}
+
+// MustPolygon is like NewPolygon but panics on error. It is intended for
+// statically known rings, e.g. in tests and the fleet simulator's world
+// definition.
+func MustPolygon(vertices []Point) *Polygon {
+	pg, err := NewPolygon(vertices)
+	if err != nil {
+		panic(fmt.Sprintf("geo: MustPolygon: %v", err))
+	}
+	return pg
+}
+
+// Vertices returns the polygon's ring. The returned slice must not be
+// modified.
+func (pg *Polygon) Vertices() []Point { return pg.vertices }
+
+// BBox returns the polygon's bounding box.
+func (pg *Polygon) BBox() BBox { return pg.bbox }
+
+// Centroid returns the arithmetic centroid of the polygon's vertices.
+func (pg *Polygon) Centroid() Point { return Centroid(pg.vertices) }
+
+// Contains reports whether p lies strictly inside the polygon or on its
+// boundary, using the even-odd ray-casting rule.
+func (pg *Polygon) Contains(p Point) bool {
+	if !pg.bbox.Contains(p) {
+		return false
+	}
+	inside := false
+	n := len(pg.vertices)
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg.vertices[i], pg.vertices[j]
+		// Points exactly on an edge count as inside: area semantics in the
+		// CE definitions ("close to, or in an area") make boundary hits
+		// positive.
+		if onSegment(vi, vj, p) {
+			return true
+		}
+		if (vi.Lat > p.Lat) != (vj.Lat > p.Lat) {
+			xCross := vi.Lon + (p.Lat-vi.Lat)/(vj.Lat-vi.Lat)*(vj.Lon-vi.Lon)
+			if p.Lon < xCross {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// onSegment reports whether p lies on the segment ab within a tight
+// tolerance (~1e-12 degrees, far below GPS resolution).
+func onSegment(a, b, p Point) bool {
+	const eps = 1e-12
+	cross := (b.Lon-a.Lon)*(p.Lat-a.Lat) - (b.Lat-a.Lat)*(p.Lon-a.Lon)
+	if cross > eps || cross < -eps {
+		return false
+	}
+	dot := (p.Lon-a.Lon)*(b.Lon-a.Lon) + (p.Lat-a.Lat)*(b.Lat-a.Lat)
+	if dot < -eps {
+		return false
+	}
+	lenSq := (b.Lon-a.Lon)*(b.Lon-a.Lon) + (b.Lat-a.Lat)*(b.Lat-a.Lat)
+	return dot <= lenSq+eps
+}
+
+// DistanceMeters returns the Haversine distance in meters from p to the
+// polygon: zero when p is inside, otherwise the minimum distance to any
+// boundary edge. This implements the paper's close(Lon, Lat, Area)
+// predicate, which tests whether the Haversine distance between a point
+// and an area is below a threshold.
+func (pg *Polygon) DistanceMeters(p Point) float64 {
+	if pg.Contains(p) {
+		return 0
+	}
+	min := -1.0
+	n := len(pg.vertices)
+	j := n - 1
+	for i := 0; i < n; i++ {
+		d := distanceToSegment(p, pg.vertices[j], pg.vertices[i])
+		if min < 0 || d < min {
+			min = d
+		}
+		j = i
+	}
+	return min
+}
+
+// distanceToSegment returns the Haversine distance from p to the nearest
+// point of segment ab, projecting in local planar coordinates first. The
+// areas involved span at most tens of kilometers, where the planar
+// projection error is negligible relative to the proximity thresholds
+// (hundreds of meters to kilometers).
+func distanceToSegment(p, a, b Point) float64 {
+	// Project to a local plane centered at a, scaling longitude by
+	// cos(lat) to make degrees comparable.
+	cosLat := cosDeg((a.Lat + b.Lat + p.Lat) / 3)
+	ax, ay := 0.0, 0.0
+	bx, by := (b.Lon-a.Lon)*cosLat, b.Lat-a.Lat
+	px, py := (p.Lon-a.Lon)*cosLat, p.Lat-a.Lat
+
+	dx, dy := bx-ax, by-ay
+	lenSq := dx*dx + dy*dy
+	var t float64
+	if lenSq > 0 {
+		t = ((px-ax)*dx + (py-ay)*dy) / lenSq
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	nearest := Point{
+		Lon: a.Lon + t*(b.Lon-a.Lon),
+		Lat: a.Lat + t*(b.Lat-a.Lat),
+	}
+	return Haversine(p, nearest)
+}
+
+func cosDeg(deg float64) float64 { return math.Cos(radians(deg)) }

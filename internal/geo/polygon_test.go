@@ -1,0 +1,163 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// unitSquare is the polygon (0,0)-(1,0)-(1,1)-(0,1).
+func unitSquare(t *testing.T) *Polygon {
+	t.Helper()
+	pg, err := NewPolygon([]Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestNewPolygonRejectsDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		vs := make([]Point, n)
+		if _, err := NewPolygon(vs); !errors.Is(err, ErrDegeneratePolygon) {
+			t.Errorf("NewPolygon with %d vertices: err = %v, want ErrDegeneratePolygon", n, err)
+		}
+	}
+}
+
+func TestNewPolygonCopiesInput(t *testing.T) {
+	vs := []Point{{0, 0}, {1, 0}, {0, 1}}
+	pg, err := NewPolygon(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs[0] = Point{99, 99}
+	if pg.Vertices()[0] != (Point{0, 0}) {
+		t.Error("NewPolygon did not copy its input")
+	}
+}
+
+func TestMustPolygonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPolygon on degenerate ring did not panic")
+		}
+	}()
+	MustPolygon([]Point{{0, 0}})
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := unitSquare(t)
+	inside := []Point{{0.5, 0.5}, {0.001, 0.001}, {0.999, 0.999}}
+	for _, p := range inside {
+		if !sq.Contains(p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	outside := []Point{{-0.1, 0.5}, {1.1, 0.5}, {0.5, -0.1}, {0.5, 1.1}, {2, 2}}
+	for _, p := range outside {
+		if sq.Contains(p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+	// Boundary counts as inside.
+	boundary := []Point{{0, 0}, {0.5, 0}, {1, 1}, {0, 0.5}}
+	for _, p := range boundary {
+		if !sq.Contains(p) {
+			t.Errorf("boundary point %v should count as inside", p)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shaped polygon.
+	l := MustPolygon([]Point{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}})
+	if !l.Contains(Point{0.5, 1.5}) {
+		t.Error("(0.5,1.5) should be inside the L")
+	}
+	if l.Contains(Point{1.5, 1.5}) {
+		t.Error("(1.5,1.5) is in the notch, should be outside")
+	}
+	if !l.Contains(Point{1.5, 0.5}) {
+		t.Error("(1.5,0.5) should be inside the L")
+	}
+}
+
+func TestPolygonDistanceMeters(t *testing.T) {
+	sq := unitSquare(t)
+	if d := sq.DistanceMeters(Point{0.5, 0.5}); d != 0 {
+		t.Errorf("distance from interior = %v, want 0", d)
+	}
+	// One degree of latitude south of the bottom edge midpoint:
+	// distance should be ~111.19 km.
+	d := sq.DistanceMeters(Point{0.5, -1})
+	if !almostEqual(d, 111194.9, 200) {
+		t.Errorf("distance = %v, want ~111195", d)
+	}
+	// Near a corner: distance to the corner vertex.
+	corner := Point{0, 0}
+	probe := Destination(corner, 225, 500) // 500 m away diagonally
+	d = sq.DistanceMeters(probe)
+	if !almostEqual(d, 500, 5) {
+		t.Errorf("corner distance = %v, want ~500", d)
+	}
+}
+
+func TestPolygonDistanceNonNegative(t *testing.T) {
+	sq := unitSquare(t)
+	f := func(lon, lat float64) bool {
+		p := Point{Lon: math.Mod(lon, 10), Lat: math.Mod(lat, 10)}
+		return sq.DistanceMeters(p) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonContainsImpliesZeroDistance(t *testing.T) {
+	sq := unitSquare(t)
+	f := func(lon, lat float64) bool {
+		p := Point{Lon: math.Mod(math.Abs(lon), 1), Lat: math.Mod(math.Abs(lat), 1)}
+		return !sq.Contains(p) || sq.DistanceMeters(p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonBBox(t *testing.T) {
+	pg := MustPolygon([]Point{{23.1, 37.2}, {23.9, 37.1}, {23.5, 38.0}})
+	b := pg.BBox()
+	want := BBox{MinLon: 23.1, MinLat: 37.1, MaxLon: 23.9, MaxLat: 38.0}
+	if b != want {
+		t.Errorf("BBox = %+v, want %+v", b, want)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	sq := unitSquare(t)
+	if c := sq.Centroid(); c != (Point{0.5, 0.5}) {
+		t.Errorf("Centroid = %v, want (0.5, 0.5)", c)
+	}
+}
+
+func TestBBoxOps(t *testing.T) {
+	b := BBox{MinLon: 0, MinLat: 0, MaxLon: 2, MaxLat: 2}
+	if !b.Contains(Point{1, 1}) || b.Contains(Point{3, 1}) {
+		t.Error("BBox.Contains misbehaves")
+	}
+	e := b.Expand(1)
+	if !e.Contains(Point{-0.5, -0.5}) || !e.Contains(Point{2.5, 2.5}) {
+		t.Error("BBox.Expand misbehaves")
+	}
+	if !b.Intersects(BBox{MinLon: 1, MinLat: 1, MaxLon: 3, MaxLat: 3}) {
+		t.Error("overlapping boxes should intersect")
+	}
+	if b.Intersects(BBox{MinLon: 5, MinLat: 5, MaxLon: 6, MaxLat: 6}) {
+		t.Error("disjoint boxes should not intersect")
+	}
+	if c := b.Center(); c != (Point{1, 1}) {
+		t.Errorf("Center = %v, want (1,1)", c)
+	}
+}

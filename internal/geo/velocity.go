@@ -1,0 +1,93 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Velocity is a vessel's instantaneous velocity vector, derived from its
+// two most recent position reports (paper §3.1). SpeedKnots is the ground
+// speed; HeadingDeg is the course over ground in degrees from true north,
+// in [0, 360).
+type Velocity struct {
+	SpeedKnots float64
+	HeadingDeg float64
+}
+
+// String renders the velocity as "speed kn @ heading°".
+func (v Velocity) String() string {
+	return fmt.Sprintf("%.2f kn @ %05.1f°", v.SpeedKnots, v.HeadingDeg)
+}
+
+// VelocityBetween computes the velocity vector implied by moving from
+// position a at time ta to position b at time tb, assuming linear motion
+// between the two fixes. It returns the zero vector and false when the
+// timestamps do not advance (tb <= ta), which callers must treat as
+// "velocity unknown": AIS streams may contain duplicate or regressed
+// timestamps.
+func VelocityBetween(a Point, ta time.Time, b Point, tb time.Time) (Velocity, bool) {
+	dt := tb.Sub(ta).Seconds()
+	if dt <= 0 {
+		return Velocity{}, false
+	}
+	dist := Haversine(a, b)
+	v := Velocity{
+		SpeedKnots: MetersPerSecondToKnots(dist / dt),
+	}
+	if dist > 0 {
+		v.HeadingDeg = Bearing(a, b)
+	}
+	return v, true
+}
+
+// MeanVelocity averages a sequence of velocity vectors component-wise in
+// Cartesian space, yielding the mean velocity v_m the tracker uses to
+// abstract a vessel's known course over its previous m positions
+// (paper §3.1, off-course detection). It returns false for an empty
+// slice.
+func MeanVelocity(vs []Velocity) (Velocity, bool) {
+	if len(vs) == 0 {
+		return Velocity{}, false
+	}
+	var x, y, speed float64
+	for _, v := range vs {
+		r := radians(v.HeadingDeg)
+		// North component on y, east component on x, weighted by speed so
+		// that slow fixes do not dominate the direction estimate.
+		x += v.SpeedKnots * math.Sin(r)
+		y += v.SpeedKnots * math.Cos(r)
+		speed += v.SpeedKnots
+	}
+	n := float64(len(vs))
+	mean := Velocity{SpeedKnots: speed / n}
+	if x != 0 || y != 0 {
+		mean.HeadingDeg = normalizeHeading(degrees(math.Atan2(x, y)))
+	}
+	return mean, true
+}
+
+// Deviation quantifies how far velocity v strays from a reference course
+// ref. It returns the absolute relative speed change (as a fraction of
+// ref's speed, +Inf when ref is at rest but v is not) and the absolute
+// heading difference in degrees. The tracker combines both to flag
+// off-course outliers.
+func Deviation(v, ref Velocity) (speedFrac, headingDeg float64) {
+	headingDeg = HeadingDelta(v.HeadingDeg, ref.HeadingDeg)
+	switch {
+	case ref.SpeedKnots > 0:
+		speedFrac = math.Abs(v.SpeedKnots-ref.SpeedKnots) / ref.SpeedKnots
+	case v.SpeedKnots > 0:
+		speedFrac = math.Inf(1)
+	}
+	return speedFrac, headingDeg
+}
+
+// normalizeHeading folds a heading into [0, 360).
+func normalizeHeading(h float64) float64 {
+	h = math.Mod(h, 360)
+	if h < 0 {
+		h += 360
+	}
+	return h
+}

@@ -1,0 +1,42 @@
+package maritime_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/maritime"
+	"repro/internal/rtec"
+)
+
+// ExampleRecognizer walks the paper's Scenario 3: a vessel's
+// communication gap starting close to a protected area raises
+// illegalShipping.
+func ExampleRecognizer() {
+	park, _ := geo.NewPolygon([]geo.Point{
+		{Lon: 23.85, Lat: 39.10}, {Lon: 23.95, Lat: 39.10},
+		{Lon: 23.95, Lat: 39.20}, {Lon: 23.85, Lat: 39.20},
+	})
+	rec := maritime.NewRecognizer(
+		maritime.Config{Window: time.Hour},
+		[]maritime.Vessel{{MMSI: 237001234, DraftM: 9}},
+		[]maritime.Area{{ID: "marine-park", Kind: maritime.KindProtected, Poly: park}},
+	)
+
+	// The trajectory detection component reports a gap ME when the
+	// vessel stops sending signals, stamped at its last known position
+	// — 1 km west of the park.
+	gapAt := time.Date(2009, 6, 1, 4, 30, 0, 0, time.UTC)
+	snap := rec.Advance(gapAt.Add(10*time.Minute), []rtec.Event{{
+		Name:   maritime.MEGap,
+		Entity: "237001234",
+		Time:   gapAt.Unix(),
+		Lon:    23.838, Lat: 39.15,
+	}}, nil)
+
+	for _, alert := range snap.Alerts {
+		fmt.Println(alert)
+	}
+	// Output:
+	// illegalShipping at marine-park (2009-06-01T04:30:00Z)
+}

@@ -1,0 +1,56 @@
+package maritime
+
+import (
+	"repro/internal/geo"
+	"repro/internal/rtec"
+)
+
+// FactGenerator precomputes spatial facts for the Figure 11(b) setting:
+// for each movement event, it emits one fact per area of interest that
+// the vessel is close to at the event's timestamp, so that recognition
+// needs no spatial reasoning.
+type FactGenerator struct {
+	areas       []*Area
+	idx         *geo.AreaIndex
+	closeMeters float64
+}
+
+// NewFactGenerator builds a generator over the given areas with the
+// given close/3 threshold in meters.
+func NewFactGenerator(areas []Area, closeMeters float64) *FactGenerator {
+	g := &FactGenerator{closeMeters: closeMeters}
+	polys := make([]*geo.Polygon, len(areas))
+	for i := range areas {
+		a := areas[i]
+		g.areas = append(g.areas, &a)
+		polys[i] = a.Poly
+	}
+	g.idx = geo.NewAreaIndex(polys, closeMeters, 0.25)
+	return g
+}
+
+// Facts returns the spatial facts accompanying the given movement
+// events: one per distinct (vessel, timestamp, close area) triple.
+// Co-timed MEs of the same vessel (e.g. slowStart and slowMotion from
+// one critical point) share one fact, so fact-consuming rules fire
+// exactly as often as the spatially-reasoning ones.
+func (g *FactGenerator) Facts(events []rtec.Event) []SpatialFact {
+	var out []SpatialFact
+	seen := make(map[SpatialFact]bool)
+	for _, ev := range events {
+		p := geo.Point{Lon: ev.Lon, Lat: ev.Lat}
+		for _, i := range g.idx.CloseTo(p, g.closeMeters) {
+			f := SpatialFact{
+				Vessel: ev.Entity,
+				AreaID: g.areas[i].ID,
+				Time:   ev.Time,
+			}
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

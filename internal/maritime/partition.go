@@ -1,0 +1,53 @@
+package maritime
+
+import (
+	"repro/internal/rtec"
+)
+
+// PartitionAreas splits the areas into west and east sets by the given
+// meridian, the paper's two-processor configuration (§5.2): "One
+// processor performed CE recognition for the areas located in ... the
+// west part of the area under surveillance", the other for the east.
+func PartitionAreas(areas []Area, medianLon float64) (west, east []Area) {
+	for _, a := range areas {
+		if a.Poly.Centroid().Lon < medianLon {
+			west = append(west, a)
+		} else {
+			east = append(east, a)
+		}
+	}
+	return west, east
+}
+
+// PartitionEvents routes movement events by vessel location: events
+// west of the meridian go to the west processor, the rest east. A
+// vessel crossing the meridian contributes to both engines over time,
+// matching the paper's forwarding of input MEs "to the appropriate
+// processor (according to vessel location)".
+func PartitionEvents(events []rtec.Event, medianLon float64) (west, east []rtec.Event) {
+	for _, ev := range events {
+		if ev.Lon < medianLon {
+			west = append(west, ev)
+		} else {
+			east = append(east, ev)
+		}
+	}
+	return west, east
+}
+
+// PartitionFacts routes spatial facts to the processor owning their
+// area.
+func PartitionFacts(facts []SpatialFact, westAreas []Area) (west, east []SpatialFact) {
+	isWest := make(map[string]bool, len(westAreas))
+	for _, a := range westAreas {
+		isWest[a.ID] = true
+	}
+	for _, f := range facts {
+		if isWest[f.AreaID] {
+			west = append(west, f)
+		} else {
+			east = append(east, f)
+		}
+	}
+	return west, east
+}

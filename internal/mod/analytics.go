@@ -1,0 +1,142 @@
+package mod
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Table4 mirrors the statistics of the paper's Table 4: what trajectory
+// reconstruction compiled once the input stream was exhausted.
+type Table4 struct {
+	PointsInTrajectories int           // critical points assigned to trips
+	PointsInStaging      int           // critical points still awaiting assignment
+	Trips                int           // trips between ports
+	AvgTripsPerVessel    float64       // over vessels with at least one trip
+	AvgPointsPerTrip     float64       //
+	AvgTravelTime        time.Duration //
+	AvgDistanceMeters    float64       //
+}
+
+// Table4Stats computes the Table 4 snapshot of the store's current
+// contents.
+func (m *MOD) Table4Stats() Table4 {
+	var t4 Table4
+	t4.PointsInStaging = m.StagedCount()
+	vessels := make(map[uint32]int)
+	var totalTime time.Duration
+	var totalDist float64
+	for _, t := range m.trips {
+		t4.Trips++
+		t4.PointsInTrajectories += len(t.Points)
+		vessels[t.MMSI]++
+		totalTime += t.Duration()
+		totalDist += t.DistanceMeters()
+	}
+	if len(vessels) > 0 {
+		t4.AvgTripsPerVessel = float64(t4.Trips) / float64(len(vessels))
+	}
+	if t4.Trips > 0 {
+		t4.AvgPointsPerTrip = float64(t4.PointsInTrajectories) / float64(t4.Trips)
+		t4.AvgTravelTime = totalTime / time.Duration(t4.Trips)
+		t4.AvgDistanceMeters = totalDist / float64(t4.Trips)
+	}
+	return t4
+}
+
+// Write renders the snapshot in the layout of the paper's Table 4.
+func (t4 Table4) Write(w io.Writer) {
+	fmt.Fprintf(w, "Critical points in reconstructed trajectories  %d\n", t4.PointsInTrajectories)
+	fmt.Fprintf(w, "Critical points remaining in staging area      %d\n", t4.PointsInStaging)
+	fmt.Fprintf(w, "Number of trips between ports                  %d\n", t4.Trips)
+	fmt.Fprintf(w, "Average trips per vessel                       %.1f\n", t4.AvgTripsPerVessel)
+	fmt.Fprintf(w, "Average number of critical points per trip     %.1f\n", t4.AvgPointsPerTrip)
+	fmt.Fprintf(w, "Average travel time per trip                   %s\n", t4.AvgTravelTime.Round(time.Second))
+	fmt.Fprintf(w, "Average traveled distance per trip             %.3fkm\n", t4.AvgDistanceMeters/1000)
+}
+
+// ODPair is one origin–destination connection.
+type ODPair struct {
+	Origin string // "" for unknown origins
+	Dest   string
+}
+
+// ODMatrix aggregates trip counts by origin–destination pair — the
+// paper's offline analytics for identifying connections between ports
+// (§3.3).
+func (m *MOD) ODMatrix() map[ODPair]int {
+	out := make(map[ODPair]int)
+	for _, t := range m.trips {
+		out[ODPair{Origin: t.Origin, Dest: t.Dest}]++
+	}
+	return out
+}
+
+// TravelStats summarizes one vessel's archived history.
+type TravelStats struct {
+	MMSI           uint32
+	Trips          int
+	DistanceMeters float64
+	TravelTime     time.Duration
+	VisitedPorts   []string // distinct destination ports, sorted
+}
+
+// VesselStats computes per-vessel travel statistics over all archived
+// trips, keyed by MMSI.
+func (m *MOD) VesselStats() map[uint32]TravelStats {
+	out := make(map[uint32]TravelStats)
+	ports := make(map[uint32]map[string]bool)
+	for _, t := range m.trips {
+		s := out[t.MMSI]
+		s.MMSI = t.MMSI
+		s.Trips++
+		s.DistanceMeters += t.DistanceMeters()
+		s.TravelTime += t.Duration()
+		if ports[t.MMSI] == nil {
+			ports[t.MMSI] = make(map[string]bool)
+		}
+		ports[t.MMSI][t.Dest] = true
+		out[t.MMSI] = s
+	}
+	for mmsi, set := range ports {
+		s := out[mmsi]
+		for p := range set {
+			s.VisitedPorts = append(s.VisitedPorts, p)
+		}
+		sort.Strings(s.VisitedPorts)
+		out[mmsi] = s
+	}
+	return out
+}
+
+// FrequentRoutes returns the busiest origin–destination pairs with at
+// least minTrips trips, ordered by descending count — the "corridors"
+// of the paper's motion-pattern analytics.
+func (m *MOD) FrequentRoutes(minTrips int) []struct {
+	Pair  ODPair
+	Count int
+} {
+	var out []struct {
+		Pair  ODPair
+		Count int
+	}
+	for pair, n := range m.ODMatrix() {
+		if n >= minTrips {
+			out = append(out, struct {
+				Pair  ODPair
+				Count int
+			}{pair, n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Pair.Origin != out[j].Pair.Origin {
+			return out[i].Pair.Origin < out[j].Pair.Origin
+		}
+		return out[i].Pair.Dest < out[j].Pair.Dest
+	})
+	return out
+}

@@ -1,0 +1,186 @@
+package mod
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Spatiotemporal trip clustering (paper §3.3): "Hermes MOD incorporates
+// an algorithm for spatiotemporal clustering, which can help exploring
+// periodicity of trips. Indeed, two (or more) trajectory clusters may
+// be almost identical spatially, but they are distinct because the
+// temporal dimension is taken into consideration when calculating
+// distances between pairs of trajectory segments."
+//
+// The implementation is k-medoids over a spatiotemporal trip distance:
+// the spatial term samples both paths at aligned fractions of their
+// durations (as in Similarity), and the temporal term compares
+// time-of-day of departure, so spatially identical itineraries sailed
+// at different hours separate into distinct clusters.
+
+// ClusterOptions parameterizes TripClusters.
+type ClusterOptions struct {
+	// K is the number of clusters.
+	K int
+	// TemporalWeight converts departure-time difference into meters of
+	// equivalent distance: a weight of 20 makes one hour of time-of-day
+	// difference count like 72 km of spatial separation. Zero clusters
+	// purely spatially.
+	TemporalWeight float64
+	// Samples per trip for the spatial term (default 8).
+	Samples int
+	// MaxIterations bounds the medoid refinement (default 20).
+	MaxIterations int
+	// Seed makes medoid initialization deterministic.
+	Seed int64
+}
+
+// Cluster is one group of trips around a medoid.
+type Cluster struct {
+	Medoid *Trip
+	Trips  []*Trip
+}
+
+// stDistance is the spatiotemporal distance between two trips in
+// meters-equivalent.
+func stDistance(a, b *Trip, samples int, temporalWeight float64) float64 {
+	d := Similarity(a, b, samples)
+	if temporalWeight > 0 {
+		d += temporalWeight * timeOfDayDiff(a.Start, b.Start).Seconds()
+	}
+	return d
+}
+
+// timeOfDayDiff returns the circular difference between the
+// times-of-day of two instants, in [0, 12h].
+func timeOfDayDiff(a, b time.Time) time.Duration {
+	au := a.UTC()
+	bu := b.UTC()
+	secA := au.Hour()*3600 + au.Minute()*60 + au.Second()
+	secB := bu.Hour()*3600 + bu.Minute()*60 + bu.Second()
+	d := secA - secB
+	if d < 0 {
+		d = -d
+	}
+	if d > 43200 {
+		d = 86400 - d
+	}
+	return time.Duration(d) * time.Second
+}
+
+// TripClusters clusters the given trips with k-medoids under the
+// spatiotemporal distance. Fewer trips than K yields one singleton
+// cluster per trip. The result is deterministic for a fixed seed, with
+// clusters ordered by descending size.
+func TripClusters(trips []*Trip, opt ClusterOptions) []Cluster {
+	if opt.K <= 0 {
+		opt.K = 2
+	}
+	if opt.Samples <= 0 {
+		opt.Samples = 8
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 20
+	}
+	n := len(trips)
+	if n == 0 {
+		return nil
+	}
+	if n <= opt.K {
+		out := make([]Cluster, n)
+		for i, t := range trips {
+			out[i] = Cluster{Medoid: t, Trips: []*Trip{t}}
+		}
+		return out
+	}
+
+	// Precompute the pairwise distance matrix; trip counts here are
+	// archive-scale (thousands at most), so O(n²) is acceptable offline.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := stDistance(trips[i], trips[j], opt.Samples, opt.TemporalWeight)
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	// Initialize medoids: first at random, the rest maximally distant
+	// from chosen ones (a deterministic k-means++-like seeding).
+	rng := rand.New(rand.NewSource(opt.Seed))
+	medoids := []int{rng.Intn(n)}
+	for len(medoids) < opt.K {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			nearest := math.Inf(1)
+			for _, m := range medoids {
+				if dist[i][m] < nearest {
+					nearest = dist[i][m]
+				}
+			}
+			if nearest > bestD {
+				best, bestD = i, nearest
+			}
+		}
+		medoids = append(medoids, best)
+	}
+
+	assign := make([]int, n)
+	assignAll := func() {
+		for i := 0; i < n; i++ {
+			bestK, bestD := 0, math.Inf(1)
+			for k, m := range medoids {
+				if dist[i][m] < bestD {
+					bestK, bestD = k, dist[i][m]
+				}
+			}
+			assign[i] = bestK
+		}
+	}
+	assignAll()
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		changed := false
+		for k := range medoids {
+			// The new medoid minimizes the total distance to its cluster.
+			bestM, bestSum := medoids[k], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != k {
+					continue
+				}
+				sum := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == k {
+						sum += dist[i][j]
+					}
+				}
+				if sum < bestSum {
+					bestM, bestSum = i, sum
+				}
+			}
+			if bestM != medoids[k] {
+				medoids[k] = bestM
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		assignAll()
+	}
+
+	out := make([]Cluster, len(medoids))
+	for k, m := range medoids {
+		out[k] = Cluster{Medoid: trips[m]}
+	}
+	for i, k := range assign {
+		out[k].Trips = append(out[k].Trips, trips[i])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i].Trips) > len(out[j].Trips) })
+	return out
+}

@@ -1,0 +1,211 @@
+package mod
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/tracker"
+)
+
+// routeTrip builds a straight synthetic trip from a to b departing at
+// dep with the given duration.
+func routeTrip(mmsi uint32, a, b geo.Point, dep time.Time, dur time.Duration) *Trip {
+	const n = 6
+	pts := make([]tracker.CriticalPoint, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / (n - 1)
+		pts[i] = tracker.CriticalPoint{
+			MMSI: mmsi,
+			Pos:  geo.Interpolate(a, b, f),
+			Time: dep.Add(time.Duration(f * float64(dur))),
+		}
+	}
+	return &Trip{
+		MMSI: mmsi, Origin: "A", Dest: "B",
+		Points: pts, Start: dep, End: dep.Add(dur),
+	}
+}
+
+func TestTripClustersSpatialSeparation(t *testing.T) {
+	dep := time.Date(2009, 6, 1, 8, 0, 0, 0, time.UTC)
+	north := []geo.Point{{Lon: 23, Lat: 39}, {Lon: 25, Lat: 40}}
+	south := []geo.Point{{Lon: 24, Lat: 35}, {Lon: 26, Lat: 36}}
+	var trips []*Trip
+	for i := 0; i < 4; i++ {
+		trips = append(trips, routeTrip(uint32(100+i), north[0], north[1],
+			dep.AddDate(0, 0, i), 3*time.Hour))
+		trips = append(trips, routeTrip(uint32(200+i), south[0], south[1],
+			dep.AddDate(0, 0, i), 3*time.Hour))
+	}
+	clusters := TripClusters(trips, ClusterOptions{K: 2, Seed: 1})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	for _, c := range clusters {
+		if len(c.Trips) != 4 {
+			t.Fatalf("cluster sizes = %d/%d, want 4/4", len(clusters[0].Trips), len(clusters[1].Trips))
+		}
+		// All members share the medoid's route (north or south).
+		medoidLat := c.Medoid.Points[0].Pos.Lat
+		for _, tr := range c.Trips {
+			if (tr.Points[0].Pos.Lat > 38) != (medoidLat > 38) {
+				t.Errorf("route mixed into wrong cluster")
+			}
+		}
+	}
+}
+
+func TestTripClustersTemporalSeparation(t *testing.T) {
+	// Identical routes sailed at 08:00 vs 20:00: spatially identical,
+	// temporally distinct (the paper's periodicity example).
+	a, b := geo.Point{Lon: 23, Lat: 38}, geo.Point{Lon: 25, Lat: 38.5}
+	var trips []*Trip
+	for i := 0; i < 4; i++ {
+		day := time.Date(2009, 6, 1+i, 0, 0, 0, 0, time.UTC)
+		trips = append(trips, routeTrip(uint32(300+i), a, b, day.Add(8*time.Hour), 3*time.Hour))
+		trips = append(trips, routeTrip(uint32(400+i), a, b, day.Add(20*time.Hour), 3*time.Hour))
+	}
+	// Purely spatial clustering cannot separate them...
+	spatial := TripClusters(trips, ClusterOptions{K: 2, Seed: 1})
+	if len(spatial[0].Trips) == 4 && morningsOnly(spatial[0].Trips) {
+		t.Error("spatial clustering separated by time of day without a temporal term")
+	}
+	// ...the spatiotemporal distance can.
+	st := TripClusters(trips, ClusterOptions{K: 2, Seed: 1, TemporalWeight: 20})
+	if len(st[0].Trips) != 4 || len(st[1].Trips) != 4 {
+		t.Fatalf("spatiotemporal cluster sizes = %d/%d", len(st[0].Trips), len(st[1].Trips))
+	}
+	for _, c := range st {
+		hour := c.Trips[0].Start.Hour()
+		for _, tr := range c.Trips {
+			if tr.Start.Hour() != hour {
+				t.Errorf("departure hours mixed within a cluster")
+			}
+		}
+	}
+}
+
+func morningsOnly(trips []*Trip) bool {
+	for _, t := range trips {
+		if t.Start.Hour() != 8 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTripClustersDegenerateInputs(t *testing.T) {
+	if got := TripClusters(nil, ClusterOptions{K: 3}); got != nil {
+		t.Errorf("clusters of nothing = %v", got)
+	}
+	one := routeTrip(1, geo.Point{Lon: 23, Lat: 38}, geo.Point{Lon: 24, Lat: 38},
+		time.Date(2009, 6, 1, 8, 0, 0, 0, time.UTC), time.Hour)
+	got := TripClusters([]*Trip{one}, ClusterOptions{K: 3})
+	if len(got) != 1 || got[0].Medoid != one {
+		t.Errorf("singleton clustering = %v", got)
+	}
+}
+
+func TestTimeOfDayDiff(t *testing.T) {
+	at := func(h int) time.Time { return time.Date(2009, 6, 1, h, 0, 0, 0, time.UTC) }
+	if d := timeOfDayDiff(at(8), at(10)); d != 2*time.Hour {
+		t.Errorf("8↔10 = %v", d)
+	}
+	// Circular: 23:00 vs 01:00 is 2 h apart, not 22.
+	late := time.Date(2009, 6, 1, 23, 0, 0, 0, time.UTC)
+	early := time.Date(2009, 6, 3, 1, 0, 0, 0, time.UTC)
+	if d := timeOfDayDiff(late, early); d != 2*time.Hour {
+		t.Errorf("23↔01 = %v", d)
+	}
+	if d := timeOfDayDiff(at(6), at(6)); d != 0 {
+		t.Errorf("equal = %v", d)
+	}
+}
+
+func TestAggregateTrips(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.Stage(voyagePoints(2))
+	m.ReconstructAndLoad()
+	byDay := m.AggregateTrips(ByDay)
+	if len(byDay) != 1 {
+		t.Fatalf("day buckets = %d, want 1", len(byDay))
+	}
+	s := byDay[0]
+	if s.Trips != 4 || s.Vessels != 2 {
+		t.Errorf("day stats = %+v", s)
+	}
+	if s.DistanceMeters <= 0 || s.TravelTime <= 0 {
+		t.Errorf("degenerate aggregates: %+v", s)
+	}
+	if len(m.AggregateTrips(ByWeek)) != 1 || len(m.AggregateTrips(ByMonth)) != 1 {
+		t.Error("week/month bucketing broken")
+	}
+	// 1 June 2009 is a Monday: the week bucket must be that same day.
+	if !m.AggregateTrips(ByWeek)[0].Period.Equal(t0) {
+		t.Errorf("week bucket = %v", m.AggregateTrips(ByWeek)[0].Period)
+	}
+}
+
+func TestIdlePeriods(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(7))
+	m.ReconstructAndLoad()
+	idles := m.IdlePeriods()
+	// Between arriving at Heraklion (6h) and departing it (8h).
+	if len(idles) != 1 {
+		t.Fatalf("idle periods = %d, want 1 (%v)", len(idles), idles)
+	}
+	p := idles[0]
+	if p.Port != "Heraklion" || p.Duration() != 2*time.Hour {
+		t.Errorf("idle = %+v (duration %v)", p, p.Duration())
+	}
+}
+
+func TestTravelingTogether(t *testing.T) {
+	dep := time.Date(2009, 6, 1, 8, 0, 0, 0, time.UTC)
+	a := geo.Point{Lon: 23, Lat: 38}
+	b := geo.Point{Lon: 25, Lat: 38.5}
+	m := New(testPorts())
+	// Two vessels in convoy: same route, same departure, 300 m abeam.
+	convoy1 := routeTrip(501, a, b, dep, 4*time.Hour)
+	aOff := geo.Destination(a, 0, 300)
+	bOff := geo.Destination(b, 0, 300)
+	convoy2 := routeTrip(502, aOff, bOff, dep, 4*time.Hour)
+	// A third vessel on the same route three hours later: no overlap in
+	// proximity.
+	straggler := routeTrip(503, a, b, dep.Add(3*time.Hour), 4*time.Hour)
+	m.Load([]*Trip{convoy1, convoy2, straggler})
+
+	got := m.TravelingTogether(1000, time.Hour)
+	if len(got) != 1 {
+		t.Fatalf("companionships = %d (%v), want 1", len(got), got)
+	}
+	c := got[0]
+	if c.A.MMSI != 501 || c.B.MMSI != 502 {
+		t.Errorf("pair = %d,%d", c.A.MMSI, c.B.MMSI)
+	}
+	if c.Overlap() != 4*time.Hour {
+		t.Errorf("overlap = %v", c.Overlap())
+	}
+	if c.MaxDist > 1000 || c.MaxDist < 100 {
+		t.Errorf("max separation = %.0f m, want ≈300", c.MaxDist)
+	}
+}
+
+func TestTravelingTogetherIgnoresSameVessel(t *testing.T) {
+	dep := time.Date(2009, 6, 1, 8, 0, 0, 0, time.UTC)
+	a := geo.Point{Lon: 23, Lat: 38}
+	b := geo.Point{Lon: 25, Lat: 38.5}
+	m := New(testPorts())
+	// The same vessel's consecutive overlapping-in-error trips must not
+	// pair with themselves.
+	m.Load([]*Trip{
+		routeTrip(601, a, b, dep, 4*time.Hour),
+		routeTrip(601, a, b, dep.Add(time.Hour), 4*time.Hour),
+	})
+	if got := m.TravelingTogether(100000, time.Minute); len(got) != 0 {
+		t.Errorf("self-pairing: %v", got)
+	}
+}

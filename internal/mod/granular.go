@@ -1,0 +1,123 @@
+package mod
+
+import (
+	"sort"
+	"time"
+)
+
+// Granular aggregates (paper §3.3): "a series of derived tables can
+// offer historical information about traveled distances and travel
+// times per ship, idle periods at dock, visited ports, etc. Such
+// aggregates may be obtained at various time granularities (e.g., per
+// week, month, or year)".
+
+// Granularity buckets trips by the calendar period of their start.
+type Granularity int
+
+// Granularities.
+const (
+	ByDay Granularity = iota
+	ByWeek
+	ByMonth
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	return []string{"day", "week", "month"}[g]
+}
+
+// bucket truncates t to the start of its period.
+func (g Granularity) bucket(t time.Time) time.Time {
+	u := t.UTC()
+	switch g {
+	case ByDay:
+		return time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC)
+	case ByWeek:
+		// ISO-ish week: truncate to the preceding Monday.
+		d := time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC)
+		for d.Weekday() != time.Monday {
+			d = d.AddDate(0, 0, -1)
+		}
+		return d
+	default:
+		return time.Date(u.Year(), u.Month(), 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// PeriodStats aggregates the trips starting within one period.
+type PeriodStats struct {
+	Period         time.Time // period start
+	Trips          int
+	Vessels        int // distinct vessels that sailed
+	DistanceMeters float64
+	TravelTime     time.Duration
+}
+
+// AggregateTrips buckets the archive by the given granularity, sorted
+// by period.
+func (m *MOD) AggregateTrips(g Granularity) []PeriodStats {
+	byPeriod := make(map[time.Time]*PeriodStats)
+	vessels := make(map[time.Time]map[uint32]bool)
+	for _, t := range m.trips {
+		p := g.bucket(t.Start)
+		s := byPeriod[p]
+		if s == nil {
+			s = &PeriodStats{Period: p}
+			byPeriod[p] = s
+			vessels[p] = make(map[uint32]bool)
+		}
+		s.Trips++
+		s.DistanceMeters += t.DistanceMeters()
+		s.TravelTime += t.Duration()
+		vessels[p][t.MMSI] = true
+	}
+	out := make([]PeriodStats, 0, len(byPeriod))
+	for p, s := range byPeriod {
+		s.Vessels = len(vessels[p])
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Period.Before(out[j].Period) })
+	return out
+}
+
+// IdlePeriod is a docked interval between two consecutive trips of one
+// vessel at the same port.
+type IdlePeriod struct {
+	MMSI  uint32
+	Port  string
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the idle time at dock.
+func (p IdlePeriod) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// IdlePeriods derives the docked intervals between consecutive trips
+// per vessel: the gap between arriving at a port and departing on the
+// next trip whose origin is that port.
+func (m *MOD) IdlePeriods() []IdlePeriod {
+	var out []IdlePeriod
+	byVessel := make(map[uint32][]*Trip)
+	for _, t := range m.trips {
+		byVessel[t.MMSI] = append(byVessel[t.MMSI], t)
+	}
+	mmsis := make([]uint32, 0, len(byVessel))
+	for mmsi := range byVessel {
+		mmsis = append(mmsis, mmsi)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
+	for _, mmsi := range mmsis {
+		trips := byVessel[mmsi]
+		sort.Slice(trips, func(i, j int) bool { return trips[i].Start.Before(trips[j].Start) })
+		for i := 1; i < len(trips); i++ {
+			prev, next := trips[i-1], trips[i]
+			if prev.Dest != next.Origin || !next.Start.After(prev.End) {
+				continue
+			}
+			out = append(out, IdlePeriod{
+				MMSI: mmsi, Port: prev.Dest, Start: prev.End, End: next.Start,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package mod
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/tracker"
+)
+
+var t0 = time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testPorts() []PortArea {
+	sq := func(lon, lat float64) *geo.Polygon {
+		return geo.MustPolygon([]geo.Point{
+			{Lon: lon - 0.01, Lat: lat - 0.01},
+			{Lon: lon + 0.01, Lat: lat - 0.01},
+			{Lon: lon + 0.01, Lat: lat + 0.01},
+			{Lon: lon - 0.01, Lat: lat + 0.01},
+		})
+	}
+	return []PortArea{
+		{Name: "Piraeus", Poly: sq(23.63, 37.94)},
+		{Name: "Heraklion", Poly: sq(25.14, 35.345)},
+	}
+}
+
+// cp builds a critical point.
+func cp(mmsi uint32, lon, lat float64, at time.Duration, et tracker.EventType) tracker.CriticalPoint {
+	return tracker.CriticalPoint{
+		MMSI: mmsi, Pos: geo.Point{Lon: lon, Lat: lat}, Time: t0.Add(at), Type: et,
+	}
+}
+
+// voyagePoints returns a synthetic delta stream: depart Piraeus, cruise,
+// stop at Heraklion, cruise back, stop at Piraeus.
+func voyagePoints(mmsi uint32) []tracker.CriticalPoint {
+	return []tracker.CriticalPoint{
+		cp(mmsi, 23.63, 37.94, 0, tracker.EventStopEnd), // docked at Piraeus
+		cp(mmsi, 23.80, 37.60, 1*time.Hour, tracker.EventTurn),
+		cp(mmsi, 24.40, 36.60, 3*time.Hour, tracker.EventSpeedChange),
+		cp(mmsi, 25.14, 35.345, 6*time.Hour, tracker.EventStopStart), // arrive Heraklion
+		cp(mmsi, 25.14, 35.345, 8*time.Hour, tracker.EventStopEnd),   // depart Heraklion
+		cp(mmsi, 24.40, 36.60, 11*time.Hour, tracker.EventTurn),
+		cp(mmsi, 23.63, 37.94, 14*time.Hour, tracker.EventStopStart), // arrive Piraeus
+	}
+}
+
+func TestReconstructSegmentsTrips(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	n := m.ReconstructAndLoad()
+	// Stops: Piraeus@0 (origin anchor; the segment to it is degenerate),
+	// Heraklion@6h (trip 1), Heraklion@8h (same port, degenerate),
+	// Piraeus@14h (trip 2).
+	if n != 2 {
+		t.Fatalf("trips reconstructed = %d, want 2", n)
+	}
+	trips := m.TripsOf(1)
+	if len(trips) != 2 {
+		t.Fatalf("trips = %d", len(trips))
+	}
+	if trips[0].Origin != "Piraeus" || trips[0].Dest != "Heraklion" {
+		t.Errorf("trip 1 = %s → %s", trips[0].Origin, trips[0].Dest)
+	}
+	if trips[1].Origin != "Heraklion" || trips[1].Dest != "Piraeus" {
+		t.Errorf("trip 2 = %s → %s", trips[1].Origin, trips[1].Dest)
+	}
+	if d := trips[0].DistanceMeters(); d < 200000 || d > 500000 {
+		t.Errorf("trip 1 distance = %.0f m", d)
+	}
+	if trips[0].Duration() != 6*time.Hour {
+		t.Errorf("trip 1 duration = %v", trips[0].Duration())
+	}
+}
+
+func TestReconstructUnknownOrigin(t *testing.T) {
+	// Vessel first seen mid-sea: its first trip has an unknown origin.
+	m := New(testPorts())
+	pts := []tracker.CriticalPoint{
+		cp(2, 24.5, 36.8, 0, tracker.EventFirst),
+		cp(2, 24.9, 36.0, 2*time.Hour, tracker.EventTurn),
+		cp(2, 25.14, 35.345, 4*time.Hour, tracker.EventStopStart),
+	}
+	m.Stage(pts)
+	if n := m.ReconstructAndLoad(); n != 1 {
+		t.Fatalf("trips = %d, want 1", n)
+	}
+	trip := m.Trips()[0]
+	if trip.Origin != "" {
+		t.Errorf("origin = %q, want unknown", trip.Origin)
+	}
+	if trip.Dest != "Heraklion" {
+		t.Errorf("dest = %q", trip.Dest)
+	}
+	if !strings.Contains(trip.String(), "?→Heraklion") {
+		t.Errorf("String() = %q", trip.String())
+	}
+}
+
+func TestReconstructLeavesOpenTripStaged(t *testing.T) {
+	m := New(testPorts())
+	pts := voyagePoints(3)
+	// Add a tail after the last port stop: an open-ended trip.
+	pts = append(pts,
+		cp(3, 23.8, 37.7, 15*time.Hour, tracker.EventTurn),
+		cp(3, 24.0, 37.3, 16*time.Hour, tracker.EventSpeedChange),
+	)
+	m.Stage(pts)
+	m.ReconstructAndLoad()
+	// The anchor stop plus the two tail points remain staged.
+	if got := m.StagedCount(); got != 3 {
+		t.Errorf("staged = %d, want 3", got)
+	}
+	// A later batch completing the journey closes the trip.
+	m.Stage([]tracker.CriticalPoint{
+		cp(3, 25.14, 35.345, 20*time.Hour, tracker.EventStopStart),
+	})
+	if n := m.ReconstructAndLoad(); n != 1 {
+		t.Errorf("second pass trips = %d, want 1", n)
+	}
+}
+
+func TestReconstructIncrementalEqualsOneShot(t *testing.T) {
+	pts := voyagePoints(4)
+	oneShot := New(testPorts())
+	oneShot.Stage(pts)
+	oneShot.ReconstructAndLoad()
+
+	incr := New(testPorts())
+	for _, p := range pts {
+		incr.Stage([]tracker.CriticalPoint{p})
+		incr.ReconstructAndLoad()
+	}
+	a, b := oneShot.Trips(), incr.Trips()
+	if len(a) != len(b) {
+		t.Fatalf("one-shot %d trips, incremental %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Origin != b[i].Origin || a[i].Dest != b[i].Dest ||
+			len(a[i].Points) != len(b[i].Points) {
+			t.Errorf("trip %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNoTripForDockedVessel(t *testing.T) {
+	m := New(testPorts())
+	// A vessel at anchor: repeated stops at the same port.
+	m.Stage([]tracker.CriticalPoint{
+		cp(5, 23.63, 37.94, 0, tracker.EventStopEnd),
+		cp(5, 23.631, 37.941, 2*time.Hour, tracker.EventStopStart),
+		cp(5, 23.631, 37.941, 5*time.Hour, tracker.EventStopEnd),
+	})
+	if n := m.ReconstructAndLoad(); n != 0 {
+		t.Errorf("docked vessel produced %d trips", n)
+	}
+}
+
+func TestTable4Stats(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.Stage(voyagePoints(2))
+	m.ReconstructAndLoad()
+	t4 := m.Table4Stats()
+	if t4.Trips != 4 {
+		t.Fatalf("trips = %d, want 4", t4.Trips)
+	}
+	if t4.AvgTripsPerVessel != 2 {
+		t.Errorf("avg trips/vessel = %v, want 2", t4.AvgTripsPerVessel)
+	}
+	if t4.AvgPointsPerTrip < 3 || t4.AvgPointsPerTrip > 5 {
+		t.Errorf("avg points/trip = %v", t4.AvgPointsPerTrip)
+	}
+	if t4.AvgTravelTime != 6*time.Hour {
+		t.Errorf("avg travel time = %v", t4.AvgTravelTime)
+	}
+	if t4.AvgDistanceMeters < 200000 {
+		t.Errorf("avg distance = %v", t4.AvgDistanceMeters)
+	}
+	var sb strings.Builder
+	t4.Write(&sb)
+	if !strings.Contains(sb.String(), "Number of trips between ports") {
+		t.Error("Write missing table rows")
+	}
+}
+
+func TestODMatrixAndFrequentRoutes(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.Stage(voyagePoints(2))
+	m.ReconstructAndLoad()
+	od := m.ODMatrix()
+	if od[ODPair{"Piraeus", "Heraklion"}] != 2 {
+		t.Errorf("OD[Piraeus→Heraklion] = %d, want 2", od[ODPair{"Piraeus", "Heraklion"}])
+	}
+	routes := m.FrequentRoutes(2)
+	if len(routes) != 2 {
+		t.Fatalf("frequent routes = %d, want 2", len(routes))
+	}
+	if routes[0].Count != 2 {
+		t.Errorf("top route count = %d", routes[0].Count)
+	}
+}
+
+func TestVesselStats(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(9))
+	m.ReconstructAndLoad()
+	stats := m.VesselStats()
+	s, ok := stats[9]
+	if !ok {
+		t.Fatal("no stats for vessel 9")
+	}
+	if s.Trips != 2 {
+		t.Errorf("trips = %d", s.Trips)
+	}
+	if len(s.VisitedPorts) != 2 {
+		t.Errorf("visited ports = %v", s.VisitedPorts)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.ReconstructAndLoad()
+	// Box around the mid-sea waypoint, covering the first trip's times.
+	box := geo.BBox{MinLon: 24.3, MinLat: 36.5, MaxLon: 24.5, MaxLat: 36.7}
+	got := m.RangeQuery(box, t0, t0.Add(4*time.Hour))
+	if len(got) != 1 {
+		t.Fatalf("range query = %d trips, want 1", len(got))
+	}
+	// Same box, but a time interval when the vessel was elsewhere.
+	got = m.RangeQuery(box, t0.Add(5*time.Hour), t0.Add(7*time.Hour))
+	if len(got) != 0 {
+		t.Errorf("out-of-time range query = %d trips", len(got))
+	}
+	// A box nowhere near the route.
+	far := geo.BBox{MinLon: 20, MinLat: 39, MaxLon: 20.5, MaxLat: 39.5}
+	if got := m.RangeQuery(far, t0, t0.Add(24*time.Hour)); len(got) != 0 {
+		t.Errorf("far range query = %d trips", len(got))
+	}
+}
+
+func TestNearestTrips(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.ReconstructAndLoad()
+	got := m.NearestTrips(geo.Point{Lon: 24.4, Lat: 36.6}, 1)
+	if len(got) != 1 {
+		t.Fatalf("nearest = %d", len(got))
+	}
+	if got[0].Dest != "Heraklion" && got[0].Dest != "Piraeus" {
+		t.Errorf("unexpected trip %v", got[0])
+	}
+	if got := m.NearestTrips(geo.Point{}, 10); len(got) != 2 {
+		t.Errorf("k larger than store: %d trips", len(got))
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.Stage(voyagePoints(2))
+	m.ReconstructAndLoad()
+	t1 := m.TripsOf(1)
+	t2 := m.TripsOf(2)
+	// Identical itineraries: outbound trips are maximally similar.
+	if d := Similarity(t1[0], t2[0], 16); d > 1 {
+		t.Errorf("identical trips similarity = %.1f m", d)
+	}
+	// Outbound vs return differ along the path midpoints in time.
+	if d := Similarity(t1[0], t1[1], 16); d < 10000 {
+		t.Errorf("opposite trips similarity = %.1f m, expected large", d)
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.ReconstructAndLoad()
+	// Mid-way through the first trip (hour 3 of Piraeus→Heraklion).
+	p, ok := m.PositionAt(1, t0.Add(3*time.Hour))
+	if !ok {
+		t.Fatal("no position for an archived instant")
+	}
+	if d := geo.Haversine(p, geo.Point{Lon: 24.40, Lat: 36.60}); d > 1000 {
+		t.Errorf("position %.0f m from the trip's mid waypoint", d)
+	}
+	// An instant covered only by staged (unassigned) points.
+	m.Stage([]tracker.CriticalPoint{
+		cp(2, 24.0, 37.0, 0, tracker.EventFirst),
+		cp(2, 25.0, 36.5, 2*time.Hour, tracker.EventTurn),
+	})
+	if _, ok := m.PositionAt(2, t0.Add(time.Hour)); !ok {
+		t.Error("staged trajectory not consulted")
+	}
+	// Outside any coverage.
+	if _, ok := m.PositionAt(1, t0.Add(-time.Hour)); ok {
+		t.Error("position invented before first contact")
+	}
+	if _, ok := m.PositionAt(999, t0); ok {
+		t.Error("position for unknown vessel")
+	}
+}

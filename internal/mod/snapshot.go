@@ -1,0 +1,65 @@
+package mod
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tracker"
+)
+
+// Durable state (paper §2: "'Delta' critical points ... are
+// periodically sent from main memory into a staging area on disk" and
+// trajectories are "physically archived in a database"). The store
+// serializes its staging area, per-vessel origins, and archived trips
+// so a surveillance process can restart without losing the trajectory
+// history.
+
+// snapshot is the serialized form of a store.
+type snapshot struct {
+	Staging map[uint32][]tracker.CriticalPoint
+	Origin  map[uint32]string
+	Trips   []Trip
+}
+
+// SaveSnapshot serializes the store.
+func (m *MOD) SaveSnapshot(w io.Writer) error {
+	snap := snapshot{
+		Staging: m.staging,
+		Origin:  m.origin,
+		Trips:   make([]Trip, len(m.trips)),
+	}
+	for i, t := range m.trips {
+		snap.Trips[i] = *t
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("mod: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreSnapshot replaces the store's contents with a serialized
+// snapshot. The port set is not serialized: it is configuration, and
+// the restoring process supplies it to New.
+func (m *MOD) RestoreSnapshot(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("mod: decoding snapshot: %w", err)
+	}
+	m.staging = snap.Staging
+	if m.staging == nil {
+		m.staging = make(map[uint32][]tracker.CriticalPoint)
+	}
+	m.origin = snap.Origin
+	if m.origin == nil {
+		m.origin = make(map[uint32]string)
+	}
+	m.trips = m.trips[:0]
+	m.byVessel = make(map[uint32][]*Trip)
+	for i := range snap.Trips {
+		t := snap.Trips[i]
+		m.trips = append(m.trips, &t)
+		m.byVessel[t.MMSI] = append(m.byVessel[t.MMSI], &t)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package mod
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tracker"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New(testPorts())
+	src.Stage(voyagePoints(1))
+	src.Stage(voyagePoints(2))
+	src.ReconstructAndLoad()
+	// Leave an open trip staged for vessel 3.
+	src.Stage([]tracker.CriticalPoint{
+		cp(3, 24.0, 37.0, 0, tracker.EventFirst),
+		cp(3, 24.2, 36.8, time.Hour, tracker.EventTurn),
+	})
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(testPorts())
+	if err := dst.RestoreSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(dst.Trips()), len(src.Trips()); got != want {
+		t.Fatalf("trips after restore = %d, want %d", got, want)
+	}
+	if got, want := dst.StagedCount(), src.StagedCount(); got != want {
+		t.Fatalf("staged after restore = %d, want %d", got, want)
+	}
+	if !reflect.DeepEqual(dst.Table4Stats(), src.Table4Stats()) {
+		t.Errorf("Table 4 differs after restore")
+	}
+	// The per-vessel index must be rebuilt.
+	if len(dst.TripsOf(1)) != len(src.TripsOf(1)) {
+		t.Errorf("per-vessel index broken after restore")
+	}
+}
+
+func TestSnapshotRestoreContinuesIncrementally(t *testing.T) {
+	// Reconstruct half the voyage, snapshot, restore into a fresh
+	// process, deliver the rest: same result as an uninterrupted run.
+	pts := voyagePoints(4)
+	mid := len(pts) / 2
+
+	first := New(testPorts())
+	first.Stage(pts[:mid])
+	first.ReconstructAndLoad()
+	var buf bytes.Buffer
+	if err := first.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := New(testPorts())
+	if err := resumed.RestoreSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed.Stage(pts[mid:])
+	resumed.ReconstructAndLoad()
+
+	oneShot := New(testPorts())
+	oneShot.Stage(pts)
+	oneShot.ReconstructAndLoad()
+
+	a, b := resumed.Trips(), oneShot.Trips()
+	if len(a) != len(b) {
+		t.Fatalf("resumed %d trips, one-shot %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Origin != b[i].Origin || a[i].Dest != b[i].Dest || len(a[i].Points) != len(b[i].Points) {
+			t.Errorf("trip %d differs after restore: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotToFile(t *testing.T) {
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.ReconstructAndLoad()
+
+	path := filepath.Join(t.TempDir(), "mod.snapshot")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	restored := New(testPorts())
+	if err := restored.RestoreSnapshot(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Trips()) != len(m.Trips()) {
+		t.Errorf("file round trip lost trips")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	m := New(testPorts())
+	err := m.RestoreSnapshot(strings.NewReader("not a gob stream"))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

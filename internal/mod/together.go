@@ -1,0 +1,85 @@
+package mod
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/tracker"
+)
+
+// Ships traveling together — the spatiotemporal interaction the paper
+// names as a target of sequence-aware processing (§2: "spatiotemporal
+// interactions (e.g., ships traveling together)"). Two archived trips
+// travel together when their time intervals overlap long enough and,
+// throughout the overlap, the reconstructed positions stay within a
+// distance bound.
+
+// Companionship describes one detected joint movement.
+type Companionship struct {
+	A, B    *Trip
+	From    time.Time
+	To      time.Time
+	MaxDist float64 // worst observed separation during the overlap
+}
+
+// Overlap returns the duration of the joint movement.
+func (c Companionship) Overlap() time.Duration { return c.To.Sub(c.From) }
+
+// TravelingTogether scans the archive for pairs of trips by different
+// vessels that overlap in time for at least minOverlap and whose
+// reconstructed positions stay within maxDistMeters at sampled instants
+// throughout the overlap. Pairs are returned ordered by descending
+// overlap.
+func (m *MOD) TravelingTogether(maxDistMeters float64, minOverlap time.Duration) []Companionship {
+	const samples = 12
+	var out []Companionship
+	trips := m.trips
+	for i := 0; i < len(trips); i++ {
+		for j := i + 1; j < len(trips); j++ {
+			a, b := trips[i], trips[j]
+			if a.MMSI == b.MMSI {
+				continue
+			}
+			from := a.Start
+			if b.Start.After(from) {
+				from = b.Start
+			}
+			to := a.End
+			if b.End.Before(to) {
+				to = b.End
+			}
+			if to.Sub(from) < minOverlap {
+				continue
+			}
+			sa := tracker.Synopsis(a.Points)
+			sb := tracker.Synopsis(b.Points)
+			worst := 0.0
+			together := true
+			for k := 0; k <= samples; k++ {
+				f := float64(k) / samples
+				at := from.Add(time.Duration(f * float64(to.Sub(from))))
+				pa, _ := sa.At(at)
+				pb, _ := sb.At(at)
+				d := geo.Haversine(pa, pb)
+				if d > worst {
+					worst = d
+				}
+				if d > maxDistMeters {
+					together = false
+					break
+				}
+			}
+			if together {
+				out = append(out, Companionship{A: a, B: b, From: from, To: to, MaxDist: worst})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Overlap() != out[j].Overlap() {
+			return out[i].Overlap() > out[j].Overlap()
+		}
+		return out[i].A.MMSI < out[j].A.MMSI
+	})
+	return out
+}

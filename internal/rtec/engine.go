@@ -1,0 +1,519 @@
+package rtec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event is one instantaneous event occurrence: an input movement event
+// from trajectory detection (turn, speedChange, gap, or the start/end
+// markers of durative MEs), a built-in start/end event of a fluent, or
+// a derived (recognized) instantaneous complex event. Entity is the
+// subject (a vessel MMSI or an area ID); Lon/Lat carry the vessel
+// coordinates that accompany every critical ME (the paper's coord
+// fluent).
+type Event struct {
+	Name   string
+	Entity string
+	Time   Timepoint
+	Lon    float64
+	Lat    float64
+	// P is the detection confidence of the event in (0, 1]; zero means
+	// certain (1), so crisp callers can ignore the field. It is only
+	// consulted in probabilistic mode.
+	P float64
+}
+
+// certainty normalizes the confidence field.
+func certainty(ev Event) float64 {
+	if ev.P <= 0 || ev.P > 1 {
+		return 1
+	}
+	return ev.P
+}
+
+// String renders the event as happensAt(name(entity), t).
+func (e Event) String() string {
+	return fmt.Sprintf("happensAt(%s(%s), %d)", e.Name, e.Entity, e.Time)
+}
+
+// FluentKey identifies one fluent instance with a value: F(Entity)=Value.
+type FluentKey struct {
+	Fluent string
+	Entity string
+	Value  string
+}
+
+// String renders the key as fluent(entity)=value.
+func (k FluentKey) String() string {
+	return fmt.Sprintf("%s(%s)=%s", k.Fluent, k.Entity, k.Value)
+}
+
+// True is the conventional value of Boolean fluents.
+const True = "true"
+
+// TriggerRule relates an event pattern to the fluent instances it
+// initiates or terminates (or, for event definitions, the derived
+// events it produces). When an event named Event occurs at T, Map
+// returns the entities of the defined fluent/event affected at T —
+// empty when the rule's other conditions do not hold. Map receives the
+// evaluation context for holdsAt queries and atemporal predicates over
+// static data.
+type TriggerRule struct {
+	Event string
+	Map   func(ctx *Ctx, ev Event) []string
+}
+
+// SimpleFluentDef defines a simple fluent: per value, the initiatedAt
+// and terminatedAt rules. Maximal intervals follow the law of inertia,
+// with initiation of a different value breaking the current one
+// (the paper's rules (1) and (2)).
+type SimpleFluentDef struct {
+	Name string
+	Init map[string][]TriggerRule // value → initiation rules
+	Term map[string][]TriggerRule // value → termination rules
+}
+
+// EventDef defines a derived instantaneous complex event by happensAt
+// rules (e.g. illegalShipping, rule (5) of the paper).
+type EventDef struct {
+	Name  string
+	Rules []TriggerRule
+}
+
+// InputFluent declares a durative input fluent whose maximal intervals
+// are delivered as paired start/end events in the ME stream (e.g. the
+// tracker's stopStart/stopEnd demarcating stopped(Vessel)=true).
+type InputFluent struct {
+	Name       string
+	StartEvent string
+	EndEvent   string
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	EventsIn      int // events admitted into the working memory
+	EventsLate    int // events discarded for arriving after their window
+	QuerySteps    int // Advance calls
+	DerivedEvents int // instantaneous CE occurrences recognized
+}
+
+// Engine is one RTEC run-time: a working memory of events within the
+// window range ω, plus the registered event description (input fluents,
+// simple fluent definitions, derived event definitions). Definitions
+// are evaluated in registration order; a rule may consult only fluents
+// defined earlier in that order (a stratification the event description
+// developer chooses, as in RTEC's dependency graph).
+type Engine struct {
+	window Timepoint // ω in seconds
+
+	inputFluents []InputFluent
+	defs         []definition // simple and static fluents, in order
+	eventDefs    []EventDef
+	declared     map[string]map[string]bool // fluent → declared entities
+
+	memory  []Event // working memory, kept sorted by time
+	pending []Event // events with occurrence time after the last query time
+
+	fluents map[FluentKey]IntervalList // all computed at the last query time
+	beliefs map[FluentKey][]ProbStep   // belief functions (probabilistic mode)
+	lastQ   Timepoint
+
+	// theta > 0 enables probabilistic recognition of Boolean simple
+	// fluents: maximal intervals are the periods where belief ≥ theta.
+	theta float64
+
+	stats Stats
+}
+
+// NewEngine returns an engine with window range ω (seconds).
+// It panics for a non-positive window.
+func NewEngine(windowSeconds Timepoint) *Engine {
+	if windowSeconds <= 0 {
+		panic("rtec: window must be positive")
+	}
+	return &Engine{
+		window:  windowSeconds,
+		fluents: make(map[FluentKey]IntervalList),
+	}
+}
+
+// SetProbabilistic enables Prob-EC evaluation of Boolean simple fluents
+// (paper §7's uncertainty direction): event confidences evolve a belief
+// function under probabilistic inertia, and a fluent's maximal
+// intervals are the periods where belief is at least theta. Fluents
+// with non-Boolean values and input fluents remain crisp. Pass 0 to
+// return to crisp recognition.
+func (e *Engine) SetProbabilistic(theta float64) { e.theta = theta }
+
+// BeliefOf returns the belief step function of a Boolean simple fluent
+// instance as of the last query time (probabilistic mode only).
+func (e *Engine) BeliefOf(key FluentKey) []ProbStep { return e.beliefs[key] }
+
+// DeclareInputFluent registers a durative input fluent.
+func (e *Engine) DeclareInputFluent(f InputFluent) { e.inputFluents = append(e.inputFluents, f) }
+
+// definition is one entry of the ordered fluent definition list:
+// either a simple fluent or a statically determined one.
+type definition struct {
+	simple *SimpleFluentDef
+	static *StaticFluentDef
+}
+
+// DefineSimpleFluent registers a simple fluent definition.
+func (e *Engine) DefineSimpleFluent(def SimpleFluentDef) {
+	e.defs = append(e.defs, definition{simple: &def})
+}
+
+// DefineEvent registers a derived event definition.
+func (e *Engine) DefineEvent(def EventDef) { e.eventDefs = append(e.eventDefs, def) }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Result is the outcome of one query step.
+type Result struct {
+	Query Timepoint
+	// Derived lists the instantaneous complex events recognized from the
+	// current window contents, in chronological order.
+	Derived []Event
+	// Fluents holds the maximal intervals of every fluent instance
+	// (input, simple, computed) derivable from the window contents.
+	Fluents map[FluentKey]IntervalList
+}
+
+// Advance performs complex event recognition at query time q: events
+// received since the previous step are merged into the working memory,
+// events at or before q-ω are forgotten (newly arriving ones that old
+// are counted as lost, exactly the paper's Figure 5 semantics), and all
+// definitions are re-evaluated over the window contents.
+func (e *Engine) Advance(q Timepoint, incoming []Event) Result {
+	e.stats.QuerySteps++
+	windowStart := q - e.window
+
+	// Admit pending events whose occurrence time is now within reach.
+	carry := e.pending
+	e.pending = nil
+	for _, batch := range [2][]Event{carry, incoming} {
+		for _, ev := range batch {
+			switch {
+			case ev.Time > q:
+				e.pending = append(e.pending, ev)
+			case ev.Time <= windowStart:
+				e.stats.EventsLate++
+			default:
+				e.memory = append(e.memory, ev)
+				e.stats.EventsIn++
+			}
+		}
+	}
+	// Forget events that fell out of the window.
+	live := e.memory[:0]
+	for _, ev := range e.memory {
+		if ev.Time > windowStart {
+			live = append(live, ev)
+		}
+	}
+	e.memory = live
+	sort.SliceStable(e.memory, func(i, j int) bool { return e.memory[i].Time < e.memory[j].Time })
+
+	ctx := &Ctx{
+		engine:      e,
+		Query:       q,
+		WindowStart: windowStart,
+		fluents:     make(map[FluentKey]IntervalList),
+		beliefs:     make(map[FluentKey][]ProbStep),
+		byName:      make(map[string][]Event),
+	}
+	for _, ev := range e.memory {
+		ctx.byName[ev.Name] = append(ctx.byName[ev.Name], ev)
+	}
+
+	// 1. Input durative fluents from their start/end marker events.
+	for _, f := range e.inputFluents {
+		ctx.computeInputFluent(f)
+	}
+	// 2. Definitions in registration order. Derived events from event
+	// definitions become visible to later definitions.
+	var derived []Event
+	for _, def := range e.eventDefs {
+		occ := ctx.evalEventDef(def)
+		derived = append(derived, occ...)
+		for _, ev := range occ {
+			ctx.byName[ev.Name] = append(ctx.byName[ev.Name], ev)
+		}
+	}
+	for _, def := range e.defs {
+		switch {
+		case def.simple != nil:
+			ctx.evalSimpleFluent(*def.simple)
+		case def.static != nil:
+			ctx.evalStaticFluent(def.static)
+		}
+	}
+
+	sort.SliceStable(derived, func(i, j int) bool { return derived[i].Time < derived[j].Time })
+	e.stats.DerivedEvents += len(derived)
+	e.fluents = ctx.fluents
+	e.beliefs = ctx.beliefs
+	e.lastQ = q
+
+	return Result{Query: q, Derived: derived, Fluents: ctx.fluents}
+}
+
+// HoldsFor returns the maximal intervals of a fluent instance as of the
+// last query time.
+func (e *Engine) HoldsFor(key FluentKey) IntervalList { return e.fluents[key] }
+
+// HoldsAt reports whether the fluent instance held at t, as of the last
+// query time.
+func (e *Engine) HoldsAt(key FluentKey, t Timepoint) bool { return e.fluents[key].HoldsAt(t) }
+
+// WorkingMemorySize returns the number of events currently retained.
+func (e *Engine) WorkingMemorySize() int { return len(e.memory) }
+
+// Ctx is the evaluation context passed to rules: it exposes holdsAt
+// queries over already-computed fluents, the event window, and the
+// current query time.
+type Ctx struct {
+	engine      *Engine
+	Query       Timepoint
+	WindowStart Timepoint
+
+	fluents map[FluentKey]IntervalList
+	beliefs map[FluentKey][]ProbStep
+	byName  map[string][]Event
+}
+
+// HoldsAt reports whether a fluent instance (computed earlier in the
+// evaluation order) holds at t.
+func (c *Ctx) HoldsAt(fluent, entity, value string, t Timepoint) bool {
+	return c.fluents[FluentKey{Fluent: fluent, Entity: entity, Value: value}].HoldsAt(t)
+}
+
+// IntervalsOf returns the computed maximal intervals of a fluent
+// instance.
+func (c *Ctx) IntervalsOf(fluent, entity, value string) IntervalList {
+	return c.fluents[FluentKey{Fluent: fluent, Entity: entity, Value: value}]
+}
+
+// EventsNamed returns the window occurrences of the named event in
+// chronological order, including derived and built-in start/end events
+// already produced.
+func (c *Ctx) EventsNamed(name string) []Event { return c.byName[name] }
+
+// EntitiesHolding returns the entities for which fluent=value holds at
+// t, in sorted order. It scans the computed instances of the fluent —
+// the helper behind aggregate conditions like vesselsStoppedIn.
+func (c *Ctx) EntitiesHolding(fluent, value string, t Timepoint) []string {
+	var out []string
+	for key, ivs := range c.fluents {
+		if key.Fluent == fluent && key.Value == value && ivs.HoldsAt(t) {
+			out = append(out, key.Entity)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetComputedFluent installs externally computed maximal intervals for
+// a fluent instance (RTEC's statically determined fluents): later
+// definitions can consult it via HoldsAt. The intervals are clipped to
+// the current window.
+func (c *Ctx) SetComputedFluent(key FluentKey, ivs IntervalList) {
+	c.fluents[key] = Clip(Interval{Since: c.WindowStart, Until: Inf}, ivs)
+	c.emitStartEnd(key, c.fluents[key])
+}
+
+// computeInputFluent converts paired start/end events into maximal
+// intervals per entity. An end without a preceding start yields an
+// interval open on the left at the window start (the episode began
+// before the working memory); a start without an end yields an ongoing
+// interval.
+func (c *Ctx) computeInputFluent(f InputFluent) {
+	type state struct {
+		open      bool
+		since     Timepoint
+		intervals []Interval
+	}
+	states := make(map[string]*state)
+	get := func(entity string) *state {
+		s := states[entity]
+		if s == nil {
+			s = &state{}
+			states[entity] = s
+		}
+		return s
+	}
+	starts := c.byName[f.StartEvent]
+	ends := c.byName[f.EndEvent]
+	merged := make([]Event, 0, len(starts)+len(ends))
+	merged = append(merged, starts...)
+	merged = append(merged, ends...)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Time < merged[j].Time })
+
+	for _, ev := range merged {
+		s := get(ev.Entity)
+		if ev.Name == f.StartEvent {
+			if !s.open {
+				s.open = true
+				s.since = ev.Time
+			}
+			continue
+		}
+		// End event.
+		since := s.since
+		if !s.open {
+			since = c.WindowStart // began before the window
+		}
+		s.intervals = append(s.intervals, Interval{Since: since, Until: ev.Time})
+		s.open = false
+	}
+	entities := make([]string, 0, len(states))
+	for entity := range states {
+		entities = append(entities, entity)
+	}
+	sort.Strings(entities)
+	for _, entity := range entities {
+		s := states[entity]
+		if s.open {
+			s.intervals = append(s.intervals, Interval{Since: s.since, Until: Inf})
+		}
+		key := FluentKey{Fluent: f.Name, Entity: entity, Value: True}
+		c.fluents[key] = Normalize(s.intervals)
+		// Synthesize the built-in start(F)/end(F) events so downstream
+		// rules trigger uniformly on "start:<fluent>"/"end:<fluent>"
+		// regardless of whether F is an input or a defined fluent.
+		c.emitStartEnd(key, c.fluents[key])
+	}
+}
+
+// evalEventDef evaluates a derived event definition over the window.
+func (c *Ctx) evalEventDef(def EventDef) []Event {
+	var out []Event
+	for _, rule := range def.Rules {
+		for _, ev := range c.byName[rule.Event] {
+			for _, entity := range rule.Map(c, ev) {
+				out = append(out, Event{
+					Name: def.Name, Entity: entity, Time: ev.Time,
+					Lon: ev.Lon, Lat: ev.Lat,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// evalSimpleFluent computes the maximal intervals of a simple fluent
+// for every entity and value, implementing holdsFor with the broken
+// semantics of the paper's rules (1) and (2).
+func (c *Ctx) evalSimpleFluent(def SimpleFluentDef) {
+	type points struct {
+		inits map[string][]WeightedPoint // value → initiation points
+		terms map[string][]WeightedPoint // value → termination points
+	}
+	byEntity := make(map[string]*points)
+	get := func(entity string) *points {
+		p := byEntity[entity]
+		if p == nil {
+			p = &points{
+				inits: make(map[string][]WeightedPoint),
+				terms: make(map[string][]WeightedPoint),
+			}
+			byEntity[entity] = p
+		}
+		return p
+	}
+	for value, rules := range def.Init {
+		for _, rule := range rules {
+			for _, ev := range c.byName[rule.Event] {
+				for _, entity := range rule.Map(c, ev) {
+					if !c.engine.declaredOK(def.Name, entity) {
+						continue
+					}
+					p := get(entity)
+					p.inits[value] = append(p.inits[value], WeightedPoint{Time: ev.Time, P: certainty(ev)})
+				}
+			}
+		}
+	}
+	for value, rules := range def.Term {
+		for _, rule := range rules {
+			for _, ev := range c.byName[rule.Event] {
+				for _, entity := range rule.Map(c, ev) {
+					if !c.engine.declaredOK(def.Name, entity) {
+						continue
+					}
+					p := get(entity)
+					p.terms[value] = append(p.terms[value], WeightedPoint{Time: ev.Time, P: certainty(ev)})
+				}
+			}
+		}
+	}
+
+	entities := make([]string, 0, len(byEntity))
+	for entity := range byEntity {
+		entities = append(entities, entity)
+	}
+	sort.Strings(entities)
+
+	for _, entity := range entities {
+		p := byEntity[entity]
+		// Probabilistic recognition applies to Boolean fluents: a single
+		// True value with init/term rules (Prob-EC's setting). Fluents
+		// with other values stay crisp.
+		if c.engine.theta > 0 && len(p.inits) == 1 && p.inits[True] != nil {
+			steps := EvolveProbability(p.inits[True], p.terms[True], 0)
+			key := FluentKey{Fluent: def.Name, Entity: entity, Value: True}
+			c.beliefs[key] = steps
+			c.fluents[key] = ThresholdIntervals(steps, c.engine.theta)
+			c.emitStartEnd(key, c.fluents[key])
+			continue
+		}
+		for value, inits := range p.inits {
+			// Break points for F=V: terminations of V plus initiations of
+			// any other value (rule (2)).
+			breaks := append([]WeightedPoint(nil), p.terms[value]...)
+			for other, oInits := range p.inits {
+				if other != value {
+					breaks = append(breaks, oInits...)
+				}
+			}
+			sort.Slice(breaks, func(i, j int) bool { return breaks[i].Time < breaks[j].Time })
+			sort.Slice(inits, func(i, j int) bool { return inits[i].Time < inits[j].Time })
+
+			var ivs []Interval
+			for _, ts := range inits {
+				// First break strictly after ts.
+				i := sort.Search(len(breaks), func(i int) bool { return breaks[i].Time > ts.Time })
+				until := Inf
+				if i < len(breaks) {
+					until = breaks[i].Time
+				}
+				ivs = append(ivs, Interval{Since: ts.Time, Until: until})
+			}
+			key := FluentKey{Fluent: def.Name, Entity: entity, Value: value}
+			c.fluents[key] = Normalize(ivs)
+			c.emitStartEnd(key, c.fluents[key])
+		}
+	}
+}
+
+// emitStartEnd synthesizes the built-in start(F=V)/end(F=V) events of a
+// computed fluent so later definitions can trigger on them. Event names
+// are "start:<fluent>" and "end:<fluent>"; only the True value emits
+// markers, matching the maritime definitions' usage.
+func (c *Ctx) emitStartEnd(key FluentKey, ivs IntervalList) {
+	if key.Value != True {
+		return
+	}
+	for _, iv := range ivs {
+		c.byName["start:"+key.Fluent] = append(c.byName["start:"+key.Fluent],
+			Event{Name: "start:" + key.Fluent, Entity: key.Entity, Time: iv.Since})
+		if !iv.Open() {
+			c.byName["end:"+key.Fluent] = append(c.byName["end:"+key.Fluent],
+				Event{Name: "end:" + key.Fluent, Entity: key.Entity, Time: iv.Until})
+		}
+	}
+}

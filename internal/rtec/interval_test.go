@@ -1,0 +1,202 @@
+package rtec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func iv(a, b Timepoint) Interval { return Interval{Since: a, Until: b} }
+
+func TestNormalizeMergesAndSorts(t *testing.T) {
+	got := Normalize([]Interval{iv(10, 20), iv(5, 8), iv(18, 25), iv(30, 30), iv(40, 50)})
+	want := IntervalList{iv(5, 8), iv(10, 25), iv(40, 50)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeAdjacency(t *testing.T) {
+	// (5,10] and (10,15] are adjacent in left-open/right-closed terms and
+	// must merge into one maximal interval.
+	got := Normalize([]Interval{iv(5, 10), iv(10, 15)})
+	if !reflect.DeepEqual(got, IntervalList{iv(5, 15)}) {
+		t.Errorf("adjacent intervals did not merge: %v", got)
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	if Normalize(nil) != nil {
+		t.Error("Normalize(nil) != nil")
+	}
+	if got := Normalize([]Interval{iv(5, 5), iv(7, 3)}); got != nil {
+		t.Errorf("degenerate intervals survived: %v", got)
+	}
+}
+
+func TestIntervalSemantics(t *testing.T) {
+	// Paper example (§4.1): F=V initiated at 10 and 20, terminated at 25
+	// and 30 → F=V holds at all T with 10 < T <= 25.
+	inits := []Timepoint{10, 20}
+	terms := []Timepoint{25, 30}
+	var ivs []Interval
+	for _, ts := range inits {
+		until := Inf
+		for _, tf := range terms {
+			if tf > ts {
+				until = tf
+				break
+			}
+		}
+		ivs = append(ivs, Interval{Since: ts, Until: until})
+	}
+	l := Normalize(ivs)
+	if !reflect.DeepEqual(l, IntervalList{iv(10, 25)}) {
+		t.Fatalf("intervals = %v, want [(10,25]]", l)
+	}
+	if l.HoldsAt(10) {
+		t.Error("holds at initiation point 10 (must be exclusive)")
+	}
+	if !l.HoldsAt(11) || !l.HoldsAt(25) {
+		t.Error("must hold on (10, 25]")
+	}
+	if l.HoldsAt(26) {
+		t.Error("holds after termination")
+	}
+}
+
+func TestHoldsAtOpenInterval(t *testing.T) {
+	l := IntervalList{iv(10, Inf)}
+	if !l.HoldsAt(1 << 40) {
+		t.Error("open interval should cover arbitrarily late timepoints")
+	}
+	if l.HoldsAt(10) {
+		t.Error("open interval start must be exclusive")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	l := IntervalList{iv(0, 10), iv(20, Inf)}
+	if got := l.Duration(100); got != 10+80 {
+		t.Errorf("Duration = %d, want 90", got)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a := IntervalList{iv(0, 10), iv(20, 30)}
+	b := IntervalList{iv(5, 25)}
+	if got := Union(a, b); !reflect.DeepEqual(got, IntervalList{iv(0, 30)}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Intersect(a, b); !reflect.DeepEqual(got, IntervalList{iv(5, 10), iv(20, 25)}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Intersect(a, nil); got != nil {
+		t.Errorf("Intersect with empty = %v", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	win := iv(0, 100)
+	l := IntervalList{iv(10, 20), iv(50, 60)}
+	want := IntervalList{iv(0, 10), iv(20, 50), iv(60, 100)}
+	if got := Complement(win, l); !reflect.DeepEqual(got, want) {
+		t.Errorf("Complement = %v, want %v", got, want)
+	}
+	if got := Complement(win, nil); !reflect.DeepEqual(got, IntervalList{win}) {
+		t.Errorf("Complement of empty = %v", got)
+	}
+	if got := Complement(win, IntervalList{iv(-5, 200)}); got != nil {
+		t.Errorf("Complement under full cover = %v", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	win := iv(10, 100)
+	l := IntervalList{iv(0, 20), iv(50, Inf), iv(200, 300)}
+	got := Clip(win, l)
+	want := IntervalList{iv(10, 20), iv(50, Inf)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Clip = %v, want %v", got, want)
+	}
+}
+
+// randList builds a random small interval list for property tests.
+func randList(rng *rand.Rand) IntervalList {
+	n := rng.Intn(6)
+	var ivs []Interval
+	for i := 0; i < n; i++ {
+		a := Timepoint(rng.Intn(200))
+		b := a + Timepoint(rng.Intn(50))
+		ivs = append(ivs, iv(a, b))
+	}
+	return Normalize(ivs)
+}
+
+func TestPropertyUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randList(rng), randList(rng)
+		return reflect.DeepEqual(Union(a, b), Union(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIntersectIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randList(rng)
+		return reflect.DeepEqual(Intersect(a, a), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComplementPartitionsWindow(t *testing.T) {
+	// l ∪ complement(l) restricted to the window must equal the window,
+	// and their intersection must be empty.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		win := iv(0, 250)
+		l := Clip(win, randList(rng))
+		comp := Complement(win, l)
+		if Intersect(l, comp) != nil {
+			return false
+		}
+		return reflect.DeepEqual(Union(l, comp), IntervalList{win})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHoldsAtConsistentWithMembership(t *testing.T) {
+	f := func(seed int64, probe uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randList(rng)
+		tpt := Timepoint(probe)
+		member := false
+		for _, v := range l {
+			if v.Covers(tpt) {
+				member = true
+			}
+		}
+		return l.HoldsAt(tpt) == member
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if iv(1, 5).String() != "(1, 5]" {
+		t.Errorf("String = %s", iv(1, 5))
+	}
+	if iv(1, Inf).String() != "(1, ∞)" {
+		t.Errorf("open String = %s", iv(1, Inf))
+	}
+}

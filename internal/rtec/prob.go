@@ -1,0 +1,129 @@
+package rtec
+
+import "sort"
+
+// Probabilistic fluents — the uncertainty treatment the paper plans
+// (§7: "we are porting RTEC into probabilistic logic programming
+// frameworks, in order to deal with imperfect complex event
+// definitions, incomplete and erroneous data streams"). This follows
+// the Prob-EC semantics of Skarlatidis et al.: initiation and
+// termination occurrences carry probabilities, and the probability
+// that a fluent holds evolves by probabilistic inertia —
+//
+//	P(holds after T) = P(holds before T)·(1 − P(term at T))
+//	                 + (1 − P(holds before T))·P(init at T)
+//
+// so noisy initiations accumulate belief gradually and isolated noise
+// decays instead of flipping the fluent outright. Crisp RTEC is the
+// special case where every occurrence has probability 1.
+
+// WeightedPoint is one initiation or termination occurrence with the
+// probability that it truly happened (e.g. the detection confidence of
+// the movement event behind it).
+type WeightedPoint struct {
+	Time Timepoint
+	P    float64
+}
+
+// ProbStep is one step of the resulting belief function: the fluent
+// holds with probability P for all T with Since < T ≤ Until.
+type ProbStep struct {
+	Since Timepoint
+	Until Timepoint // Inf on the last step
+	P     float64
+}
+
+// EvolveProbability computes the belief step function of a fluent from
+// weighted initiation and termination occurrences, starting from prior
+// (the belief before the first occurrence; 0 for fluents assumed false
+// at the window start). Occurrences sharing a timepoint compose
+// termination-then-initiation, matching the crisp engine's broken
+// semantics where an initiation at T re-establishes the fluent.
+func EvolveProbability(inits, terms []WeightedPoint, prior float64) []ProbStep {
+	type occ struct {
+		t            Timepoint
+		pInit, pTerm float64
+	}
+	merged := make(map[Timepoint]*occ)
+	at := func(t Timepoint) *occ {
+		o := merged[t]
+		if o == nil {
+			o = &occ{t: t}
+			merged[t] = o
+		}
+		return o
+	}
+	for _, w := range inits {
+		o := at(w.Time)
+		// Multiple initiations at one timepoint compose as noisy-or.
+		o.pInit = 1 - (1-o.pInit)*(1-clamp01(w.P))
+	}
+	for _, w := range terms {
+		o := at(w.Time)
+		o.pTerm = 1 - (1-o.pTerm)*(1-clamp01(w.P))
+	}
+	occs := make([]*occ, 0, len(merged))
+	for _, o := range merged {
+		occs = append(occs, o)
+	}
+	sort.Slice(occs, func(i, j int) bool { return occs[i].t < occs[j].t })
+
+	p := clamp01(prior)
+	var steps []ProbStep
+	last := Timepoint(-1 << 62)
+	for _, o := range occs {
+		if p != clamp01(prior) || len(steps) > 0 {
+			// close the previous step at this occurrence
+		}
+		steps = append(steps, ProbStep{Since: last, Until: o.t, P: p})
+		// Termination first, then initiation: an event at T that both
+		// breaks and re-establishes the fluent leaves it re-established.
+		p = p * (1 - o.pTerm)
+		p = p + (1-p)*o.pInit
+		last = o.t
+	}
+	steps = append(steps, ProbStep{Since: last, Until: Inf, P: p})
+	// Drop the leading degenerate step when the first occurrence is the
+	// earliest representable time.
+	out := steps[:0]
+	for _, s := range steps {
+		if s.Until > s.Since {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// clamp01 bounds a probability.
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ProbAt evaluates the belief function at t.
+func ProbAt(steps []ProbStep, t Timepoint) float64 {
+	for _, s := range steps {
+		if t > s.Since && t <= s.Until {
+			return s.P
+		}
+	}
+	return 0
+}
+
+// ThresholdIntervals crisps a belief function: the maximal intervals
+// where the fluent holds with probability at least theta — what a
+// probabilistic recognizer reports to the end user.
+func ThresholdIntervals(steps []ProbStep, theta float64) IntervalList {
+	var ivs []Interval
+	for _, s := range steps {
+		if s.P >= theta {
+			ivs = append(ivs, Interval{Since: s.Since, Until: s.Until})
+		}
+	}
+	return Normalize(ivs)
+}

@@ -1,0 +1,103 @@
+// Package simplify implements the classic offline trajectory
+// simplification the paper positions itself against: top-down
+// Douglas–Peucker over the synchronized Euclidean distance (SED), the
+// spatiotemporal variant used by the compression literature the paper
+// cites (§6: Cao/Wolfson/Trajcevski; Meratnia & de By). The paper's
+// §3.2 choice — "instead of resorting to a costly simplification
+// algorithm, we opt to reconstruct vessel traces approximately from
+// already available critical points" — is evaluated in
+// internal/expbench by comparing this baseline against the online
+// tracker at matched compression.
+package simplify
+
+import (
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+// sed returns the synchronized Euclidean distance of fix p from the
+// time-parameterized segment a→b: the Haversine distance between p and
+// the point the vessel would occupy at p's timestamp under constant
+// velocity from a to b.
+func sed(p, a, b ais.Fix) float64 {
+	span := b.Time.Sub(a.Time).Seconds()
+	if span <= 0 {
+		return geo.Haversine(p.Pos, a.Pos)
+	}
+	f := p.Time.Sub(a.Time).Seconds() / span
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	return geo.Haversine(p.Pos, geo.Interpolate(a.Pos, b.Pos, f))
+}
+
+// DouglasPeucker simplifies the trajectory to the points whose SED
+// exceeds tolerance meters, always retaining the endpoints. The input
+// must be in time order; the output preserves it.
+func DouglasPeucker(fixes []ais.Fix, toleranceMeters float64) []ais.Fix {
+	if len(fixes) <= 2 {
+		return append([]ais.Fix(nil), fixes...)
+	}
+	keep := make([]bool, len(fixes))
+	keep[0], keep[len(fixes)-1] = true, true
+
+	type span struct{ lo, hi int }
+	stack := []span{{0, len(fixes) - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		worstI, worstD := -1, toleranceMeters
+		for i := s.lo + 1; i < s.hi; i++ {
+			if d := sed(fixes[i], fixes[s.lo], fixes[s.hi]); d > worstD {
+				worstI, worstD = i, d
+			}
+		}
+		if worstI < 0 {
+			continue
+		}
+		keep[worstI] = true
+		stack = append(stack, span{s.lo, worstI}, span{worstI, s.hi})
+	}
+
+	out := make([]ais.Fix, 0, len(fixes)/4)
+	for i, k := range keep {
+		if k {
+			out = append(out, fixes[i])
+		}
+	}
+	return out
+}
+
+// AtRatio simplifies to approximately the target compression ratio
+// (fraction of points discarded) by bisecting the tolerance — how the
+// baseline is matched against the online tracker's compression for a
+// fair RMSE comparison. It returns the simplified trajectory and the
+// tolerance that achieved it.
+func AtRatio(fixes []ais.Fix, targetRatio float64, iterations int) ([]ais.Fix, float64) {
+	if len(fixes) <= 2 {
+		return append([]ais.Fix(nil), fixes...), 0
+	}
+	if iterations <= 0 {
+		iterations = 12
+	}
+	lo, hi := 0.0, 50000.0
+	best := append([]ais.Fix(nil), fixes...)
+	bestTol := 0.0
+	for i := 0; i < iterations; i++ {
+		tol := (lo + hi) / 2
+		got := DouglasPeucker(fixes, tol)
+		ratio := 1 - float64(len(got))/float64(len(fixes))
+		best, bestTol = got, tol
+		if ratio < targetRatio {
+			lo = tol // not aggressive enough
+		} else {
+			hi = tol
+		}
+	}
+	return best, bestTol
+}

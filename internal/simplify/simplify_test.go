@@ -1,0 +1,108 @@
+package simplify
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/tracker"
+)
+
+var t0 = time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// leg appends n fixes on a heading at a speed, one per minute.
+func leg(fixes []ais.Fix, start geo.Point, heading, speedKn float64, n int) []ais.Fix {
+	pos, tm := start, t0
+	if len(fixes) > 0 {
+		pos = fixes[len(fixes)-1].Pos
+		tm = fixes[len(fixes)-1].Time
+	}
+	step := geo.KnotsToMetersPerSecond(speedKn) * 60
+	for i := 0; i < n; i++ {
+		tm = tm.Add(time.Minute)
+		pos = geo.Destination(pos, heading, step)
+		fixes = append(fixes, ais.Fix{MMSI: 1, Pos: pos, Time: tm})
+	}
+	return fixes
+}
+
+func TestDouglasPeuckerStraightLineKeepsEndpoints(t *testing.T) {
+	fixes := leg(nil, geo.Point{Lon: 24, Lat: 37}, 90, 12, 50)
+	got := DouglasPeucker(fixes, 50)
+	if len(got) != 2 {
+		t.Fatalf("straight line simplified to %d points, want 2", len(got))
+	}
+	if got[0] != fixes[0] || got[1] != fixes[len(fixes)-1] {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestDouglasPeuckerKeepsCorner(t *testing.T) {
+	a := leg(nil, geo.Point{Lon: 24, Lat: 37}, 0, 12, 20)
+	fixes := leg(a, geo.Point{}, 90, 12, 20)
+	got := DouglasPeucker(fixes, 100)
+	if len(got) < 3 {
+		t.Fatalf("corner lost: %d points", len(got))
+	}
+	// The corner fix (index 19) must survive.
+	found := false
+	for _, f := range got {
+		if f.Time.Equal(fixes[19].Time) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the turning point was discarded")
+	}
+	// The simplification must respect the SED bound everywhere.
+	syn := make(tracker.Synopsis, len(got))
+	for i, f := range got {
+		syn[i] = tracker.CriticalPoint{MMSI: f.MMSI, Pos: f.Pos, Time: f.Time}
+	}
+	for _, f := range fixes {
+		approx, _ := syn.At(f.Time)
+		if d := geo.Haversine(f.Pos, approx); d > 100+1 {
+			t.Fatalf("SED bound violated: %.1f m at %v", d, f.Time)
+		}
+	}
+}
+
+func TestDouglasPeuckerToleranceMonotone(t *testing.T) {
+	a := leg(nil, geo.Point{Lon: 24, Lat: 37}, 0, 12, 30)
+	b := leg(a, geo.Point{}, 70, 12, 30)
+	fixes := leg(b, geo.Point{}, 140, 12, 30)
+	prev := len(fixes) + 1
+	for _, tol := range []float64{10, 50, 200, 1000, 10000} {
+		n := len(DouglasPeucker(fixes, tol))
+		if n > prev {
+			t.Fatalf("point count grew with tolerance %v: %d > %d", tol, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestDouglasPeuckerSmallInputs(t *testing.T) {
+	if got := DouglasPeucker(nil, 10); len(got) != 0 {
+		t.Error("nil input")
+	}
+	one := leg(nil, geo.Point{Lon: 24, Lat: 37}, 90, 10, 1)
+	if got := DouglasPeucker(one, 10); len(got) != 1 {
+		t.Error("single fix")
+	}
+	two := leg(one, geo.Point{}, 90, 10, 1)
+	if got := DouglasPeucker(two, 10); len(got) != 2 {
+		t.Error("two fixes")
+	}
+}
+
+func TestAtRatioHitsTarget(t *testing.T) {
+	a := leg(nil, geo.Point{Lon: 24, Lat: 37}, 0, 12, 60)
+	b := leg(a, geo.Point{}, 75, 12, 60)
+	fixes := leg(b, geo.Point{}, 150, 12, 60)
+	got, tol := AtRatio(fixes, 0.90, 16)
+	ratio := 1 - float64(len(got))/float64(len(fixes))
+	if ratio < 0.80 || ratio > 0.99 {
+		t.Errorf("achieved ratio %.3f (tolerance %.1f), want ≈0.90", ratio, tol)
+	}
+}

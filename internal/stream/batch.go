@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/ais"
+)
+
+// FixSource is any pull-based producer of cleaned positional fixes.
+// *ais.Scanner satisfies it, as does SliceSource.
+type FixSource interface {
+	Scan() bool
+	Fix() ais.Fix
+	Err() error
+}
+
+// SliceSource replays an in-memory slice of fixes.
+type SliceSource struct {
+	fixes []ais.Fix
+	i     int
+}
+
+// NewSliceSource wraps the given fixes; the slice is not copied.
+func NewSliceSource(fixes []ais.Fix) *SliceSource {
+	return &SliceSource{fixes: fixes}
+}
+
+// Scan advances to the next fix.
+func (s *SliceSource) Scan() bool {
+	if s.i >= len(s.fixes) {
+		return false
+	}
+	s.i++
+	return true
+}
+
+// Fix returns the current fix.
+func (s *SliceSource) Fix() ais.Fix { return s.fixes[s.i-1] }
+
+// Err always returns nil.
+func (s *SliceSource) Err() error { return nil }
+
+// Reset rewinds the source to the beginning, for repeated replays in
+// benchmarks.
+func (s *SliceSource) Reset() { s.i = 0 }
+
+// Batch is the chunk of stream admitted during one slide interval
+// (Query-β, Query]: the paper simulates streaming "by consuming this
+// positional data little by little, reading small chunks periodically
+// according to window specifications" (§5).
+type Batch struct {
+	Fixes []ais.Fix
+	Query time.Time // the query time Q_i closing this slide interval
+}
+
+// Batcher groups a timestamped fix source into consecutive slide
+// intervals. Batch boundaries follow the timestamps of the original
+// messages, not wall-clock time, exactly as in the paper's replays.
+// Slide intervals with no traffic yield empty batches so that window
+// cadence (and gap detection) is preserved.
+type Batcher struct {
+	src     FixSource
+	slide   time.Duration
+	pending ais.Fix
+	started bool
+	done    bool
+	query   time.Time
+}
+
+// NewBatcher wraps src with the given slide step. It panics if slide is
+// not positive, which would make the cadence undefined.
+func NewBatcher(src FixSource, slide time.Duration) *Batcher {
+	if slide <= 0 {
+		panic("stream: NewBatcher with non-positive slide")
+	}
+	return &Batcher{src: src, slide: slide}
+}
+
+// Next returns the next batch and true, or a zero batch and false at
+// end of stream. Fixes are assigned to batches by timestamp: a batch
+// with query time Q contains fixes with t in (Q-β, Q]. Input is assumed
+// to be in non-decreasing timestamp order between batches; a late fix
+// older than the current batch start is still delivered in the current
+// batch (delayed arrival, handled downstream by the window semantics).
+func (b *Batcher) Next() (Batch, bool) {
+	if b.done {
+		return Batch{}, false
+	}
+	var out Batch
+	if !b.started {
+		if !b.src.Scan() {
+			b.done = true
+			return Batch{}, false
+		}
+		first := b.src.Fix()
+		// Align the first query time to the slide grid so runs with the
+		// same data but different β remain comparable.
+		b.query = first.Time.Truncate(b.slide).Add(b.slide)
+		b.pending = first
+		b.started = true
+	}
+	out.Query = b.query
+	if !b.pending.Time.After(b.query) {
+		out.Fixes = append(out.Fixes, b.pending)
+		for b.src.Scan() {
+			f := b.src.Fix()
+			if f.Time.After(b.query) {
+				b.pending = f
+				b.query = b.query.Add(b.slide)
+				return out, true
+			}
+			out.Fixes = append(out.Fixes, f)
+		}
+		b.done = true
+		return out, true
+	}
+	// The pending fix belongs to a later slide: emit an empty batch.
+	b.query = b.query.Add(b.slide)
+	return out, true
+}
+
+// CountBatcher groups a fix source into fixed-size chunks of n fixes,
+// modelling an inflated arrival rate ρ: with slide β, a chunk of
+// n = ρ·β positions arrives per slide regardless of original timestamps
+// (the paper's Figure 7 stress test, "admitting bigger chunks of data
+// for processing at considerably increased arrival rates").
+type CountBatcher struct {
+	src   FixSource
+	n     int
+	slide time.Duration
+	query time.Time
+	done  bool
+}
+
+// NewCountBatcher returns a batcher producing chunks of n fixes. The
+// synthetic query times advance by slide per chunk starting at start.
+func NewCountBatcher(src FixSource, n int, slide time.Duration, start time.Time) *CountBatcher {
+	if n <= 0 {
+		panic("stream: NewCountBatcher with non-positive chunk size")
+	}
+	return &CountBatcher{src: src, n: n, slide: slide, query: start}
+}
+
+// Next returns the next chunk of up to n fixes.
+func (b *CountBatcher) Next() (Batch, bool) {
+	if b.done {
+		return Batch{}, false
+	}
+	out := Batch{Fixes: make([]ais.Fix, 0, b.n)}
+	for len(out.Fixes) < b.n && b.src.Scan() {
+		out.Fixes = append(out.Fixes, b.src.Fix())
+	}
+	if len(out.Fixes) == 0 {
+		b.done = true
+		return Batch{}, false
+	}
+	b.query = b.query.Add(b.slide)
+	out.Query = b.query
+	if len(out.Fixes) < b.n {
+		b.done = true
+	}
+	return out, true
+}
+
+// Collect drains a fix source into a slice, for tests and offline runs.
+func Collect(src FixSource) ([]ais.Fix, error) {
+	var out []ais.Fix
+	for src.Scan() {
+		out = append(out, src.Fix())
+	}
+	return out, src.Err()
+}

@@ -1,0 +1,54 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ais"
+)
+
+// Delayer simulates the delayed, out-of-order message arrival the paper
+// highlights (§4.2, Figure 5): MEs "may not necessarily arrive at the CE
+// recognition system in a timely manner". It perturbs the *arrival*
+// order of a stream while leaving occurrence timestamps untouched, so
+// downstream windows observe genuinely late tuples.
+type Delayer struct {
+	// MaxDelay bounds the artificial transport delay per message.
+	MaxDelay time.Duration
+	// Fraction in [0,1] of messages that are delayed at all.
+	Fraction float64
+	// Seed makes the perturbation deterministic.
+	Seed int64
+}
+
+// Apply returns a new slice ordered by simulated arrival time
+// (occurrence time plus a random delay for the chosen fraction of
+// messages). The input is not modified.
+func (d Delayer) Apply(fixes []ais.Fix) []ais.Fix {
+	rng := rand.New(rand.NewSource(d.Seed))
+	type arrival struct {
+		fix ais.Fix
+		at  time.Time
+		idx int
+	}
+	arr := make([]arrival, len(fixes))
+	for i, f := range fixes {
+		at := f.Time
+		if d.Fraction > 0 && rng.Float64() < d.Fraction && d.MaxDelay > 0 {
+			at = at.Add(time.Duration(rng.Int63n(int64(d.MaxDelay) + 1)))
+		}
+		arr[i] = arrival{fix: f, at: at, idx: i}
+	}
+	sort.SliceStable(arr, func(i, j int) bool {
+		if !arr[i].at.Equal(arr[j].at) {
+			return arr[i].at.Before(arr[j].at)
+		}
+		return arr[i].idx < arr[j].idx
+	})
+	out := make([]ais.Fix, len(arr))
+	for i, a := range arr {
+		out[i] = a.fix
+	}
+	return out
+}

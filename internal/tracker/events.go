@@ -1,0 +1,130 @@
+// Package tracker implements the paper's trajectory detection component
+// (§3): the Mobility Tracker that maintains one velocity vector per
+// vessel, detects instantaneous trajectory events (pause, speed change,
+// turn, off-course outliers) and long-lasting ones (communication gap,
+// smooth turn, long-term stop, slow motion), and the Compressor that
+// filters noise and emits annotated "critical points" — the concise
+// synopsis from which each vessel's trajectory can be approximately
+// reconstructed with negligible accuracy loss.
+package tracker
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// EventType annotates a critical point with the movement event that
+// produced it.
+type EventType int
+
+// Event types. Durative phenomena (gap, long-term stop, slow motion)
+// are demarcated by paired Start/End points so that downstream complex
+// event recognition can maintain the corresponding fluent intervals.
+const (
+	// EventFirst marks the first retained position of a vessel (or its
+	// first after state eviction); it anchors reconstruction.
+	EventFirst EventType = iota
+	// EventSpeedChange marks an acceleration or deceleration beyond the
+	// α threshold (paper Figure 2(b)).
+	EventSpeedChange
+	// EventTurn marks a sharp instantaneous change in heading beyond Δθ
+	// (paper Figure 2(c)).
+	EventTurn
+	// EventSmoothTurn marks the completion of a cumulative change in
+	// heading beyond Δθ across several positions (paper Figure 3(b)).
+	EventSmoothTurn
+	// EventGapStart marks the last known position before a reporting
+	// silence of at least ΔT (paper Figure 3(a)); its timestamp is when
+	// the gap started, i.e. the last report.
+	EventGapStart
+	// EventGapEnd marks the first position after a reporting gap.
+	EventGapEnd
+	// EventStopStart marks the beginning of a long-term stop: at least m
+	// consecutive low-speed positions within radius r (paper Figure 3(c)).
+	EventStopStart
+	// EventStopEnd marks the end of a long-term stop; its position is the
+	// centroid of the stop and Duration carries the total stop time.
+	EventStopEnd
+	// EventSlowStart marks the beginning of slow motion: at least m
+	// consecutive positions at low but nonzero speed along a path
+	// (paper Figure 3(d)).
+	EventSlowStart
+	// EventSlowEnd marks the end of a slow-motion episode; its position
+	// is the median of the episode's positions.
+	EventSlowEnd
+)
+
+// String names the event type as used in exports and RTEC input.
+func (e EventType) String() string {
+	names := []string{
+		"first", "speedChange", "turn", "smoothTurn",
+		"gapStart", "gapEnd", "stopStart", "stopEnd", "slowStart", "slowEnd",
+	}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("EventType(%d)", int(e))
+}
+
+// CriticalPoint is one annotated salient position: the unit of the
+// compressed trajectory synopsis and the movement-event (ME) input of
+// complex event recognition.
+type CriticalPoint struct {
+	MMSI       uint32
+	Pos        geo.Point
+	Time       time.Time
+	Type       EventType
+	SpeedKn    float64       // instantaneous speed at detection
+	HeadingDeg float64       // instantaneous heading at detection
+	Duration   time.Duration // total episode duration on StopEnd/SlowEnd
+	// Confidence in (0, 1] grades how far past its detection threshold
+	// the event was: 0.5 at the threshold itself, approaching 1 as the
+	// margin doubles. Zero means unset and reads as certain. Gap and
+	// anchor points are always certain. Downstream probabilistic
+	// recognition (rtec.SetProbabilistic) consumes it; crisp recognition
+	// ignores it.
+	Confidence float64
+}
+
+// marginConfidence maps a detected value relative to its threshold to a
+// confidence: 0.5 when the value barely crossed the threshold, 1 when
+// it exceeded it twofold.
+func marginConfidence(value, threshold float64) float64 {
+	if threshold <= 0 {
+		return 1
+	}
+	c := 0.5 + 0.5*(value-threshold)/threshold
+	if c < 0.5 {
+		c = 0.5
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// String renders the critical point for logs.
+func (c CriticalPoint) String() string {
+	return fmt.Sprintf("%s %d %s @%s", c.Type, c.MMSI, c.Pos, c.Time.UTC().Format("15:04:05"))
+}
+
+// Stats aggregates tracker activity for the compression and performance
+// experiments.
+type Stats struct {
+	FixesIn    int // fixes admitted
+	Duplicates int // dropped: non-advancing timestamps
+	Outliers   int // dropped: off-course positions
+	Critical   int // critical points emitted
+	ByType     map[EventType]int
+}
+
+// CompressionRatio returns the fraction of original positions that were
+// discarded (the paper reports ratios close to 94–95%).
+func (s Stats) CompressionRatio() float64 {
+	if s.FixesIn == 0 {
+		return 0
+	}
+	return 1 - float64(s.Critical)/float64(s.FixesIn)
+}

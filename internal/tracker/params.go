@@ -1,0 +1,99 @@
+package tracker
+
+import (
+	"errors"
+	"time"
+)
+
+// Params are the mobility tracking parameters of the paper's Table 3.
+// The defaults are the paper's calibrated values for the Aegean dataset.
+type Params struct {
+	// VMinKnots is the minimum speed for asserting movement: below it a
+	// position counts as an instantaneous pause (default 1 knot).
+	VMinKnots float64
+	// VSlowKnots is the ceiling under which sustained motion counts as
+	// "slow" for the slow-motion event (trawling speeds; default 5 knots).
+	// The paper folds this into its low-speed notion; a separate ceiling
+	// keeps pause and slow motion distinguishable.
+	VSlowKnots float64
+	// SpeedChangeFrac is α: a relative speed change beyond this fraction
+	// emits a speed-change event (default 0.25).
+	SpeedChangeFrac float64
+	// GapPeriod is ΔT: a reporting silence of at least this duration is a
+	// communication gap (default 10 minutes).
+	GapPeriod time.Duration
+	// TurnThresholdDeg is Δθ: a heading change beyond this angle, either
+	// instantaneous or cumulative, emits a turn event (default 15°;
+	// the experiments sweep {5°, 10°, 15°, 20°}).
+	TurnThresholdDeg float64
+	// StopRadiusMeters is r: consecutive pauses within this radius form a
+	// long-term stop (default 200 m).
+	StopRadiusMeters float64
+	// M is the number of most recent positions inspected for long-lasting
+	// events and the mean-velocity outlier reference (default 10).
+	M int
+	// OutlierSpeedFactor flags a position as off-course when the implied
+	// speed exceeds this multiple of the vessel's mean speed (and the
+	// absolute floor below). Default 4.
+	OutlierSpeedFactor float64
+	// OutlierMinKnots is the absolute implied-speed floor below which a
+	// position is never treated as an outlier. Default 15 knots.
+	OutlierMinKnots float64
+	// OutlierHeadingDeg additionally requires the implied heading to
+	// deviate from the mean course by at least this angle. Default 60°.
+	OutlierHeadingDeg float64
+	// OutlierRunLimit bounds consecutive rejections: after this many the
+	// tracker resynchronizes, accepting that the course truly changed.
+	// Default 3.
+	OutlierRunLimit int
+	// DisableOutlierFilter turns off off-course rejection; exposed for
+	// the ablation experiment.
+	DisableOutlierFilter bool
+}
+
+// DefaultParams returns the paper's calibrated parameter values
+// (Table 3, bold entries).
+func DefaultParams() Params {
+	return Params{
+		VMinKnots:          1,
+		VSlowKnots:         5,
+		SpeedChangeFrac:    0.25,
+		GapPeriod:          10 * time.Minute,
+		TurnThresholdDeg:   15,
+		StopRadiusMeters:   200,
+		M:                  10,
+		OutlierSpeedFactor: 4,
+		OutlierMinKnots:    15,
+		OutlierHeadingDeg:  60,
+		OutlierRunLimit:    3,
+	}
+}
+
+// Errors returned by Validate.
+var (
+	ErrBadSpeedThresholds = errors.New("tracker: need 0 < VMinKnots <= VSlowKnots")
+	ErrBadAlpha           = errors.New("tracker: SpeedChangeFrac must be in (0, 1]")
+	ErrBadGapPeriod       = errors.New("tracker: GapPeriod must be positive")
+	ErrBadTurnThreshold   = errors.New("tracker: TurnThresholdDeg must be in (0, 180]")
+	ErrBadStopRadius      = errors.New("tracker: StopRadiusMeters must be positive")
+	ErrBadM               = errors.New("tracker: M must be at least 2")
+)
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.VMinKnots <= 0 || p.VSlowKnots < p.VMinKnots:
+		return ErrBadSpeedThresholds
+	case p.SpeedChangeFrac <= 0 || p.SpeedChangeFrac > 1:
+		return ErrBadAlpha
+	case p.GapPeriod <= 0:
+		return ErrBadGapPeriod
+	case p.TurnThresholdDeg <= 0 || p.TurnThresholdDeg > 180:
+		return ErrBadTurnThreshold
+	case p.StopRadiusMeters <= 0:
+		return ErrBadStopRadius
+	case p.M < 2:
+		return ErrBadM
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package tracker
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+// Synopsis is a time-ordered sequence of critical points for one vessel,
+// from which the original trajectory is approximately reconstructed by
+// linear interpolation between consecutive critical points (constant
+// velocity assumption, paper §5.1).
+type Synopsis []CriticalPoint
+
+// SortByTime orders the synopsis chronologically in place.
+func (s Synopsis) SortByTime() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Time.Before(s[j].Time) })
+}
+
+// At returns the approximate (time-aligned) position at time t: the
+// linear interpolation between the critical points bracketing t.
+// Outside the synopsis extent, the nearest critical point is returned.
+// ok is false for an empty synopsis.
+func (s Synopsis) At(t time.Time) (geo.Point, bool) {
+	if len(s) == 0 {
+		return geo.Point{}, false
+	}
+	if !t.After(s[0].Time) {
+		return s[0].Pos, true
+	}
+	last := s[len(s)-1]
+	if !t.Before(last.Time) {
+		return last.Pos, true
+	}
+	i := sort.Search(len(s), func(i int) bool { return !s[i].Time.Before(t) })
+	a, b := s[i-1], s[i]
+	span := b.Time.Sub(a.Time).Seconds()
+	if span <= 0 {
+		return a.Pos, true
+	}
+	f := t.Sub(a.Time).Seconds() / span
+	return geo.Interpolate(a.Pos, b.Pos, f), true
+}
+
+// RMSE estimates the deviation between a vessel's original trajectory
+// and its compressed representation, following the paper's method
+// (§5.1): every original position p_i that was discarded is compared to
+// the synchronized point p'_i obtained by interpolating between the
+// adjacent retained critical points at timestamp τ_i, and the root mean
+// square of the Haversine distances is returned, in meters. It returns
+// 0 for empty inputs.
+func RMSE(original []ais.Fix, synopsis Synopsis) float64 {
+	if len(original) == 0 || len(synopsis) == 0 {
+		return 0
+	}
+	var sumSq float64
+	for _, f := range original {
+		approx, ok := synopsis.At(f.Time)
+		if !ok {
+			continue
+		}
+		d := geo.Haversine(f.Pos, approx)
+		sumSq += d * d
+	}
+	return math.Sqrt(sumSq / float64(len(original)))
+}
+
+// DistanceBetween returns the distance in meters traveled along the
+// reconstructed path between times t1 and t2 — the paper's §2 example
+// of a continuous aggregate query ("an aggregate query could report at
+// every minute the distance traveled by a ship over the past hour"),
+// answered from the synopsis instead of the raw stream.
+func (s Synopsis) DistanceBetween(t1, t2 time.Time) float64 {
+	if len(s) == 0 || !t2.After(t1) {
+		return 0
+	}
+	start, ok1 := s.At(t1)
+	end, ok2 := s.At(t2)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	var d float64
+	prev := start
+	for _, cp := range s {
+		if !cp.Time.After(t1) {
+			continue
+		}
+		if !cp.Time.Before(t2) {
+			break
+		}
+		d += geo.Haversine(prev, cp.Pos)
+		prev = cp.Pos
+	}
+	return d + geo.Haversine(prev, end)
+}
+
+// SplitByVessel groups a mixed critical-point stream into per-vessel
+// chronological synopses.
+func SplitByVessel(points []CriticalPoint) map[uint32]Synopsis {
+	out := make(map[uint32]Synopsis)
+	for _, cp := range points {
+		out[cp.MMSI] = append(out[cp.MMSI], cp)
+	}
+	for _, s := range out {
+		s.SortByTime()
+	}
+	return out
+}
+
+// SplitFixesByVessel groups a positional stream per vessel, preserving
+// order.
+func SplitFixesByVessel(fixes []ais.Fix) map[uint32][]ais.Fix {
+	out := make(map[uint32][]ais.Fix)
+	for _, f := range fixes {
+		out[f.MMSI] = append(out[f.MMSI], f)
+	}
+	return out
+}
+
+// FleetRMSE computes the per-vessel RMSE for a whole run and returns
+// the average and maximum over vessels, the two series of the paper's
+// Figure 8.
+func FleetRMSE(fixes []ais.Fix, points []CriticalPoint) (avg, max float64) {
+	origins := SplitFixesByVessel(fixes)
+	synopses := SplitByVessel(points)
+	var sum float64
+	n := 0
+	for mmsi, orig := range origins {
+		syn := synopses[mmsi]
+		if len(syn) == 0 {
+			continue
+		}
+		// The synopsis always retains the newest location of a vessel (it
+		// is what map display shows); close it with the final raw fix so
+		// the tail after the last detected event reconstructs too.
+		last := orig[len(orig)-1]
+		if last.Time.After(syn[len(syn)-1].Time) {
+			syn = append(syn[:len(syn):len(syn)], CriticalPoint{
+				MMSI: mmsi, Pos: last.Pos, Time: last.Time, Type: EventFirst,
+			})
+		}
+		e := RMSE(orig, syn)
+		sum += e
+		if e > max {
+			max = e
+		}
+		n++
+	}
+	if n > 0 {
+		avg = sum / float64(n)
+	}
+	return avg, max
+}

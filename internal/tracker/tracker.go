@@ -1,0 +1,523 @@
+package tracker
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/stream"
+)
+
+// Tracker is the online mobility tracker: it consumes the positional
+// stream slide by slide, maintains per-vessel motion state entirely in
+// main memory without index support (paper §2), and emits annotated
+// critical points. Detection of instantaneous events and gaps is O(1)
+// per incoming tuple; long-lasting events cost O(m) over the m most
+// recent positions (paper §3.1).
+type Tracker struct {
+	params  Params
+	window  stream.WindowSpec
+	vessels map[uint32]*vesselState
+	stats   Stats
+
+	fresh []CriticalPoint // emissions of the current slide
+}
+
+// vesselState is the per-vessel in-memory motion state.
+type vesselState struct {
+	last     ais.Fix
+	haveLast bool
+
+	vPrev geo.Velocity
+	haveV bool
+
+	recent []geo.Velocity // up to M latest velocity vectors (mean course)
+
+	outlierRun int
+	gapOpen    bool
+
+	// Long-term stop run: consecutive low-speed fixes.
+	stopRun []ais.Fix
+	stopped bool
+
+	// Slow-motion run: consecutive slow (but moving) fixes.
+	slowRun []ais.Fix
+	slow    bool
+
+	recentTurns []float64 // signed heading deltas of the last m steps
+
+	// Odometers (the §3.1 extension the paper plans: "capture additional
+	// features, such as traveled distance from a given origin"): total
+	// accepted-hop distance, and distance since the vessel last departed
+	// — i.e. since its last long-term stop ended.
+	odometerM  float64
+	departureM float64
+
+	synopsis stream.TimeBuffer[CriticalPoint]
+	lastSeen time.Time
+}
+
+// New returns a tracker with the given parameters and window. It panics
+// on invalid configuration, which is a programming error.
+func New(params Params, window stream.WindowSpec) *Tracker {
+	if err := params.Validate(); err != nil {
+		panic(fmt.Sprintf("tracker: %v", err))
+	}
+	if err := window.Validate(); err != nil {
+		panic(fmt.Sprintf("tracker: %v", err))
+	}
+	return &Tracker{
+		params:  params,
+		window:  window,
+		vessels: make(map[uint32]*vesselState),
+		stats:   Stats{ByType: make(map[EventType]int)},
+	}
+}
+
+// Params returns the tracker's parameters.
+func (tr *Tracker) Params() Params { return tr.params }
+
+// Stats returns a snapshot of the counters.
+func (tr *Tracker) Stats() Stats {
+	s := tr.stats
+	s.ByType = make(map[EventType]int, len(tr.stats.ByType))
+	for k, v := range tr.stats.ByType {
+		s.ByType[k] = v
+	}
+	return s
+}
+
+// SlideResult is the output of one window slide.
+type SlideResult struct {
+	// Query is the query time Q_i closing this slide.
+	Query time.Time
+	// Fresh contains the critical points detected during this slide, in
+	// emission order — the input of complex event recognition.
+	Fresh []CriticalPoint
+	// Delta contains critical points that expired from the sliding
+	// window at this query time and move to the staging area for offline
+	// trajectory reconstruction (paper §3.2).
+	Delta []CriticalPoint
+}
+
+// Slide processes one batch: it updates the window with fresh
+// positions, detects trajectory events, performs slide-time gap
+// detection, and evicts expired critical points and stale vessels.
+func (tr *Tracker) Slide(b stream.Batch) SlideResult {
+	tr.fresh = tr.fresh[:0]
+	for _, f := range b.Fixes {
+		tr.ingest(f)
+	}
+	tr.detectGaps(b.Query)
+	delta := tr.evict(b.Query)
+
+	out := SlideResult{Query: b.Query, Delta: delta}
+	out.Fresh = append(out.Fresh, tr.fresh...)
+	return out
+}
+
+// emit records a critical point.
+func (tr *Tracker) emit(st *vesselState, cp CriticalPoint) {
+	tr.stats.Critical++
+	tr.stats.ByType[cp.Type]++
+	tr.fresh = append(tr.fresh, cp)
+	st.synopsis.Append(cp.Time, cp)
+}
+
+// ingest processes one fix.
+func (tr *Tracker) ingest(f ais.Fix) {
+	tr.stats.FixesIn++
+	st := tr.vessels[f.MMSI]
+	if st == nil {
+		st = &vesselState{}
+		tr.vessels[f.MMSI] = st
+	}
+	if !st.haveLast {
+		st.last = f
+		st.haveLast = true
+		st.lastSeen = f.Time
+		tr.emit(st, CriticalPoint{MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventFirst})
+		return
+	}
+	if !f.Time.After(st.last.Time) {
+		tr.stats.Duplicates++
+		return
+	}
+
+	p := tr.params
+	dt := f.Time.Sub(st.last.Time)
+
+	// Communication gap closed by this fix (it may also have been opened
+	// at a slide boundary while the vessel was silent).
+	if dt >= p.GapPeriod || st.gapOpen {
+		if !st.gapOpen {
+			tr.closeRuns(st, st.last)
+			tr.emit(st, CriticalPoint{
+				MMSI: f.MMSI, Pos: st.last.Pos, Time: st.last.Time, Type: EventGapStart,
+			})
+		}
+		st.gapOpen = false
+		tr.emit(st, CriticalPoint{MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventGapEnd})
+		// Count the chord across the silence: the true path is unknown
+		// but at least this far was covered.
+		hop := geo.Haversine(st.last.Pos, f.Pos)
+		st.odometerM += hop
+		st.departureM += hop
+		// The course across the silence is unknown: restart motion state.
+		st.haveV = false
+		st.recent = st.recent[:0]
+		st.recentTurns = st.recentTurns[:0]
+		st.outlierRun = 0
+		st.last = f
+		st.lastSeen = f.Time
+		return
+	}
+
+	vNow, ok := geo.VelocityBetween(st.last.Pos, st.last.Time, f.Pos, f.Time)
+	if !ok {
+		tr.stats.Duplicates++
+		return
+	}
+
+	// Off-course outlier rejection (paper Figure 2(d)): an abrupt change
+	// in both speed and heading relative to the mean velocity over the
+	// previous m positions marks a temporary deviation to discard.
+	if !p.DisableOutlierFilter && len(st.recent) >= p.M/2 {
+		if vm, ok := geo.MeanVelocity(st.recent); ok {
+			ref := math.Max(vm.SpeedKnots, 1)
+			if vNow.SpeedKnots > p.OutlierMinKnots &&
+				vNow.SpeedKnots > p.OutlierSpeedFactor*ref &&
+				geo.HeadingDelta(vNow.HeadingDeg, vm.HeadingDeg) > p.OutlierHeadingDeg {
+				st.outlierRun++
+				if st.outlierRun < p.OutlierRunLimit {
+					tr.stats.Outliers++
+					return
+				}
+				// Too many consecutive rejections: the course truly
+				// changed. Resynchronize on this fix.
+				st.recent = st.recent[:0]
+			}
+		}
+	}
+	st.outlierRun = 0
+
+	moving := vNow.SpeedKnots > p.VMinKnots
+
+	// Turns are only meaningful while under way on both fixes. A sharp
+	// turn between the previous and the current velocity vector pivots
+	// at the *previous* position, so the critical (turning) point is
+	// emitted there — retaining the corner keeps reconstruction tight.
+	if st.haveV && moving && st.vPrev.SpeedKnots > p.VMinKnots {
+		delta := geo.SignedHeadingDelta(st.vPrev.HeadingDeg, vNow.HeadingDeg)
+		if math.Abs(delta) > p.TurnThresholdDeg {
+			tr.emit(st, CriticalPoint{
+				MMSI: f.MMSI, Pos: st.last.Pos, Time: st.last.Time, Type: EventTurn,
+				SpeedKn: vNow.SpeedKnots, HeadingDeg: vNow.HeadingDeg,
+				Confidence: marginConfidence(math.Abs(delta), p.TurnThresholdDeg),
+			})
+			st.recentTurns = st.recentTurns[:0]
+		} else {
+			// Small individual changes may cumulatively signify a smooth
+			// turn (paper Figure 3(b)): the cumulative change in heading
+			// across the m most recent positions exceeding Δθ. Bounding
+			// the accumulation window keeps the slow bearing drift of
+			// long legs from masking genuine course changes.
+			if len(st.recentTurns) == p.M {
+				copy(st.recentTurns, st.recentTurns[1:])
+				st.recentTurns = st.recentTurns[:p.M-1]
+			}
+			st.recentTurns = append(st.recentTurns, delta)
+			var cum float64
+			for _, d := range st.recentTurns {
+				cum += d
+			}
+			if math.Abs(cum) > p.TurnThresholdDeg {
+				tr.emit(st, CriticalPoint{
+					MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventSmoothTurn,
+					SpeedKn: vNow.SpeedKnots, HeadingDeg: vNow.HeadingDeg,
+					Confidence: marginConfidence(math.Abs(cum), p.TurnThresholdDeg),
+				})
+				st.recentTurns = st.recentTurns[:0]
+			}
+		}
+	} else {
+		st.recentTurns = st.recentTurns[:0]
+	}
+
+	// Instantaneous speed change (paper Figure 2(b)): emitted only when
+	// the vessel is not inside a stop episode, where jitter speeds spam.
+	if st.haveV && !st.stopped && (moving || st.vPrev.SpeedKnots > p.VMinKnots) {
+		denom := math.Max(vNow.SpeedKnots, 0.1)
+		rel := math.Abs(vNow.SpeedKnots-st.vPrev.SpeedKnots) / denom
+		if rel > p.SpeedChangeFrac {
+			tr.emit(st, CriticalPoint{
+				MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventSpeedChange,
+				SpeedKn: vNow.SpeedKnots, HeadingDeg: vNow.HeadingDeg,
+				Confidence: marginConfidence(rel, p.SpeedChangeFrac),
+			})
+		}
+	}
+
+	tr.updateStopRun(st, f, vNow, moving)
+	tr.updateSlowRun(st, f, vNow, moving)
+
+	hop := geo.Haversine(st.last.Pos, f.Pos)
+	st.odometerM += hop
+	st.departureM += hop
+
+	if len(st.recent) == p.M {
+		copy(st.recent, st.recent[1:])
+		st.recent = st.recent[:p.M-1]
+	}
+	st.recent = append(st.recent, vNow)
+	st.vPrev = vNow
+	st.haveV = true
+	st.last = f
+	st.lastSeen = f.Time
+}
+
+// updateStopRun maintains the long-term stop state machine: at least m
+// consecutive low-speed positions within radius r of their centroid
+// (paper Figure 3(c)).
+func (tr *Tracker) updateStopRun(st *vesselState, f ais.Fix, vNow geo.Velocity, moving bool) {
+	p := tr.params
+	if !moving {
+		st.stopRun = append(st.stopRun, f)
+		// Shrink from the front until the run fits in radius r.
+		for len(st.stopRun) > 1 && !withinRadius(st.stopRun, p.StopRadiusMeters) {
+			if st.stopped {
+				// The vessel drifted out of the stop circle: close the
+				// episode and start a fresh run at the current position.
+				tr.endStop(st, f.Time)
+				st.stopRun = []ais.Fix{f}
+				return
+			}
+			st.stopRun = st.stopRun[1:]
+		}
+		if !st.stopped && len(st.stopRun) >= p.M {
+			st.stopped = true
+			start := st.stopRun[0].Time
+			tr.emit(st, CriticalPoint{
+				MMSI: f.MMSI, Pos: runCentroid(st.stopRun), Time: start, Type: EventStopStart,
+				Confidence: stopConfidence(st.stopRun, p.StopRadiusMeters),
+			})
+		}
+		return
+	}
+	if st.stopped {
+		tr.endStop(st, f.Time)
+	}
+	st.stopRun = st.stopRun[:0]
+}
+
+// endStop emits the StopEnd point: the collapsed representation is the
+// centroid of the episode with its total duration.
+func (tr *Tracker) endStop(st *vesselState, end time.Time) {
+	run := st.stopRun
+	cp := CriticalPoint{
+		MMSI: st.last.MMSI, Pos: runCentroid(run), Time: end, Type: EventStopEnd,
+		Duration:   end.Sub(run[0].Time),
+		Confidence: stopConfidence(run, tr.params.StopRadiusMeters),
+	}
+	tr.emit(st, cp)
+	st.stopped = false
+	st.stopRun = st.stopRun[:0]
+	// The stop is a departure point: distance-from-origin restarts here.
+	st.departureM = 0
+}
+
+// updateSlowRun maintains the slow-motion state machine: at least m
+// consecutive positions at low but nonzero speed, usually spread along a
+// path (paper Figure 3(d)).
+func (tr *Tracker) updateSlowRun(st *vesselState, f ais.Fix, vNow geo.Velocity, moving bool) {
+	p := tr.params
+	slowNow := moving && vNow.SpeedKnots <= p.VSlowKnots
+	if slowNow {
+		st.slowRun = append(st.slowRun, f)
+		if !st.slow && len(st.slowRun) >= p.M {
+			st.slow = true
+			tr.emit(st, CriticalPoint{
+				MMSI: f.MMSI, Pos: runMedian(st.slowRun), Time: st.slowRun[0].Time,
+				Type: EventSlowStart, SpeedKn: vNow.SpeedKnots,
+				Confidence: marginConfidence(p.VSlowKnots-vNow.SpeedKnots+p.VSlowKnots, p.VSlowKnots),
+			})
+		}
+		if len(st.slowRun) > 4*p.M { // bound memory on long episodes
+			st.slowRun = append(st.slowRun[:0], st.slowRun[len(st.slowRun)-p.M:]...)
+		}
+		return
+	}
+	if st.slow {
+		tr.emit(st, CriticalPoint{
+			MMSI: f.MMSI, Pos: runMedian(st.slowRun), Time: f.Time, Type: EventSlowEnd,
+			Duration: f.Time.Sub(st.slowRun[0].Time),
+		})
+		st.slow = false
+	}
+	st.slowRun = st.slowRun[:0]
+}
+
+// closeRuns ends any open durative episodes at the given last fix,
+// used when a communication gap interrupts them.
+func (tr *Tracker) closeRuns(st *vesselState, last ais.Fix) {
+	if st.stopped {
+		tr.endStop(st, last.Time)
+	}
+	if st.slow {
+		tr.emit(st, CriticalPoint{
+			MMSI: last.MMSI, Pos: runMedian(st.slowRun), Time: last.Time, Type: EventSlowEnd,
+			Duration: last.Time.Sub(st.slowRun[0].Time),
+		})
+		st.slow = false
+	}
+	st.stopRun = st.stopRun[:0]
+	st.slowRun = st.slowRun[:0]
+}
+
+// detectGaps performs slide-time gap detection: a vessel silent for at
+// least ΔT as of query time Q gets a gap-start critical point stamped at
+// its last report (paper Figure 3(a)).
+func (tr *Tracker) detectGaps(q time.Time) {
+	for mmsi, st := range tr.vessels {
+		if !st.haveLast || st.gapOpen {
+			continue
+		}
+		if q.Sub(st.last.Time) >= tr.params.GapPeriod {
+			tr.closeRuns(st, st.last)
+			tr.emit(st, CriticalPoint{
+				MMSI: mmsi, Pos: st.last.Pos, Time: st.last.Time, Type: EventGapStart,
+			})
+			st.gapOpen = true
+		}
+	}
+}
+
+// evict expires critical points older than the window range and removes
+// vessels silent beyond it, returning the expired "delta" points in
+// per-vessel time order.
+func (tr *Tracker) evict(q time.Time) []CriticalPoint {
+	cutoff := q.Add(-tr.window.Range)
+	var delta []CriticalPoint
+	for mmsi, st := range tr.vessels {
+		st.synopsis.Each(func(ts time.Time, cp CriticalPoint) bool {
+			if ts.After(cutoff) {
+				return false
+			}
+			delta = append(delta, cp)
+			return true
+		})
+		st.synopsis.EvictBefore(cutoff)
+		if !st.lastSeen.After(cutoff) {
+			st.synopsis.Each(func(_ time.Time, cp CriticalPoint) bool {
+				delta = append(delta, cp)
+				return true
+			})
+			delete(tr.vessels, mmsi)
+		}
+	}
+	// Map iteration order is random; keep the delta stream deterministic
+	// for reproducible staging and archival.
+	sort.Slice(delta, func(i, j int) bool {
+		if !delta[i].Time.Equal(delta[j].Time) {
+			return delta[i].Time.Before(delta[j].Time)
+		}
+		return delta[i].MMSI < delta[j].MMSI
+	})
+	return delta
+}
+
+// Odometer returns a vessel's traveled distance in meters: the total
+// over its tracked history and the distance since it last departed
+// (since its last long-term stop ended). Across communication gaps the
+// straight-line chord is counted, as the course in between is unknown.
+// ok is false for vessels without live state.
+func (tr *Tracker) Odometer(mmsi uint32) (totalM, sinceDepartureM float64, ok bool) {
+	st := tr.vessels[mmsi]
+	if st == nil {
+		return 0, 0, false
+	}
+	return st.odometerM, st.departureM, true
+}
+
+// VesselCount returns the number of vessels with live state.
+func (tr *Tracker) VesselCount() int { return len(tr.vessels) }
+
+// Synopsis returns the critical points currently retained in the window
+// for the given vessel, oldest first.
+func (tr *Tracker) Synopsis(mmsi uint32) []CriticalPoint {
+	st := tr.vessels[mmsi]
+	if st == nil {
+		return nil
+	}
+	out := make([]CriticalPoint, 0, st.synopsis.Len())
+	st.synopsis.Each(func(_ time.Time, cp CriticalPoint) bool {
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// withinRadius reports whether every fix of the run lies within radius
+// meters of the run centroid.
+func withinRadius(run []ais.Fix, radius float64) bool {
+	c := runCentroid(run)
+	for _, f := range run {
+		if geo.Haversine(c, f.Pos) > radius {
+			return false
+		}
+	}
+	return true
+}
+
+// stopConfidence grades a long-term stop by how tightly the run packs
+// inside the radius: a run hugging the centroid is a confident stop, a
+// run brushing the radius boundary less so.
+func stopConfidence(run []ais.Fix, radius float64) float64 {
+	c := runCentroid(run)
+	var worst float64
+	for _, f := range run {
+		if d := geo.Haversine(c, f.Pos); d > worst {
+			worst = d
+		}
+	}
+	conf := 1 - worst/(2*radius)
+	if conf < 0.5 {
+		conf = 0.5
+	}
+	return conf
+}
+
+// runCentroid returns the centroid of the run's positions.
+func runCentroid(run []ais.Fix) geo.Point {
+	pts := make([]geo.Point, len(run))
+	for i, f := range run {
+		pts[i] = f.Pos
+	}
+	return geo.Centroid(pts)
+}
+
+// runMedian returns the positionally central fix of the run: the
+// representative critical point of a slow-motion episode (paper §3.1).
+// It picks the fix minimizing the sum of distances to the others — the
+// geometric median restricted to run members.
+func runMedian(run []ais.Fix) geo.Point {
+	if len(run) == 1 {
+		return run[0].Pos
+	}
+	best, bestSum := 0, math.Inf(1)
+	for i := range run {
+		sum := 0.0
+		for j := range run {
+			if i != j {
+				sum += geo.Haversine(run[i].Pos, run[j].Pos)
+			}
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return run[best].Pos
+}
