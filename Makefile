@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench experiments examples
+.PHONY: all build vet test test-short test-race bench experiments examples
 
 all: build vet test
 
@@ -15,6 +15,10 @@ test:
 
 test-short:
 	go test -short ./...
+
+# What CI runs: the whole suite under the race detector.
+test-race:
+	go test -race ./...
 
 # One testing.B benchmark per table/figure of the paper's evaluation.
 bench:

@@ -45,9 +45,11 @@ func main() {
 		areas   = flag.Int("areas", 35, "areas of interest")
 		window  = flag.Duration("window", time.Hour, "window range ω")
 		slide   = flag.Duration("slide", 10*time.Minute, "window slide β")
-		facts   = flag.Bool("spatial-facts", false, "use precomputed spatial facts (Fig. 11(b) mode)")
-		procs   = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
-		quiet   = flag.Bool("quiet", false, "suppress per-alert output")
+		facts    = flag.Bool("spatial-facts", false, "use precomputed spatial facts (Fig. 11(b) mode)")
+		procs    = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
+		quiet    = flag.Bool("quiet", false, "suppress per-alert output")
+		watchdog = flag.Duration("watchdog", 0, "per-slide recognition budget; wedged partitions are abandoned (0 = off)")
+		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer for live feeds, in fixes (0 = unbuffered)")
 	)
 	flag.Parse()
 
@@ -66,20 +68,32 @@ func main() {
 	sys := core.NewSystem(core.Config{
 		Window:      stream.WindowSpec{Range: *window, Slide: *slide},
 		Tracker:     tracker.DefaultParams(),
-		Recognition: maritime.Config{Window: *window, Mode: mode},
-		Processors:  *procs,
+		Recognition:     maritime.Config{Window: *window, Mode: mode},
+		Processors:      *procs,
+		WatchdogTimeout: *watchdog,
 	}, vesselsReg, areasReg, ports)
 
 	var src stream.FixSource
 	switch {
 	case *live != "":
-		c, err := feed.Dial(*live)
+		// The reconnecting client survives transport faults: it re-dials
+		// with backoff and resumes from the last fix it saw, and the
+		// bounded ingest buffer keeps a slow slide from exerting
+		// backpressure onto the wire.
+		c, err := feed.DialReconnecting(*live, feed.DefaultRetryPolicy())
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer c.Close()
 		log.Printf("consuming live feed at %s", *live)
 		src = c
+		var buf *stream.IngestBuffer
+		if *ingest > 0 {
+			buf = stream.NewIngestBuffer(c, *ingest)
+			defer buf.Close()
+			src = buf
+		}
+		sys.AddHealthSource(core.LiveHealthSource(c, buf))
 	case *in == "":
 		src = stream.NewSliceSource(sim.Run())
 	default:
@@ -122,6 +136,9 @@ func main() {
 	t4 := sys.Store().Table4Stats()
 	log.Printf("archived %d trips (%d points; %d still staged)",
 		t4.Trips, t4.PointsInTrajectories, t4.PointsInStaging)
+	if *live != "" || *watchdog > 0 {
+		log.Printf("health: %s", sys.Health())
+	}
 }
 
 func max(a, b int) int {

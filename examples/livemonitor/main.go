@@ -4,6 +4,13 @@
 // stream, tracks trajectories, recognizes complex events, watches for
 // collision courses, and issues short-term position forecasts.
 //
+// The wire is deliberately unreliable: the stream is routed through a
+// fault-injection proxy that resets the connection mid-replay and
+// corrupts the occasional sentence, so the run also demonstrates the
+// fault-tolerance layer — reconnect with resume, bounded ingest
+// buffering, the recognition watchdog, and the health summary that
+// accounts for every lost message.
+//
 //	go run ./examples/livemonitor
 package main
 
@@ -16,6 +23,7 @@ import (
 
 	"repro/internal/collision"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/feed"
 	"repro/internal/fleetsim"
 	"repro/internal/forecast"
@@ -34,7 +42,7 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	srv := &feed.Server{Fixes: fixes, Speedup: 600} // 3 h in ~18 s
+	srv := &feed.Server{Fixes: fixes, Speedup: 600, HandshakeWait: 2 * time.Second} // 3 h in ~18 s
 	addrCh := make(chan net.Addr, 1)
 	go func() {
 		if err := srv.ListenAndServe(ctx, "127.0.0.1:0", addrCh); err != nil {
@@ -42,27 +50,51 @@ func main() {
 		}
 	}()
 	addr := (<-addrCh).String()
-	fmt.Printf("live AIS feed on %s (%d fixes at 600x)\n\n", addr, len(fixes))
+
+	// A hostile stretch of wire between ship and shore: the connection
+	// is severed (mid-sentence) partway through the replay, and one
+	// sentence in 400 arrives corrupted.
+	proxy := &faults.Proxy{
+		Upstream: addr,
+		Plan: faults.Plan{
+			Seed:            7,
+			ResetAfterLines: []int{2000},
+			TruncateOnReset: true,
+			CorruptEvery:    400,
+		},
+	}
+	proxyCh := make(chan net.Addr, 1)
+	go func() {
+		if err := proxy.ListenAndServe(ctx, "127.0.0.1:0", proxyCh); err != nil {
+			fmt.Fprintln(os.Stderr, "proxy:", err)
+		}
+	}()
+	proxyAddr := (<-proxyCh).String()
+	fmt.Printf("live AIS feed on %s (%d fixes at 600x, via a faulty link)\n\n", proxyAddr, len(fixes))
 
 	// The control-center side.
 	vessels, areas, ports := core.AdaptWorld(sim)
 	window := stream.WindowSpec{Range: time.Hour, Slide: 10 * time.Minute}
 	sys := core.NewSystem(core.Config{
-		Window:      window,
-		Tracker:     tracker.DefaultParams(),
-		Recognition: maritime.Config{Window: window.Range},
+		Window:          window,
+		Tracker:         tracker.DefaultParams(),
+		Recognition:     maritime.Config{Window: window.Range},
+		WatchdogTimeout: 5 * time.Second,
 	}, vessels, areas, ports)
 	watch := collision.New(collision.Params{DistanceMeters: 400})
 	oracle := forecast.New(tracker.DefaultParams())
 
-	client, err := feed.Dial(addr)
+	client, err := feed.DialReconnecting(proxyAddr, feed.DefaultRetryPolicy())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer client.Close()
+	buf := stream.NewIngestBuffer(client, 1<<14)
+	defer buf.Close()
+	sys.AddHealthSource(core.LiveHealthSource(client, buf))
 
-	batcher := stream.NewBatcher(client, window.Slide)
+	batcher := stream.NewBatcher(buf, window.Slide)
 	alertCount := 0
 	reported := make(map[[2]uint32]time.Time) // encounter pair → last report
 	var lastQ time.Time
@@ -93,11 +125,12 @@ func main() {
 				e.A, e.B, e.DCPA, e.TCPA.Round(time.Second), e.Where)
 		}
 	}
-	if err := client.Err(); err != nil {
+	if err := buf.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "client:", err)
 	}
 
 	fmt.Printf("\nfeed ended at %s; %d complex events recognized\n", lastQ.Format("15:04"), alertCount)
+	fmt.Printf("pipeline health: %s\n", sys.Health())
 	fmt.Println("\n15-minute forecasts for the three fastest tracks:")
 	printed := 0
 	for _, p := range oracle.PredictAll(lastQ, 15*time.Minute) {

@@ -1,0 +1,53 @@
+package ais
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScanner hammers the Data Scanner with arbitrary byte streams: it
+// must never panic, never emit an invalid fix, and its stats must
+// account every consumed line exactly once
+// (Lines == Fixes + VoyageReports + Dropped + Blank + Fragments).
+func FuzzScanner(f *testing.F) {
+	// Seeds drawn from the robustness-test corpus: every input shape the
+	// deterministic tests already exercise, plus valid traffic so the
+	// fuzzer mutates from both sides of the accept/reject boundary.
+	seeds := []string{
+		"1243814400 !AIVDM,1,1,,A,15RTgt0PAso;90TKcjM8h6g208CQ,0*4A",
+		"237000001,23.5,37.5,1243814400",
+		"1243814400 !AIVDM,1,1,,A,15RTgt0", // truncated NMEA
+		"99999999999999999999,999,999,99999999999999999999",
+		"237000001,NaN,+Inf,1243814400",
+		"   ",
+		"# comment line",
+		"1243814400 !AIVDM,1,1,,A,0,0*F", // checksum of the wrong length
+		strings.Repeat(",", 17),
+		"1243814400 !AIVDM,2,1,3,B,55P5TL01VIaAL@7WKO@mBplU@<PDhh000000001S;AJ::4A80?4i@E53,0*3E",
+		"1243814400 !AIVDM,2,2,3,B,1@0000000000000,2*55",
+		"1243814400 !AIVDM,2,1,7,A,5000Htl000000000000<518T<u8pTuwF0000001S0p==40004hC`12,0*2B",
+		"not a line at all \x00\xff",
+		"1243814400 !BSVDM,1,1,,A,15RTgt0PAso;90TKcjM8h6g208CQ,0*4A",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+		f.Add([]byte(s + "\n" + s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewScanner(strings.NewReader(string(data)))
+		for sc.Scan() {
+			if fix := sc.Fix(); !fix.Pos.Valid() {
+				t.Fatalf("scanner emitted an invalid position: %v", fix)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			// bufio's token-too-long is the only acceptable read error on
+			// an in-memory stream.
+			t.Logf("scan err: %v", err)
+		}
+		if st := sc.Stats(); !st.Reconciles() {
+			t.Fatalf("stats do not reconcile: %+v (fixes+voyage+dropped+blank+fragments = %d, lines = %d)",
+				st, st.Fixes+st.VoyageReports+st.Dropped()+st.Blank+st.Fragments, st.Lines)
+		}
+	})
+}

@@ -38,11 +38,38 @@ type ScannerStats struct {
 	NoPosition    int // reports with not-available coordinates
 	FragmentLoss  int // broken multi-sentence groups
 	VoyageReports int // type 5 static/voyage messages collected
+	Blank         int // blank and '#'-comment lines
+	Fragments     int // fragments consumed while awaiting the rest of a group
 }
 
 // Dropped returns the total number of dropped input lines.
 func (s ScannerStats) Dropped() int {
 	return s.BadChecksum + s.Malformed + s.Unsupported + s.NoPosition + s.FragmentLoss
+}
+
+// Reconciles reports whether every consumed line is accounted for by
+// exactly one outcome counter — the Data Scanner's bookkeeping
+// invariant, checked by the robustness and fuzz tests.
+func (s ScannerStats) Reconciles() bool {
+	return s.Lines == s.Fixes+s.VoyageReports+s.Dropped()+s.Blank+s.Fragments
+}
+
+// Add returns the element-wise sum of two snapshots. A resuming client
+// that re-dials a feed restarts its scanner per connection; Add folds
+// the finished connection's counters into the session total.
+func (s ScannerStats) Add(o ScannerStats) ScannerStats {
+	return ScannerStats{
+		Lines:         s.Lines + o.Lines,
+		Fixes:         s.Fixes + o.Fixes,
+		BadChecksum:   s.BadChecksum + o.BadChecksum,
+		Malformed:     s.Malformed + o.Malformed,
+		Unsupported:   s.Unsupported + o.Unsupported,
+		NoPosition:    s.NoPosition + o.NoPosition,
+		FragmentLoss:  s.FragmentLoss + o.FragmentLoss,
+		VoyageReports: s.VoyageReports + o.VoyageReports,
+		Blank:         s.Blank + o.Blank,
+		Fragments:     s.Fragments + o.Fragments,
+	}
 }
 
 // Scanner implements the paper's Data Scanner: it reads a line-oriented
@@ -84,6 +111,7 @@ func (s *Scanner) Scan() bool {
 		s.stats.Lines++
 		line := strings.TrimSpace(s.r.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			s.stats.Blank++
 			continue
 		}
 		fix, ok := s.consume(line)
@@ -147,6 +175,7 @@ func (s *Scanner) consumeNMEA(prefix, sentence string) (Fix, bool) {
 	}
 	switch report := msg.(type) {
 	case nil:
+		s.stats.Fragments++
 		return Fix{}, false // awaiting more fragments
 	case *StaticVoyage:
 		s.stats.VoyageReports++

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ais"
+	"repro/internal/feed"
+	"repro/internal/stream"
+)
+
+// Health is the pipeline's degradation snapshot: how often the ingest
+// path had to reconnect, what was dropped and why, and whether the
+// recognition watchdog had to abandon a wedged partition. It is
+// surfaced per slide through SlideReport and at session end by the live
+// drivers, so an operator can tell "clean run" from "survived faults"
+// without grepping logs.
+type Health struct {
+	// Reconnects and Resumes count the feed client's recoveries.
+	Reconnects int
+	Resumes    int
+	// DropsByCause accounts every discarded message by reason, merging
+	// the Data Scanner's cleaning counters with transport and
+	// degradation drops ("overflow", "watchdog", "resume-dup").
+	DropsByCause map[string]int
+	// IngestOverflow is the bounded-buffer overflow count (also present
+	// in DropsByCause under "overflow").
+	IngestOverflow int
+	// WatchdogTrips counts slides where recognition exceeded its budget
+	// and was abandoned; WedgedPartitions is how many partitions are
+	// currently out of service because of it.
+	WatchdogTrips    int
+	WedgedPartitions int
+}
+
+// Merge returns the element-wise combination of two snapshots.
+func (h Health) Merge(o Health) Health {
+	out := h
+	out.Reconnects += o.Reconnects
+	out.Resumes += o.Resumes
+	out.IngestOverflow += o.IngestOverflow
+	out.WatchdogTrips += o.WatchdogTrips
+	out.WedgedPartitions += o.WedgedPartitions
+	if len(o.DropsByCause) > 0 {
+		if out.DropsByCause == nil {
+			out.DropsByCause = make(map[string]int, len(o.DropsByCause))
+		} else {
+			merged := make(map[string]int, len(out.DropsByCause)+len(o.DropsByCause))
+			for k, v := range out.DropsByCause {
+				merged[k] = v
+			}
+			out.DropsByCause = merged
+		}
+		for k, v := range o.DropsByCause {
+			out.DropsByCause[k] += v
+		}
+	}
+	return out
+}
+
+// TotalDropped sums every accounted drop.
+func (h Health) TotalDropped() int {
+	n := 0
+	for _, v := range h.DropsByCause {
+		n += v
+	}
+	return n
+}
+
+// String renders a compact one-line summary for logs.
+func (h Health) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reconnects=%d resumes=%d watchdog=%d wedged=%d",
+		h.Reconnects, h.Resumes, h.WatchdogTrips, h.WedgedPartitions)
+	if len(h.DropsByCause) > 0 {
+		causes := make([]string, 0, len(h.DropsByCause))
+		for k := range h.DropsByCause {
+			causes = append(causes, k)
+		}
+		sort.Strings(causes)
+		b.WriteString(" drops[")
+		for i, k := range causes {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", k, h.DropsByCause[k])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// ScannerHealth folds the Data Scanner's cleaning counters into a
+// Health snapshot's drop accounting.
+func ScannerHealth(st ais.ScannerStats) Health {
+	drops := make(map[string]int, 5)
+	add := func(cause string, n int) {
+		if n > 0 {
+			drops[cause] = n
+		}
+	}
+	add("checksum", st.BadChecksum)
+	add("malformed", st.Malformed)
+	add("unsupported", st.Unsupported)
+	add("no-position", st.NoPosition)
+	add("fragment-loss", st.FragmentLoss)
+	return Health{DropsByCause: drops}
+}
+
+// LiveHealthSource adapts the standard live ingest chain — a
+// reconnecting feed client and an optional bounded ingest buffer — into
+// a Health source for AddHealthSource, so every driver accounts losses
+// the same way.
+func LiveHealthSource(c *feed.ReconnectingClient, buf *stream.IngestBuffer) func() Health {
+	return func() Health {
+		h := ScannerHealth(c.Stats())
+		ns := c.NetStats()
+		h.Reconnects = ns.Reconnects
+		h.Resumes = ns.Resumes
+		if buf != nil {
+			if d := buf.Dropped(); d > 0 {
+				h.IngestOverflow = d
+				if h.DropsByCause == nil {
+					h.DropsByCause = make(map[string]int, 1)
+				}
+				h.DropsByCause["overflow"] += d
+			}
+		}
+		return h
+	}
+}
+
+// AddHealthSource registers a callback contributing ingest-side
+// counters (feed client, ingest buffer) to the system's Health
+// snapshots; drivers wire their transport layer in through this.
+func (s *System) AddHealthSource(fn func() Health) {
+	s.healthSources = append(s.healthSources, fn)
+}
+
+// Health merges the system's own degradation counters with every
+// registered source.
+func (s *System) Health() Health {
+	h := Health{
+		WatchdogTrips:    s.watchdogTrips,
+		WedgedPartitions: s.wedgedCount(),
+	}
+	if s.watchdogLostEvents > 0 {
+		h.DropsByCause = map[string]int{"watchdog": s.watchdogLostEvents}
+	}
+	for _, fn := range s.healthSources {
+		h = h.Merge(fn())
+	}
+	return h
+}
+
+func (s *System) wedgedCount() int {
+	n := 0
+	for _, p := range s.partitions {
+		if p.wedged {
+			n++
+		}
+	}
+	if s.recognizerWedged {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fleetsim"
+	"repro/internal/stream"
+)
+
+// TestProcessorsWithoutAreasFallsBack is the regression test for the
+// silent-recognition-loss bug: Processors > 1 with an empty areas slice
+// used to build zero partitions, making recognition disappear (and
+// partitionOf index -1). The system must fall back to a single
+// recognizer instead.
+func TestProcessorsWithoutAreasFallsBack(t *testing.T) {
+	cfg := defaultSystemConfig()
+	cfg.Processors = 4
+	sim := fleetsim.NewSimulator(simConfig(60, 2))
+	fixes := sim.Run()
+	vessels, _, ports := AdaptWorld(sim)
+	sys := NewSystem(cfg, vessels, nil /* no areas */, ports)
+	if sys.Recognizer() == nil {
+		t.Fatal("no recognizer with Processors=4 and no areas: recognition silently disabled")
+	}
+	// The slide must process without panicking and still run the CE
+	// engine (area-less CEs like fast approaches need no polygons).
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), cfg.Window.Slide)
+	reports := sys.RunAll(batcher)
+	if len(reports) == 0 {
+		t.Fatal("no slides processed")
+	}
+}
+
+// wedgeableConfig builds a partitioned system with a short watchdog.
+func wedgeableConfig(timeout time.Duration) Config {
+	cfg := defaultSystemConfig()
+	cfg.Processors = 2
+	cfg.WatchdogTimeout = timeout
+	return cfg
+}
+
+// TestWatchdogSkipsWedgedPartition wedges one partition's recognizer
+// and checks the slide completes within the budget, the healthy
+// partition's alerts survive, and later slides skip the wedged one.
+func TestWatchdogSkipsWedgedPartition(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	calls := make(chan int, 64)
+	hook := func(i int) {
+		calls <- i
+		if i == 0 {
+			<-release // partition 0 is wedged until the test ends
+		}
+	}
+	recognizerAdvanceHook.Store(&hook)
+	defer recognizerAdvanceHook.Store(nil)
+
+	sim := fleetsim.NewSimulator(simConfig(150, 3))
+	fixes := sim.Run()
+	vessels, areas, ports := AdaptWorld(sim)
+	sys := NewSystem(wedgeableConfig(200*time.Millisecond), vessels, areas, ports)
+
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), 10*time.Minute)
+	start := time.Now()
+	var reports []SlideReport
+	for {
+		b, ok := batcher.Next()
+		if !ok {
+			break
+		}
+		slideStart := time.Now()
+		reports = append(reports, sys.ProcessBatch(b))
+		if d := time.Since(slideStart); d > 5*time.Second {
+			t.Fatalf("slide took %v despite a 200ms watchdog: the wedged partition hung the pipeline", d)
+		}
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatalf("run took %v, watchdog is not bounding slides", time.Since(start))
+	}
+
+	h := sys.Health()
+	if h.WatchdogTrips != 1 {
+		t.Errorf("WatchdogTrips = %d, want exactly 1 (the partition is skipped afterwards)", h.WatchdogTrips)
+	}
+	if h.WedgedPartitions != 1 {
+		t.Errorf("WedgedPartitions = %d, want 1", h.WedgedPartitions)
+	}
+	if h.DropsByCause["watchdog"] == 0 {
+		t.Error("no events accounted as lost to the watchdog")
+	}
+
+	// Partition 0 must have been advanced exactly once (then abandoned);
+	// partition 1 once per slide with traffic. Drain without closing:
+	// the abandoned goroutine's send has no happens-before edge with
+	// this goroutine, and close-vs-send is a race.
+	perPart := map[int]int{}
+	for len(calls) > 0 {
+		perPart[<-calls]++
+	}
+	if perPart[0] != 1 {
+		t.Errorf("wedged partition advanced %d times, want 1", perPart[0])
+	}
+	if perPart[1] < len(reports)/2 {
+		t.Errorf("healthy partition advanced %d times over %d slides", perPart[1], len(reports))
+	}
+
+	// The healthy partition must still produce alerts.
+	alerts := 0
+	for _, r := range reports {
+		alerts += len(r.Alerts)
+	}
+	if alerts == 0 {
+		t.Error("no alerts from the healthy partition: degradation was total")
+	}
+	// Health rides along on slide reports.
+	last := reports[len(reports)-1]
+	if last.Health.WatchdogTrips != 1 {
+		t.Errorf("SlideReport.Health.WatchdogTrips = %d, want 1", last.Health.WatchdogTrips)
+	}
+}
+
+// TestWatchdogSingleRecognizer wedges the lone recognizer: recognition
+// degrades to nothing, but the pipeline keeps sliding and the loss is
+// accounted.
+func TestWatchdogSingleRecognizer(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hook := func(i int) {
+		if i == -1 {
+			<-release
+		}
+	}
+	recognizerAdvanceHook.Store(&hook)
+	defer recognizerAdvanceHook.Store(nil)
+
+	cfg := defaultSystemConfig()
+	cfg.WatchdogTimeout = 100 * time.Millisecond
+	sim := fleetsim.NewSimulator(simConfig(40, 2))
+	fixes := sim.Run()
+	vessels, areas, ports := AdaptWorld(sim)
+	sys := NewSystem(cfg, vessels, areas, ports)
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), 10*time.Minute)
+	reports := sys.RunAll(batcher)
+	if len(reports) == 0 {
+		t.Fatal("no slides processed")
+	}
+	h := sys.Health()
+	if h.WatchdogTrips != 1 || h.WedgedPartitions != 1 {
+		t.Errorf("health = %+v, want 1 trip / 1 wedged", h)
+	}
+	for _, r := range reports {
+		if len(r.Alerts) != 0 {
+			t.Error("alerts produced by a wedged recognizer")
+		}
+	}
+}
+
+// TestHealthSources checks driver-contributed counters merge into the
+// per-slide snapshots.
+func TestHealthSources(t *testing.T) {
+	cfg := defaultSystemConfig()
+	sim := fleetsim.NewSimulator(simConfig(40, 2))
+	fixes := sim.Run()
+	vessels, areas, ports := AdaptWorld(sim)
+	sys := NewSystem(cfg, vessels, areas, ports)
+	sys.AddHealthSource(func() Health {
+		return Health{Reconnects: 3, Resumes: 2, IngestOverflow: 7,
+			DropsByCause: map[string]int{"overflow": 7, "checksum": 1}}
+	})
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), 10*time.Minute)
+	reports := sys.RunAll(batcher)
+	h := reports[len(reports)-1].Health
+	if h.Reconnects != 3 || h.Resumes != 2 || h.IngestOverflow != 7 {
+		t.Errorf("driver counters lost in merge: %+v", h)
+	}
+	if h.DropsByCause["overflow"] != 7 || h.DropsByCause["checksum"] != 1 {
+		t.Errorf("drop causes lost in merge: %+v", h.DropsByCause)
+	}
+	if h.TotalDropped() != 8 {
+		t.Errorf("TotalDropped = %d, want 8", h.TotalDropped())
+	}
+	if got := h.String(); got == "" {
+		t.Error("empty health summary")
+	}
+}

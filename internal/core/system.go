@@ -11,7 +11,7 @@ package core
 import (
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/maritime"
@@ -36,6 +36,12 @@ type Config struct {
 	// may further distribute CE recognition by dividing further the
 	// monitored area"). 0 or 1 runs a single recognizer.
 	Processors int
+	// WatchdogTimeout bounds one slide's CE recognition: a recognizer
+	// that exceeds it is flagged as wedged and abandoned — its events are
+	// dropped (counted in Health) and the slide completes with whatever
+	// the healthy recognizers produced, instead of hanging the pipeline.
+	// 0 disables the watchdog.
+	WatchdogTimeout time.Duration
 	// DisableRecognition turns the CE module off, for experiments that
 	// time trajectory detection alone.
 	DisableRecognition bool
@@ -67,6 +73,9 @@ type SlideReport struct {
 	TripsCompleted int
 	Alerts         []maritime.Alert
 	Timings        Timings
+	// Health is the degradation snapshot as of this slide (cumulative
+	// counters, not per-slide deltas).
+	Health Health
 }
 
 // System is the assembled pipeline.
@@ -80,6 +89,13 @@ type System struct {
 	// Partitioned recognition (Processors > 1): one recognizer per
 	// longitude band, fed the events of vessels inside its band.
 	partitions []*partition
+
+	// Degradation state (see Health): watchdog bookkeeping and the
+	// drivers' ingest-side health contributions.
+	healthSources      []func() Health
+	watchdogTrips      int
+	watchdogLostEvents int
+	recognizerWedged   bool
 }
 
 // partition is one geographic slice of the monitored region.
@@ -88,6 +104,10 @@ type partition struct {
 	areas []maritime.Area
 	loLon float64 // inclusive lower longitude bound (-Inf for first)
 	hiLon float64 // exclusive upper bound (+Inf for last)
+	// wedged marks a partition abandoned by the watchdog: its goroutine
+	// overran the slide budget and may still be running, so it must
+	// never be advanced again.
+	wedged bool
 }
 
 // NewSystem wires the pipeline over the given static knowledge. vessels
@@ -104,7 +124,11 @@ func NewSystem(cfg Config, vessels []maritime.Vessel, areas []maritime.Area, por
 	if !cfg.DisableRecognition {
 		if cfg.Processors > 1 {
 			s.buildPartitions(vessels, areas)
-		} else {
+		}
+		if len(s.partitions) == 0 {
+			// Either a single-processor run, or nothing to partition on
+			// (no areas): fall back to one recognizer rather than silently
+			// dropping recognition.
 			s.recognizer = maritime.NewRecognizer(cfg.Recognition, vessels, areas)
 		}
 		if cfg.Recognition.Mode == maritime.SpatialFacts {
@@ -199,15 +223,55 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 		}
 		t = time.Now()
 		if s.recognizer != nil {
-			snap := s.recognizer.Advance(b.Query, events, facts)
-			rep.Alerts = snap.Alerts
+			rep.Alerts = s.advanceSingle(b.Query, events, facts)
 		} else {
 			rep.Alerts = s.advancePartitions(b.Query, events, facts)
 		}
 		rep.Timings.Recognition = time.Since(t)
 	}
+	rep.Health = s.Health()
 	return rep
 }
+
+// advanceSingle runs the lone recognizer, under the watchdog when one
+// is configured.
+func (s *System) advanceSingle(q time.Time, events []rtec.Event, facts []maritime.SpatialFact) []maritime.Alert {
+	if s.recognizerWedged {
+		s.watchdogLostEvents += len(events)
+		return nil
+	}
+	if s.cfg.WatchdogTimeout <= 0 {
+		return s.recognizer.Advance(q, events, facts).Alerts
+	}
+	done := make(chan maritime.Snapshot, 1)
+	go func() {
+		if h := recognizerAdvanceHook.Load(); h != nil {
+			(*h)(-1)
+		}
+		done <- s.recognizer.Advance(q, events, facts)
+	}()
+	timer := time.NewTimer(s.cfg.WatchdogTimeout)
+	defer timer.Stop()
+	select {
+	case snap := <-done:
+		return snap.Alerts
+	case <-timer.C:
+		// The recognizer overran the slide budget; abandon it (the
+		// goroutine may still be running against its private state, so it
+		// must never be advanced again) and keep the pipeline moving.
+		s.recognizerWedged = true
+		s.watchdogTrips++
+		s.watchdogLostEvents += len(events)
+		return nil
+	}
+}
+
+// recognizerAdvanceHook is called at the start of every recognition
+// goroutine with the partition index (-1 for the single recognizer);
+// tests install a blocking hook to simulate a wedged recognizer. It is
+// atomic because abandoned goroutines may still read it while a test
+// tears it down.
+var recognizerAdvanceHook atomic.Pointer[func(i int)]
 
 // advancePartitions fans the slide's events out to the recognizer of
 // the band each vessel is in and runs all bands in parallel (the MEs
@@ -217,7 +281,12 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 	n := len(s.partitions)
 	evByPart := make([][]rtec.Event, n)
 	for _, ev := range events {
-		evByPart[s.partitionOf(ev.Lon)] = append(evByPart[s.partitionOf(ev.Lon)], ev)
+		i := s.partitionOf(ev.Lon)
+		if s.partitions[i].wedged {
+			s.watchdogLostEvents++
+			continue
+		}
+		evByPart[i] = append(evByPart[i], ev)
 	}
 	factByPart := make([][]maritime.SpatialFact, n)
 	if len(facts) > 0 {
@@ -228,24 +297,66 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 			}
 		}
 		for _, f := range facts {
-			if i, ok := owner[f.AreaID]; ok {
+			if i, ok := owner[f.AreaID]; ok && !s.partitions[i].wedged {
 				factByPart[i] = append(factByPart[i], f)
 			}
 		}
 	}
-	snaps := make([]maritime.Snapshot, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := range s.partitions {
-		go func(i int) {
-			defer wg.Done()
-			snaps[i] = s.partitions[i].rec.Advance(q, evByPart[i], factByPart[i])
-		}(i)
+	// Fan out to the live partitions. Results come back over a buffered
+	// channel rather than shared slots so that a goroutine abandoned by
+	// the watchdog can still complete without racing a later slide.
+	type partResult struct {
+		i    int
+		snap maritime.Snapshot
 	}
-	wg.Wait()
+	results := make(chan partResult, n)
+	launched := make([]bool, n)
+	active := 0
+	for i, p := range s.partitions {
+		if p.wedged {
+			continue
+		}
+		launched[i] = true
+		active++
+		go func(i int, p *partition) {
+			if h := recognizerAdvanceHook.Load(); h != nil {
+				(*h)(i)
+			}
+			results <- partResult{i, p.rec.Advance(q, evByPart[i], factByPart[i])}
+		}(i, p)
+	}
+	var timeout <-chan time.Time
+	if s.cfg.WatchdogTimeout > 0 {
+		timer := time.NewTimer(s.cfg.WatchdogTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	snaps := make([]maritime.Snapshot, n)
+	completed := make([]bool, n)
+	for got := 0; got < active; {
+		select {
+		case r := <-results:
+			snaps[r.i] = r.snap
+			completed[r.i] = true
+			got++
+		case <-timeout:
+			// The slide budget is spent: flag every straggler as wedged
+			// and move on with the snapshots that did arrive.
+			s.watchdogTrips++
+			for i, p := range s.partitions {
+				if launched[i] && !completed[i] {
+					p.wedged = true
+					s.watchdogLostEvents += len(evByPart[i])
+				}
+			}
+			got = active
+		}
+	}
 	var alerts []maritime.Alert
-	for _, snap := range snaps {
-		alerts = append(alerts, snap.Alerts...)
+	for i, snap := range snaps {
+		if completed[i] {
+			alerts = append(alerts, snap.Alerts...)
+		}
 	}
 	sort.Slice(alerts, func(i, j int) bool {
 		if !alerts[i].Time.Equal(alerts[j].Time) {

@@ -9,14 +9,29 @@ package feed
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/ais"
 )
+
+// ServerStats counts what the feed server did and why it dropped
+// output, mirroring ais.ScannerStats on the producing side: encode and
+// write failures are structured counters rather than log lines, so a
+// supervisor can alarm on them.
+type ServerStats struct {
+	ClientsServed int // connections that ran to completion or client drop
+	Resumes       int // RESUME handshakes honored
+	ResumeSkipped int // fixes skipped because they were ≤ a resume cursor
+	EncodeErrors  int // fixes dropped because NMEA encoding failed
+	WriteErrors   int // client connections dropped on a write error
+}
 
 // Server replays a fix stream to every connected client, paced by the
 // original timestamps divided by Speedup (Speedup 0 or ≥ 1e6 replays
@@ -26,10 +41,16 @@ type Server struct {
 	Speedup float64
 	// Logf receives connection lifecycle messages; nil silences them.
 	Logf func(format string, args ...any)
+	// HandshakeWait, when positive, makes the server wait this long after
+	// accept for an optional "RESUME <unix>" line from the client before
+	// streaming. A resuming client is replayed only the fixes with
+	// timestamp strictly greater than the cursor; clients that send
+	// nothing get the full stream after the wait elapses.
+	HandshakeWait time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
-	served   int
+	stats    ServerStats
 }
 
 // Serve listens on addr ("host:port", port 0 picks a free one) and
@@ -75,7 +96,20 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, addrCh chan<- 
 func (s *Server) ClientsServed() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.served
+	return s.stats.ClientsServed
+}
+
+// Stats returns a snapshot of the server's drop and resume counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) count(fn func(*ServerStats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -84,25 +118,32 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// encodeSentences is swapped out by tests to exercise the encode-error
+// accounting.
+var encodeSentences = ais.EncodeSentences
+
 // stream writes the fix stream to one client.
 func (s *Server) stream(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	defer func() {
-		s.mu.Lock()
-		s.served++
-		s.mu.Unlock()
-	}()
+	defer s.count(func(st *ServerStats) { st.ClientsServed++ })
+	cursor := s.handshake(conn)
 	w := bufio.NewWriter(conn)
 	var streamStart time.Time
 	var wallStart time.Time
+	paced := false
 	for i, f := range s.Fixes {
 		if ctx.Err() != nil {
 			return
 		}
+		if cursor != nil && f.Time.Unix() <= *cursor {
+			s.count(func(st *ServerStats) { st.ResumeSkipped++ })
+			continue
+		}
 		if s.Speedup > 0 && s.Speedup < 1e6 {
-			if i == 0 {
+			if !paced {
 				streamStart = f.Time
 				wallStart = time.Now()
+				paced = true
 			} else {
 				due := wallStart.Add(time.Duration(float64(f.Time.Sub(streamStart)) / s.Speedup))
 				if d := time.Until(due); d > 0 {
@@ -119,23 +160,64 @@ func (s *Server) stream(ctx context.Context, conn net.Conn) {
 			Lon: f.Pos.Lon, Lat: f.Pos.Lat,
 			UTCSecond: f.Time.Second(),
 		}
-		lines, err := ais.EncodeSentences(report, "A", i)
+		lines, err := encodeSentences(report, "A", i)
 		if err != nil {
+			s.count(func(st *ServerStats) { st.EncodeErrors++ })
 			s.logf("encode: %v", err)
 			continue
 		}
 		for _, line := range lines {
 			if _, err := fmt.Fprintf(w, "%d %s\n", f.Time.Unix(), line); err != nil {
+				s.count(func(st *ServerStats) { st.WriteErrors++ })
 				s.logf("client %s dropped: %v", conn.RemoteAddr(), err)
 				return
 			}
 		}
 		// Flush per fix so paced clients see data promptly.
 		if err := w.Flush(); err != nil {
+			s.count(func(st *ServerStats) { st.WriteErrors++ })
 			return
 		}
 	}
 	s.logf("client %s finished (%d fixes)", conn.RemoteAddr(), len(s.Fixes))
+}
+
+// handshake waits up to HandshakeWait for an optional "RESUME <unix>"
+// line and returns the parsed cursor, or nil when the client wants the
+// stream from the beginning.
+func (s *Server) handshake(conn net.Conn) *int64 {
+	if s.HandshakeWait <= 0 {
+		return nil
+	}
+	conn.SetReadDeadline(time.Now().Add(s.HandshakeWait))
+	defer conn.SetReadDeadline(time.Time{})
+	// The handshake is at most one short line; read byte-wise so no
+	// stream data is buffered away from the writer below.
+	line := make([]byte, 0, 32)
+	buf := make([]byte, 1)
+	for len(line) < 64 {
+		if _, err := conn.Read(buf); err != nil {
+			return nil // silence or a deadline: full replay
+		}
+		if buf[0] == '\n' {
+			break
+		}
+		line = append(line, buf[0])
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) != 2 || fields[0] != "RESUME" {
+		return nil
+	}
+	cursor, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil
+	}
+	if cursor < 0 {
+		return nil // a fresh session's greeting: full replay
+	}
+	s.count(func(st *ServerStats) { st.Resumes++ })
+	s.logf("client %s resumes after %d", conn.RemoteAddr(), cursor)
+	return &cursor
 }
 
 // Client consumes a live feed as a FixSource: it dials the feed address
@@ -167,10 +249,12 @@ func (c *Client) Scan() bool { return c.scanner.Scan() }
 func (c *Client) Fix() ais.Fix { return c.scanner.Fix() }
 
 // Err returns the first transport or scan error, filtering the EOF of
-// a finished feed.
+// a finished feed. A feed that ends mid-line after an otherwise clean
+// finish surfaces as io.ErrUnexpectedEOF (possibly wrapped); that is
+// still a finished feed, not a transport failure.
 func (c *Client) Err() error {
 	err := c.scanner.Err()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return nil
 	}
 	return err
@@ -182,9 +266,17 @@ func (c *Client) Stats() ais.ScannerStats { return c.scanner.Stats() }
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// StreamClient is the closable FixSource both feed clients implement.
+type StreamClient interface {
+	Scan() bool
+	Fix() ais.Fix
+	Err() error
+	Close() error
+}
+
 // Relay pumps a client's fixes into a callback until the feed ends or
 // ctx is cancelled, a convenience for live pipelines.
-func Relay(ctx context.Context, c *Client, fn func(ais.Fix)) error {
+func Relay(ctx context.Context, c StreamClient, fn func(ais.Fix)) error {
 	done := make(chan struct{})
 	var scanErr error
 	go func() {

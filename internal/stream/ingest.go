@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/ais"
+)
+
+// IngestBuffer decouples a live FixSource from the pipeline with a
+// bounded buffer: a pump goroutine drains the source as fast as the
+// wire delivers it, while the consumer (the Batcher and tracker behind
+// it) takes fixes at its own pace. When the consumer falls behind and
+// the buffer fills, the oldest buffered fixes are dropped and counted —
+// an explicit degradation policy that never blocks the ingest path, so
+// a slow recognition slide cannot exert backpressure onto the feed and
+// turn one stall into a timeout cascade.
+//
+// IngestBuffer is itself a FixSource, so it slots transparently between
+// a feed client and a Batcher.
+type IngestBuffer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []ais.Fix // buf[head:] are the live entries
+	head    int
+	cap     int
+	dropped int
+	srcDone bool
+	closed  bool
+	err     error
+	cur     ais.Fix
+}
+
+// NewIngestBuffer starts pumping src into a buffer of the given
+// capacity (≤ 0 defaults to 8192 fixes).
+func NewIngestBuffer(src FixSource, capacity int) *IngestBuffer {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	b := &IngestBuffer{cap: capacity}
+	b.cond = sync.NewCond(&b.mu)
+	go b.pump(src)
+	return b
+}
+
+// pump drains the source until it ends or the buffer is closed.
+func (b *IngestBuffer) pump(src FixSource) {
+	for src.Scan() {
+		f := src.Fix()
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		if len(b.buf)-b.head >= b.cap {
+			// Overflow: drop the oldest fix, never block the producer.
+			b.head++
+			b.dropped++
+			if b.head > b.cap && b.head*2 > len(b.buf) {
+				b.buf = append(b.buf[:0], b.buf[b.head:]...)
+				b.head = 0
+			}
+		}
+		b.buf = append(b.buf, f)
+		b.cond.Signal()
+		b.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.srcDone = true
+	b.err = src.Err()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Scan blocks until a fix is available, the source ends, or the buffer
+// is closed.
+func (b *IngestBuffer) Scan() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.buf) == b.head && !b.srcDone && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed || len(b.buf) == b.head {
+		return false
+	}
+	b.cur = b.buf[b.head]
+	b.head++
+	if b.head == len(b.buf) {
+		b.buf = b.buf[:0]
+		b.head = 0
+	}
+	return true
+}
+
+// Fix returns the current fix.
+func (b *IngestBuffer) Fix() ais.Fix { return b.cur }
+
+// Err returns the source's terminal error once the pump has finished.
+func (b *IngestBuffer) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// Dropped returns how many fixes were discarded by overflow.
+func (b *IngestBuffer) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Pending returns the number of buffered, unconsumed fixes.
+func (b *IngestBuffer) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf) - b.head
+}
+
+// Close releases a blocked consumer and detaches the pump; it does not
+// close the underlying source.
+func (b *IngestBuffer) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+func ingestFixes(n int) []ais.Fix {
+	t0 := time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+	fixes := make([]ais.Fix, n)
+	for i := range fixes {
+		fixes[i] = ais.Fix{
+			MMSI: 237000000 + uint32(i),
+			Pos:  geo.Point{Lon: 24, Lat: 37},
+			Time: t0.Add(time.Duration(i) * time.Second),
+		}
+	}
+	return fixes
+}
+
+func TestIngestBufferDeliversInOrder(t *testing.T) {
+	fixes := ingestFixes(1000)
+	b := NewIngestBuffer(NewSliceSource(fixes), len(fixes))
+	defer b.Close()
+	got, err := Collect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fixes) {
+		t.Fatalf("delivered %d fixes, want %d", len(got), len(fixes))
+	}
+	for i := range got {
+		if got[i].MMSI != fixes[i].MMSI {
+			t.Fatalf("fix %d out of order", i)
+		}
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("Dropped = %d with ample capacity", b.Dropped())
+	}
+}
+
+func TestIngestBufferOverflowDropsOldest(t *testing.T) {
+	fixes := ingestFixes(100)
+	b := NewIngestBuffer(NewSliceSource(fixes), 10)
+	defer b.Close()
+	// Do not consume: the pump must never block, so it runs the whole
+	// source, dropping the oldest fixes as the buffer overflows.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Dropped()+b.Pending() < len(fixes) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := b.Dropped(); d != 90 {
+		t.Fatalf("Dropped = %d, want 90 (drop-oldest, never block)", d)
+	}
+	got, err := Collect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d fixes, want the newest 10", len(got))
+	}
+	for i := range got {
+		if want := fixes[90+i].MMSI; got[i].MMSI != want {
+			t.Fatalf("fix %d = MMSI %d, want %d (the oldest must be the ones dropped)",
+				i, got[i].MMSI, want)
+		}
+	}
+}
+
+// failSource yields n fixes then fails.
+type failSource struct {
+	n   int
+	i   int
+	err error
+}
+
+func (s *failSource) Scan() bool {
+	s.i++
+	return s.i <= s.n
+}
+func (s *failSource) Fix() ais.Fix { return ais.Fix{MMSI: uint32(s.i), Pos: geo.Point{Lon: 24, Lat: 37}} }
+func (s *failSource) Err() error   { return s.err }
+
+func TestIngestBufferPropagatesSourceError(t *testing.T) {
+	wantErr := errors.New("wire fell over")
+	b := NewIngestBuffer(&failSource{n: 5, err: wantErr}, 16)
+	defer b.Close()
+	n := 0
+	for b.Scan() {
+		n++
+	}
+	if n != 5 {
+		t.Errorf("delivered %d fixes before the error, want 5", n)
+	}
+	if !errors.Is(b.Err(), wantErr) {
+		t.Errorf("Err() = %v, want %v", b.Err(), wantErr)
+	}
+}
+
+// stuckSource blocks in Scan until closed.
+type stuckSource struct{ ch chan struct{} }
+
+func (s *stuckSource) Scan() bool   { <-s.ch; return false }
+func (s *stuckSource) Fix() ais.Fix { return ais.Fix{} }
+func (s *stuckSource) Err() error   { return nil }
+
+func TestIngestBufferCloseReleasesConsumer(t *testing.T) {
+	src := &stuckSource{ch: make(chan struct{})}
+	defer close(src.ch)
+	b := NewIngestBuffer(src, 16)
+	done := make(chan bool, 1)
+	go func() { done <- b.Scan() }()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Scan returned true after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Scan did not return after Close")
+	}
+}
