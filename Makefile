@@ -1,11 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race bench experiments examples
+.PHONY: all build fmt-check vet test test-short test-race bench experiments examples
 
-all: build vet test
+all: fmt-check build vet test
 
 build:
 	go build ./...
+
+# CI gate: the tree must be gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 
 vet:
 	go vet ./...

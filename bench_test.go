@@ -10,12 +10,14 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/expbench"
 	"repro/internal/maritime"
+	"repro/internal/serve"
 )
 
 // Benchmarks share the CI-scale workloads; building them once keeps
@@ -230,5 +232,68 @@ func BenchmarkAblationNoGridIndex(b *testing.B) {
 		if a.WithGrid > 0 {
 			b.ReportMetric(float64(a.LinearScan)/float64(a.WithGrid), "scan-slowdown-×")
 		}
+	}
+}
+
+// BenchmarkHubFanout measures the alert gateway's fan-out hub
+// (internal/serve): one Publish of a slide's worth of alerts against
+// 1, 100, and 10k live subscribers, each drained by its own goroutine.
+// Publish is non-blocking by construction — a subscriber that falls
+// behind drops from its own bounded queue — so the per-op cost is the
+// pipeline-side price of serving that many clients. Reported metrics:
+// envelopes delivered and dropped per publish.
+func BenchmarkHubFanout(b *testing.B) {
+	alerts := make([]maritime.Alert, 4)
+	base := time.Date(2015, 3, 15, 12, 0, 0, 0, time.UTC)
+	for i := range alerts {
+		alerts[i] = maritime.Alert{
+			CE:     maritime.CEIllegalShipping,
+			AreaID: "bench-area",
+			Time:   base,
+			Vessel: uint32(237000101 + i),
+		}
+	}
+	for _, subs := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			hub := serve.NewHub(1024)
+			var wg sync.WaitGroup
+			sl := make([]*serve.Subscriber, subs)
+			for i := range sl {
+				sl[i] = hub.Subscribe(serve.Filter{}, 256)
+				wg.Add(1)
+				go func(s *serve.Subscriber) {
+					defer wg.Done()
+					for {
+						if _, ok := s.Next(); !ok {
+							return
+						}
+					}
+				}(sl[i])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Publish(base.Add(time.Duration(i)*time.Second), alerts)
+			}
+			b.StopTimer()
+			// Let the drainers finish the in-flight tail so the
+			// delivered counter reflects every publish.
+			for {
+				pending := 0
+				for _, s := range hub.Stats().Subs {
+					pending += s.Pending
+				}
+				if pending == 0 {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			st := hub.Stats()
+			for _, s := range sl {
+				s.Close()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(st.Delivered)/float64(b.N), "delivered/op")
+			b.ReportMetric(float64(st.Dropped)/float64(b.N), "dropped/op")
+		})
 	}
 }

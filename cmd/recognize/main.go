@@ -18,7 +18,6 @@ package main
 import (
 	"bufio"
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"time"
@@ -37,14 +36,14 @@ func main() {
 	log.SetPrefix("recognize: ")
 
 	var (
-		in      = flag.String("in", "", "input dataset (CSV/NMEA); empty = simulate internally")
-		live    = flag.String("feed", "", "consume a live feed at this address (see cmd/feed) instead of a file")
-		vessels = flag.Int("vessels", 300, "fleet size (must match aisgen when -in is used)")
-		hours   = flag.Float64("hours", 6, "simulated duration (internal runs only)")
-		seed    = flag.Int64("seed", 1, "world/fleet seed")
-		areas   = flag.Int("areas", 35, "areas of interest")
-		window  = flag.Duration("window", time.Hour, "window range ω")
-		slide   = flag.Duration("slide", 10*time.Minute, "window slide β")
+		in       = flag.String("in", "", "input dataset (CSV/NMEA); empty = simulate internally")
+		live     = flag.String("feed", "", "consume a live feed at this address (see cmd/feed) instead of a file")
+		vessels  = flag.Int("vessels", 300, "fleet size (must match aisgen when -in is used)")
+		hours    = flag.Float64("hours", 6, "simulated duration (internal runs only)")
+		seed     = flag.Int64("seed", 1, "world/fleet seed")
+		areas    = flag.Int("areas", 35, "areas of interest")
+		window   = flag.Duration("window", time.Hour, "window range ω")
+		slide    = flag.Duration("slide", 10*time.Minute, "window slide β")
 		facts    = flag.Bool("spatial-facts", false, "use precomputed spatial facts (Fig. 11(b) mode)")
 		procs    = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
 		quiet    = flag.Bool("quiet", false, "suppress per-alert output")
@@ -66,8 +65,8 @@ func main() {
 		mode = maritime.SpatialFacts
 	}
 	sys := core.NewSystem(core.Config{
-		Window:      stream.WindowSpec{Range: *window, Slide: *slide},
-		Tracker:     tracker.DefaultParams(),
+		Window:          stream.WindowSpec{Range: *window, Slide: *slide},
+		Tracker:         tracker.DefaultParams(),
 		Recognition:     maritime.Config{Window: *window, Mode: mode},
 		Processors:      *procs,
 		WatchdogTimeout: *watchdog,
@@ -105,6 +104,12 @@ func main() {
 		src = ais.NewScanner(bufio.NewReaderSize(f, 1<<20))
 	}
 
+	// Alert formatting goes through the shared sink instead of a
+	// driver-local printing loop.
+	if !*quiet {
+		sys.AddAlertSink(core.NewWriterSink(os.Stdout, ""))
+	}
+
 	batcher := stream.NewBatcher(src, *slide)
 	var totalAlerts, slides int
 	var recogTime time.Duration
@@ -117,11 +122,6 @@ func main() {
 		slides++
 		recogTime += rep.Timings.Recognition
 		totalAlerts += len(rep.Alerts)
-		if !*quiet {
-			for _, a := range rep.Alerts {
-				fmt.Println(a)
-			}
-		}
 	}
 	if err := src.Err(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,170 @@
+// Command serve is the alert gateway: it runs the full surveillance
+// pipeline over a live feed (or an internal simulation) and serves the
+// recognized complex events over HTTP — a Server-Sent Events stream
+// with per-subscriber filters, snapshot queries over the tracker and
+// the trip store, and a /healthz covering the whole ingest path. This
+// is the paper's "alerts to authorities" edge (Fig. 1) turned into a
+// serving tier: many consumers, none of which can stall recognition.
+//
+//	serve -feed 127.0.0.1:4001 -addr :8080      # against cmd/feed
+//	serve -vessels 150 -hours 3 -speedup 600    # self-contained
+//
+//	curl -N 'http://localhost:8080/events?ce=illegalShipping'
+//	curl 'http://localhost:8080/vessels' | head
+//	curl 'http://localhost:8080/healthz'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feed"
+	"repro/internal/fleetsim"
+	"repro/internal/maritime"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		live    = flag.String("feed", "", "consume a live feed at this address (see cmd/feed); empty = simulate internally")
+		vessels = flag.Int("vessels", 300, "fleet size (must match the feed's world when -feed is used)")
+		hours   = flag.Float64("hours", 6, "simulated duration (internal runs only)")
+		seed    = flag.Int64("seed", 1, "world/fleet seed")
+		areas   = flag.Int("areas", 35, "areas of interest")
+		speedup = flag.Float64("speedup", 600, "time acceleration of the internal feed (0 = as fast as possible)")
+		window  = flag.Duration("window", time.Hour, "window range ω")
+		slide   = flag.Duration("slide", 10*time.Minute, "window slide β")
+		procs   = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
+
+		watchdog = flag.Duration("watchdog", 5*time.Second, "per-slide recognition budget (0 = off)")
+		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer, in fixes (0 = unbuffered)")
+		ring     = flag.Int("ring", 1024, "alert-history retention for replay and /alerts, in alerts")
+		subQueue = flag.Int("sub-queue", 256, "per-subscriber queue bound, in alerts (drop-oldest)")
+		verbose  = flag.Bool("v", false, "log subscriber connects/disconnects")
+	)
+	flag.Parse()
+
+	// The static world knowledge is regenerated from the seed; when
+	// consuming cmd/feed, -seed/-vessels/-areas must match its flags.
+	cfg := fleetsim.DefaultConfig()
+	cfg.Vessels = *vessels
+	cfg.Seed = *seed
+	cfg.NumAreas = *areas
+	cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	sim := fleetsim.NewSimulator(cfg)
+	vesselsReg, areasReg, ports := core.AdaptWorld(sim)
+
+	sys := core.NewSystem(core.Config{
+		Window:          stream.WindowSpec{Range: *window, Slide: *slide},
+		Tracker:         tracker.DefaultParams(),
+		Recognition:     maritime.Config{Window: *window},
+		Processors:      *procs,
+		WatchdogTimeout: *watchdog,
+	}, vesselsReg, areasReg, ports)
+
+	opts := serve.Options{RingSize: *ring, SubscriberQueue: *subQueue}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	gw := serve.New(sys, opts)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	feedAddr := *live
+	if feedAddr == "" {
+		// Self-contained mode: an in-process feed server replays the
+		// simulation over loopback, so the ingest path (reconnecting
+		// client, bounded buffer, health accounting) is the same either
+		// way.
+		srv := &feed.Server{Fixes: sim.Run(), Speedup: *speedup, HandshakeWait: 2 * time.Second}
+		addrCh := make(chan net.Addr, 1)
+		go func() {
+			if err := srv.ListenAndServe(ctx, "127.0.0.1:0", addrCh); err != nil {
+				log.Printf("internal feed: %v", err)
+			}
+		}()
+		feedAddr = (<-addrCh).String()
+		log.Printf("internal feed on %s (%gx)", feedAddr, *speedup)
+	}
+
+	client, err := feed.DialReconnecting(feedAddr, feed.DefaultRetryPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	var src stream.FixSource = client
+	var buf *stream.IngestBuffer
+	if *ingest > 0 {
+		buf = stream.NewIngestBuffer(client, *ingest)
+		defer buf.Close()
+		src = buf
+	}
+	sys.AddHealthSource(core.LiveHealthSource(client, buf))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+	go func() {
+		log.Printf("gateway on http://%s  (endpoints: /events /alerts /vessels /trips /od /report /healthz)", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	// The pipeline loop: one goroutine drives recognition; alerts reach
+	// subscribers through the hub without ever blocking this loop.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		batcher := stream.NewBatcher(src, *slide)
+		var slides, alerts int
+		var last time.Time
+		for {
+			b, ok := batcher.Next()
+			if !ok {
+				break
+			}
+			rep := gw.Process(b)
+			slides++
+			alerts += len(rep.Alerts)
+			last = rep.Query
+		}
+		if err := src.Err(); err != nil {
+			log.Printf("feed: %v", err)
+		}
+		if !last.IsZero() {
+			gw.Drain(last)
+		}
+		gw.StreamEnded()
+		log.Printf("stream ended after %d slides, %d alerts published; still serving snapshots (Ctrl-C to quit)",
+			slides, alerts)
+		log.Printf("health: %s", sys.Health())
+	}()
+
+	// Serve until interrupted; the gateway keeps answering snapshot and
+	// history queries after the stream ends.
+	<-ctx.Done()
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 2*time.Second)
+	defer stop()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+	st := gw.Hub().Stats()
+	log.Printf("fan-out: %d published, %d delivered, %d dropped across %d live subscribers",
+		st.Published, st.Delivered, st.Dropped, st.Subscribers)
+}

@@ -1,0 +1,40 @@
+// Command serveload is the fan-out load harness: it drives many
+// concurrent SSE subscribers against a running alert gateway
+// (cmd/serve) and reports aggregate delivery throughput and the tail
+// of the publish→receive latency distribution — the measurement behind
+// the ROADMAP's "serve heavy traffic" goal.
+//
+//	serve -vessels 300 -speedup 0 &            # a gateway under load
+//	serveload -url http://127.0.0.1:8080 -subs 5000 -duration 15s
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serveload: ")
+
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "gateway base URL")
+		subs     = flag.Int("subs", 1000, "concurrent SSE subscribers")
+		duration = flag.Duration("duration", 15*time.Second, "run length")
+		query    = flag.String("filter", "", "raw filter query for /events, e.g. mmsi=237000101 or ce=illegalShipping")
+	)
+	flag.Parse()
+
+	log.Printf("driving %d subscribers against %s for %s", *subs, *url, *duration)
+	rep := serve.RunLoad(context.Background(), serve.LoadOptions{
+		BaseURL:     *url,
+		Subscribers: *subs,
+		Duration:    *duration,
+		Query:       *query,
+	})
+	log.Print(rep)
+}

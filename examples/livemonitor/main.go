@@ -11,14 +11,23 @@
 // buffering, the recognition watchdog, and the health summary that
 // accounts for every lost message.
 //
+// The session also runs the alert gateway (internal/serve) on
+// loopback; with -sse the CE alerts are printed by an SSE subscriber
+// consuming the gateway's /events stream instead of the local sink —
+// the same wire any external operator console would use.
+//
 //	go run ./examples/livemonitor
+//	go run ./examples/livemonitor -sse
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/collision"
@@ -28,11 +37,14 @@ import (
 	"repro/internal/fleetsim"
 	"repro/internal/forecast"
 	"repro/internal/maritime"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/tracker"
 )
 
 func main() {
+	viaSSE := flag.Bool("sse", false, "print CE alerts via the gateway's SSE stream instead of the local sink")
+	flag.Parse()
 	// The "at-sea" side: a feed server replaying three simulated hours.
 	simCfg := fleetsim.DefaultConfig()
 	simCfg.Vessels = 150
@@ -84,6 +96,38 @@ func main() {
 	watch := collision.New(collision.Params{DistanceMeters: 400})
 	oracle := forecast.New(tracker.DefaultParams())
 
+	// The serving tier: an alert gateway over the same system, exposed
+	// on loopback for any SSE consumer or curl.
+	gw := serve.New(sys, serve.Options{Heartbeat: 2 * time.Second})
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go func() { _ = http.Serve(gwLn, gw.Handler()) }()
+	gwURL := "http://" + gwLn.Addr().String()
+	fmt.Printf("alert gateway on %s (try: curl -N %s/events)\n\n", gwURL, gwURL)
+
+	// CE alerts are printed either by the shared writer sink, or — with
+	// -sse — by a subscriber consuming the gateway's own event stream.
+	var sseWG sync.WaitGroup
+	sseCtx, stopSSE := context.WithCancel(ctx)
+	defer stopSSE()
+	if *viaSSE {
+		sseWG.Add(1)
+		go func() {
+			defer sseWG.Done()
+			err := serve.StreamAlerts(sseCtx, gwURL+"/events", 0, func(e serve.Envelope) {
+				fmt.Printf("CE ALERT   %s  [sse #%d]\n", e.Alert, e.Seq)
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sse:", err)
+			}
+		}()
+	} else {
+		sys.AddAlertSink(core.NewWriterSink(os.Stdout, "CE ALERT   "))
+	}
+
 	client, err := feed.DialReconnecting(proxyAddr, feed.DefaultRetryPolicy())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,13 +152,10 @@ func main() {
 			watch.Observe(f)
 			oracle.ObserveFix(f)
 		}
-		report := sys.ProcessBatch(batch)
+		report := gw.Process(batch)
 		oracle.ObserveEvents(nil)
 
-		for _, a := range report.Alerts {
-			fmt.Printf("CE ALERT   %s\n", a)
-			alertCount++
-		}
+		alertCount += len(report.Alerts)
 		for _, e := range watch.Encounters(batch.Query) {
 			pair := [2]uint32{e.A, e.B}
 			if last, ok := reported[pair]; ok && batch.Query.Sub(last) < time.Hour {
@@ -128,9 +169,19 @@ func main() {
 	if err := buf.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "client:", err)
 	}
+	if *viaSSE {
+		// Let the subscriber drain the last slide's alerts off the hub
+		// before tearing the stream down.
+		time.Sleep(200 * time.Millisecond)
+		stopSSE()
+		sseWG.Wait()
+	}
 
 	fmt.Printf("\nfeed ended at %s; %d complex events recognized\n", lastQ.Format("15:04"), alertCount)
 	fmt.Printf("pipeline health: %s\n", sys.Health())
+	hubStats := gw.Hub().Stats()
+	fmt.Printf("gateway fan-out: %d published, %d delivered, %d dropped\n",
+		hubStats.Published, hubStats.Delivered, hubStats.Dropped)
 	fmt.Println("\n15-minute forecasts for the three fastest tracks:")
 	printed := 0
 	for _, p := range oracle.PredictAll(lastQ, 15*time.Minute) {

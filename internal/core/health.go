@@ -20,9 +20,19 @@ type Health struct {
 	// Reconnects and Resumes count the feed client's recoveries.
 	Reconnects int
 	Resumes    int
+	// DialAttempts, DialFailures and Disconnects expose the transport
+	// life of the reconnecting feed client, so /healthz reports the
+	// whole ingest path rather than just its losses.
+	DialAttempts int
+	DialFailures int
+	Disconnects  int
+	// ResumeDupes counts duplicate fixes discarded while catching up
+	// after a resume. Deliberate dedupe, not loss — so it is kept out
+	// of DropsByCause, which accounts only messages that went missing.
+	ResumeDupes int
 	// DropsByCause accounts every discarded message by reason, merging
 	// the Data Scanner's cleaning counters with transport and
-	// degradation drops ("overflow", "watchdog", "resume-dup").
+	// degradation drops ("overflow", "watchdog").
 	DropsByCause map[string]int
 	// IngestOverflow is the bounded-buffer overflow count (also present
 	// in DropsByCause under "overflow").
@@ -39,6 +49,10 @@ func (h Health) Merge(o Health) Health {
 	out := h
 	out.Reconnects += o.Reconnects
 	out.Resumes += o.Resumes
+	out.DialAttempts += o.DialAttempts
+	out.DialFailures += o.DialFailures
+	out.Disconnects += o.Disconnects
+	out.ResumeDupes += o.ResumeDupes
 	out.IngestOverflow += o.IngestOverflow
 	out.WatchdogTrips += o.WatchdogTrips
 	out.WedgedPartitions += o.WedgedPartitions
@@ -73,6 +87,13 @@ func (h Health) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "reconnects=%d resumes=%d watchdog=%d wedged=%d",
 		h.Reconnects, h.Resumes, h.WatchdogTrips, h.WedgedPartitions)
+	if h.DialAttempts > 0 || h.Disconnects > 0 {
+		fmt.Fprintf(&b, " dials=%d(fail %d) disconnects=%d",
+			h.DialAttempts, h.DialFailures, h.Disconnects)
+	}
+	if h.ResumeDupes > 0 {
+		fmt.Fprintf(&b, " resume-dupes=%d", h.ResumeDupes)
+	}
 	if len(h.DropsByCause) > 0 {
 		causes := make([]string, 0, len(h.DropsByCause))
 		for k := range h.DropsByCause {
@@ -118,6 +139,10 @@ func LiveHealthSource(c *feed.ReconnectingClient, buf *stream.IngestBuffer) func
 		ns := c.NetStats()
 		h.Reconnects = ns.Reconnects
 		h.Resumes = ns.Resumes
+		h.DialAttempts = ns.DialAttempts
+		h.DialFailures = ns.DialFailures
+		h.Disconnects = ns.Disconnects
+		h.ResumeDupes = ns.ResumeSkipped
 		if buf != nil {
 			if d := buf.Dropped(); d > 0 {
 				h.IngestOverflow = d

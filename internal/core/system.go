@@ -90,6 +90,9 @@ type System struct {
 	// longitude band, fed the events of vessels inside its band.
 	partitions []*partition
 
+	// Registered alert consumers, notified after every slide.
+	sinks []AlertSink
+
 	// Degradation state (see Health): watchdog bookkeeping and the
 	// drivers' ingest-side health contributions.
 	healthSources      []func() Health
@@ -230,6 +233,7 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 		rep.Timings.Recognition = time.Since(t)
 	}
 	rep.Health = s.Health()
+	s.notifySinks(rep)
 	return rep
 }
 

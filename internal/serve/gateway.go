@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/maritime"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// RingSize is the alert-history retention for replay and /alerts
+	// (≤ 0: 1024 envelopes).
+	RingSize int
+	// SubscriberQueue bounds each SSE subscriber's drop-oldest queue
+	// (≤ 0: 256 envelopes).
+	SubscriberQueue int
+	// Heartbeat is the idle-connection keepalive interval of the SSE
+	// stream (≤ 0: 15 s).
+	Heartbeat time.Duration
+	// Logf receives lifecycle messages; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Gateway is the serving tier over one core.System: it implements
+// core.AlertSink to capture each slide's alerts into the fan-out hub
+// and the history ring, and serves them (plus snapshot queries) over
+// HTTP. Drive the pipeline through Process so snapshot queries never
+// race a slide in flight.
+type Gateway struct {
+	sys *core.System
+	hub *Hub
+	opt Options
+
+	// pipeMu serializes pipeline slides (write) against snapshot reads
+	// of the tracker and the store (read). The SSE path does not take
+	// it: alerts reach subscribers through the hub's own queues.
+	pipeMu sync.RWMutex
+
+	// repMu guards the latest slide report and stream bookkeeping; it is
+	// taken inside Consume, which runs while pipeMu is write-held, so it
+	// must never wrap a pipeMu acquisition.
+	repMu     sync.RWMutex
+	last      core.SlideReport
+	slides    int
+	streamEnd bool
+}
+
+// New wires a gateway over the system and registers it as an alert
+// sink. The caller still owns the pipeline loop; route batches through
+// Process.
+func New(sys *core.System, opt Options) *Gateway {
+	if opt.RingSize <= 0 {
+		opt.RingSize = 1024
+	}
+	if opt.SubscriberQueue <= 0 {
+		opt.SubscriberQueue = 256
+	}
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = 15 * time.Second
+	}
+	g := &Gateway{sys: sys, hub: NewHub(opt.RingSize), opt: opt}
+	sys.AddAlertSink(g)
+	return g
+}
+
+// Hub exposes the fan-out hub (stats, direct subscriptions).
+func (g *Gateway) Hub() *Hub { return g.hub }
+
+// Process runs one batch through the pipeline under the gateway's
+// write lock, so concurrent snapshot queries observe consistent state.
+func (g *Gateway) Process(b stream.Batch) core.SlideReport {
+	g.pipeMu.Lock()
+	defer g.pipeMu.Unlock()
+	return g.sys.ProcessBatch(b)
+}
+
+// Drain forwards core.System.Drain under the write lock, for drivers
+// finishing a stream.
+func (g *Gateway) Drain(last time.Time) {
+	g.pipeMu.Lock()
+	defer g.pipeMu.Unlock()
+	g.sys.Drain(last)
+}
+
+// StreamEnded marks the input stream as finished; /healthz reports it
+// so operators can tell "no alerts because the feed is over" from "no
+// alerts yet".
+func (g *Gateway) StreamEnded() {
+	g.repMu.Lock()
+	g.streamEnd = true
+	g.repMu.Unlock()
+}
+
+// Consume implements core.AlertSink: it records the slide report and
+// fans its alerts out to subscribers. It never blocks on slow clients.
+func (g *Gateway) Consume(rep core.SlideReport) {
+	g.repMu.Lock()
+	g.last = rep
+	g.slides++
+	g.repMu.Unlock()
+	g.hub.Publish(rep.Query, rep.Alerts)
+}
+
+// Handler returns the gateway's HTTP mux:
+//
+//	GET /events           live SSE alert stream (?mmsi=&ce=&area=, Last-Event-ID replay)
+//	GET /alerts           recent alert history from the ring buffer (?n=)
+//	GET /healthz          pipeline health + hub fan-out accounting
+//	GET /report           the latest slide report (metrics, timings)
+//	GET /vessels          current per-vessel tracker state
+//	GET /vessels/{mmsi}   one vessel's state + retained synopsis
+//	GET /trips            archived trips (?mmsi= to restrict)
+//	GET /od               the origin–destination matrix
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /events", g.handleEvents)
+	mux.HandleFunc("GET /alerts", g.handleAlerts)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /report", g.handleReport)
+	mux.HandleFunc("GET /vessels", g.handleVessels)
+	mux.HandleFunc("GET /vessels/{mmsi}", g.handleVessel)
+	mux.HandleFunc("GET /trips", g.handleTrips)
+	mux.HandleFunc("GET /od", g.handleOD)
+	return mux
+}
+
+// handleEvents is the SSE endpoint: one subscriber with a bounded
+// drop-oldest queue per connection, pumped by this handler goroutine.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	filter, err := ParseFilter(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var sub *Subscriber
+	if last := lastEventID(r); last != nil {
+		sub = g.hub.SubscribeFrom(filter, g.opt.SubscriberQueue, *last)
+	} else {
+		sub = g.hub.Subscribe(filter, g.opt.SubscriberQueue)
+	}
+	defer sub.Close()
+	// A client that vanishes leaves the pump blocked in NextTimeout;
+	// closing the subscription on context cancellation releases it.
+	stop := context.AfterFunc(r.Context(), sub.Close)
+	defer stop()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	g.logf("subscriber %d connected (%s)", sub.ID(), r.RemoteAddr)
+	defer g.logf("subscriber %d disconnected", sub.ID())
+	for {
+		env, ok, timedOut := sub.NextTimeout(g.opt.Heartbeat)
+		switch {
+		case timedOut:
+			if writeComment(w, "hb") != nil {
+				return
+			}
+		case !ok:
+			return
+		default:
+			if writeEvent(w, env) != nil {
+				return
+			}
+		}
+		fl.Flush()
+	}
+}
+
+// lastEventID extracts the SSE resume cursor from the Last-Event-ID
+// header or an "after" query parameter; nil means a fresh session.
+func lastEventID(r *http.Request) *uint64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw == "" {
+		return nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return nil
+	}
+	return &v
+}
+
+// handleAlerts serves the ring buffer tail as JSON.
+func (g *Gateway) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	writeJSON(w, g.hub.Ring().Last(n))
+}
+
+// HealthzPayload is the /healthz response body.
+type HealthzPayload struct {
+	Status    string      `json:"status"` // "ok" or "degraded"
+	Slides    int         `json:"slides"`
+	LastQuery time.Time   `json:"last_query"`
+	StreamEnd bool        `json:"stream_ended"`
+	Health    core.Health `json:"health"`
+	Hub       HubStats    `json:"hub"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.repMu.RLock()
+	p := HealthzPayload{
+		Slides:    g.slides,
+		LastQuery: g.last.Query,
+		StreamEnd: g.streamEnd,
+		Health:    g.last.Health,
+	}
+	g.repMu.RUnlock()
+	p.Hub = g.hub.Stats()
+	p.Status = "ok"
+	if p.Health.WedgedPartitions > 0 {
+		p.Status = "degraded"
+	}
+	writeJSON(w, p)
+}
+
+// slideReportPayload is the JSON shape of the latest slide report.
+type slideReportPayload struct {
+	Query          time.Time        `json:"query"`
+	FixesIn        int              `json:"fixes_in"`
+	CriticalPoints int              `json:"critical_points"`
+	TripsCompleted int              `json:"trips_completed"`
+	Alerts         []maritime.Alert `json:"alerts"`
+	TimingsMicros  map[string]int64 `json:"timings_us"`
+	Health         core.Health      `json:"health"`
+}
+
+func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
+	g.repMu.RLock()
+	rep := g.last
+	g.repMu.RUnlock()
+	writeJSON(w, slideReportPayload{
+		Query:          rep.Query,
+		FixesIn:        rep.FixesIn,
+		CriticalPoints: rep.CriticalPoints,
+		TripsCompleted: rep.TripsCompleted,
+		Alerts:         rep.Alerts,
+		TimingsMicros: map[string]int64{
+			"tracking":       rep.Timings.Tracking.Microseconds(),
+			"staging":        rep.Timings.Staging.Microseconds(),
+			"reconstruction": rep.Timings.Reconstruction.Microseconds(),
+			"loading":        rep.Timings.Loading.Microseconds(),
+			"recognition":    rep.Timings.Recognition.Microseconds(),
+			"total":          rep.Timings.Total().Microseconds(),
+		},
+		Health: rep.Health,
+	})
+}
+
+func (g *Gateway) handleVessels(w http.ResponseWriter, r *http.Request) {
+	g.pipeMu.RLock()
+	infos := g.sys.Tracker().Infos()
+	g.pipeMu.RUnlock()
+	writeJSON(w, infos)
+}
+
+// vesselPayload is one vessel's state plus its retained synopsis.
+type vesselPayload struct {
+	tracker.VesselInfo
+	Synopsis []synopsisPoint `json:"synopsis"`
+}
+
+// synopsisPoint is the JSON shape of one retained critical point.
+type synopsisPoint struct {
+	Type    string    `json:"type"`
+	Time    time.Time `json:"time"`
+	Lon     float64   `json:"lon"`
+	Lat     float64   `json:"lat"`
+	SpeedKn float64   `json:"speed_kn"`
+}
+
+func (g *Gateway) handleVessel(w http.ResponseWriter, r *http.Request) {
+	mmsi, err := strconv.ParseUint(r.PathValue("mmsi"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad mmsi", http.StatusBadRequest)
+		return
+	}
+	g.pipeMu.RLock()
+	info, ok := g.sys.Tracker().Info(uint32(mmsi))
+	var synopsis []tracker.CriticalPoint
+	if ok {
+		synopsis = g.sys.Tracker().Synopsis(uint32(mmsi))
+	}
+	g.pipeMu.RUnlock()
+	if !ok {
+		http.Error(w, "unknown vessel", http.StatusNotFound)
+		return
+	}
+	p := vesselPayload{VesselInfo: info, Synopsis: make([]synopsisPoint, 0, len(synopsis))}
+	for _, cp := range synopsis {
+		p.Synopsis = append(p.Synopsis, synopsisPoint{
+			Type:    cp.Type.String(),
+			Time:    cp.Time,
+			Lon:     cp.Pos.Lon,
+			Lat:     cp.Pos.Lat,
+			SpeedKn: cp.SpeedKn,
+		})
+	}
+	writeJSON(w, p)
+}
+
+// tripPayload summarizes one archived trip.
+type tripPayload struct {
+	MMSI      uint32    `json:"mmsi"`
+	Origin    string    `json:"origin,omitempty"`
+	Dest      string    `json:"dest"`
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+	Points    int       `json:"points"`
+	DistanceM float64   `json:"distance_m"`
+}
+
+func (g *Gateway) handleTrips(w http.ResponseWriter, r *http.Request) {
+	var mmsi uint64
+	var byVessel bool
+	if raw := r.URL.Query().Get("mmsi"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			http.Error(w, "bad mmsi", http.StatusBadRequest)
+			return
+		}
+		mmsi, byVessel = v, true
+	}
+	g.pipeMu.RLock()
+	store := g.sys.Store()
+	trips := store.Trips()
+	if byVessel {
+		trips = store.TripsOf(uint32(mmsi))
+	}
+	out := make([]tripPayload, 0, len(trips))
+	for _, t := range trips {
+		out = append(out, tripPayload{
+			MMSI:      t.MMSI,
+			Origin:    t.Origin,
+			Dest:      t.Dest,
+			Start:     t.Start,
+			End:       t.End,
+			Points:    len(t.Points),
+			DistanceM: t.DistanceMeters(),
+		})
+	}
+	g.pipeMu.RUnlock()
+	writeJSON(w, out)
+}
+
+// odPayload is one origin–destination connection with its trip count.
+type odPayload struct {
+	Origin string `json:"origin,omitempty"`
+	Dest   string `json:"dest"`
+	Trips  int    `json:"trips"`
+}
+
+func (g *Gateway) handleOD(w http.ResponseWriter, r *http.Request) {
+	g.pipeMu.RLock()
+	matrix := g.sys.Store().ODMatrix()
+	g.pipeMu.RUnlock()
+	out := make([]odPayload, 0, len(matrix))
+	for pair, n := range matrix {
+		out = append(out, odPayload{Origin: pair.Origin, Dest: pair.Dest, Trips: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	writeJSON(w, out)
+}
+
+// writeJSON renders v with an application/json content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A failed encode means the client went away mid-body; the status
+	// line is already on the wire, so there is nothing left to report.
+	_ = enc.Encode(v)
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.opt.Logf != nil {
+		g.opt.Logf(format, args...)
+	}
+}

@@ -1,0 +1,299 @@
+// Package serve is the alert gateway: the HTTP/SSE serving tier that
+// turns the pipeline's per-slide alerts into a live stream many
+// consumers can subscribe to, plus snapshot queries over the tracker,
+// the moving-object store and the pipeline's health. The heart is a
+// fan-out hub with one bounded drop-oldest queue per subscriber (the
+// stream.IngestBuffer policy applied per consumer), so one slow client
+// can never stall recognition or other subscribers; every drop is
+// counted and surfaced through /healthz.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/maritime"
+)
+
+// Envelope is one recognized alert as published to subscribers: the
+// alert plus stream metadata for ordering, reconnect replay and
+// latency accounting.
+type Envelope struct {
+	// Seq is the hub-wide monotonically increasing sequence number; SSE
+	// clients resume after a reconnect with Last-Event-ID: <seq>.
+	Seq uint64 `json:"seq"`
+	// Slide is the query time of the window slide that recognized the
+	// alert (simulated time).
+	Slide time.Time `json:"slide"`
+	// Published is the wall-clock publish instant, for measuring
+	// delivery latency in the load harness.
+	Published time.Time      `json:"published"`
+	Alert     maritime.Alert `json:"alert"`
+}
+
+// Hub fans recognized alerts out to subscribers. Publish never blocks:
+// each subscriber owns a bounded queue that drops its oldest entries
+// when the consumer falls behind, with drops accounted per subscriber.
+type Hub struct {
+	mu     sync.Mutex
+	seq    uint64
+	nextID int
+	subs   map[*Subscriber]struct{}
+	ring   *Ring
+
+	published uint64
+	// Counters of departed subscribers, folded in so Stats stays
+	// cumulative across unsubscribes.
+	goneDelivered uint64
+	goneDropped   uint64
+}
+
+// NewHub returns a hub retaining ringCap alerts for replay and history
+// queries (≤ 0 defaults to 1024).
+func NewHub(ringCap int) *Hub {
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
+	return &Hub{
+		subs: make(map[*Subscriber]struct{}),
+		ring: NewRing(ringCap),
+	}
+}
+
+// Ring exposes the alert-history ring buffer.
+func (h *Hub) Ring() *Ring { return h.ring }
+
+// Publish stamps the slide's alerts with sequence numbers, appends them
+// to the history ring and offers them to every subscriber. It never
+// blocks on a slow consumer.
+func (h *Hub) Publish(slide time.Time, alerts []maritime.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	envs := make([]Envelope, len(alerts))
+	for i, a := range alerts {
+		h.seq++
+		envs[i] = Envelope{Seq: h.seq, Slide: slide, Published: now, Alert: a}
+		h.ring.Push(envs[i])
+	}
+	h.published += uint64(len(envs))
+	for s := range h.subs {
+		s.offer(envs)
+	}
+}
+
+// Subscribe registers a consumer with the given filter and queue
+// capacity (≤ 0 defaults to 256).
+func (h *Hub) Subscribe(f Filter, queueCap int) *Subscriber {
+	return h.subscribe(f, queueCap, nil)
+}
+
+// SubscribeFrom registers a consumer and atomically pre-loads its queue
+// with the retained history after sequence afterSeq, so an SSE client
+// reconnecting with Last-Event-ID resumes without gaps or duplicates
+// (within the ring's retention).
+func (h *Hub) SubscribeFrom(f Filter, queueCap int, afterSeq uint64) *Subscriber {
+	return h.subscribe(f, queueCap, &afterSeq)
+}
+
+func (h *Hub) subscribe(f Filter, queueCap int, afterSeq *uint64) *Subscriber {
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	s := &Subscriber{filter: f, cap: queueCap, hub: h}
+	s.cond = sync.NewCond(&s.mu)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	s.id = h.nextID
+	if afterSeq != nil {
+		s.offer(h.ring.Since(*afterSeq))
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// remove detaches a closed subscriber, folding its counters into the
+// hub's cumulative totals.
+func (h *Hub) remove(s *Subscriber, delivered, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; !ok {
+		return
+	}
+	delete(h.subs, s)
+	h.goneDelivered += delivered
+	h.goneDropped += dropped
+}
+
+// SubStats is the accounting of one live subscriber.
+type SubStats struct {
+	ID        int    `json:"id"`
+	Pending   int    `json:"pending"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// HubStats is the hub's cumulative accounting, surfaced via /healthz.
+type HubStats struct {
+	Subscribers int    `json:"subscribers"`
+	Published   uint64 `json:"published"`
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	// Subs details the live subscribers (departed ones are folded into
+	// the totals above).
+	Subs []SubStats `json:"subs,omitempty"`
+}
+
+// Stats snapshots the hub's accounting.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HubStats{
+		Subscribers: len(h.subs),
+		Published:   h.published,
+		Delivered:   h.goneDelivered,
+		Dropped:     h.goneDropped,
+	}
+	for s := range h.subs {
+		ss := s.Stats()
+		st.Delivered += ss.Delivered
+		st.Dropped += ss.Dropped
+		st.Subs = append(st.Subs, ss)
+	}
+	return st
+}
+
+// Subscriber is one consumer's bounded drop-oldest queue. The producer
+// side (Hub.Publish) enqueues without ever blocking; the consumer pulls
+// with Next/NextTimeout.
+type Subscriber struct {
+	id     int
+	filter Filter
+	hub    *Hub
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []Envelope // queue[head:] are the live entries
+	head      int
+	cap       int
+	delivered uint64
+	dropped   uint64
+	closed    bool
+}
+
+// ID returns the hub-assigned subscriber id (stable for /healthz).
+func (s *Subscriber) ID() int { return s.id }
+
+// offer filters and enqueues the published envelopes, dropping this
+// subscriber's oldest entries on overflow. It never blocks.
+func (s *Subscriber) offer(envs []Envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	pushed := false
+	for _, e := range envs {
+		if !s.filter.Match(e.Alert) {
+			continue
+		}
+		if len(s.queue)-s.head >= s.cap {
+			// Overflow: this subscriber loses its own oldest alert; the
+			// producer and every other subscriber are unaffected.
+			s.head++
+			s.dropped++
+			if s.head > s.cap && s.head*2 > len(s.queue) {
+				s.queue = append(s.queue[:0], s.queue[s.head:]...)
+				s.head = 0
+			}
+		}
+		s.queue = append(s.queue, e)
+		pushed = true
+	}
+	if pushed {
+		s.cond.Signal()
+	}
+}
+
+// Next blocks until an envelope is available or the subscriber is
+// closed (ok false).
+func (s *Subscriber) Next() (Envelope, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == s.head && !s.closed {
+		s.cond.Wait()
+	}
+	return s.pop()
+}
+
+// NextTimeout is Next with a deadline: timedOut reports an empty return
+// because d elapsed first (the SSE pump uses this to emit heartbeats).
+func (s *Subscriber) NextTimeout(d time.Duration) (env Envelope, ok, timedOut bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	expired := false
+	t := time.AfterFunc(d, func() {
+		s.mu.Lock()
+		expired = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer t.Stop()
+	for len(s.queue) == s.head && !s.closed && !expired {
+		s.cond.Wait()
+	}
+	if expired && len(s.queue) == s.head && !s.closed {
+		return Envelope{}, false, true
+	}
+	env, ok = s.pop()
+	return env, ok, false
+}
+
+// pop removes the head entry; callers hold s.mu. A closed subscriber
+// delivers nothing more, so its counters (folded into the hub's totals
+// at Close) stay exact.
+func (s *Subscriber) pop() (Envelope, bool) {
+	if s.closed || len(s.queue) == s.head {
+		return Envelope{}, false
+	}
+	e := s.queue[s.head]
+	s.head++
+	s.delivered++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	return e, true
+}
+
+// Stats snapshots the subscriber's accounting.
+func (s *Subscriber) Stats() SubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubStats{
+		ID:        s.id,
+		Pending:   len(s.queue) - s.head,
+		Delivered: s.delivered,
+		Dropped:   s.dropped,
+	}
+}
+
+// Close detaches the subscriber from the hub and releases a blocked
+// Next. It is idempotent and safe to call from any goroutine (the SSE
+// handler closes on client disconnect).
+func (s *Subscriber) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	delivered, dropped := s.delivered, s.dropped
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.hub.remove(s, delivered, dropped)
+}

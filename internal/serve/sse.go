@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// writeEvent renders one envelope as a Server-Sent Event frame:
+//
+//	id: <seq>
+//	event: alert
+//	data: <json>
+//	<blank>
+//
+// The id line makes browser EventSource (and our client) resume with
+// Last-Event-ID after a reconnect.
+func writeEvent(w io.Writer, e Envelope) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", e.Seq, data)
+	return err
+}
+
+// writeComment emits an SSE comment line — the heartbeat that keeps
+// idle connections verifiably alive without emitting events.
+func writeComment(w io.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, ": %s\n\n", msg)
+	return err
+}
+
+// StreamAlerts subscribes to an alert gateway's /events endpoint and
+// calls fn for every received envelope until ctx is cancelled or the
+// stream ends. eventsURL is the full URL including any filter query,
+// e.g. "http://127.0.0.1:8080/events?mmsi=237000101". lastEventID > 0
+// resumes after that sequence number (reconnect replay). It returns nil
+// on a clean end or cancellation, and the transport error otherwise.
+//
+// It is the in-process SSE consumer used by examples/livemonitor, the
+// load harness and the tests; any standards-compliant SSE client (curl,
+// EventSource) speaks the same protocol.
+func StreamAlerts(ctx context.Context, eventsURL string, lastEventID uint64, fn func(Envelope)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, eventsURL, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				var e Envelope
+				if err := json.Unmarshal([]byte(data.String()), &e); err != nil {
+					return fmt.Errorf("serve: bad event payload: %w", err)
+				}
+				fn(e)
+				data.Reset()
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:, event: and comment lines need no client-side state —
+			// the envelope itself carries its sequence number.
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -82,8 +82,10 @@ func (s *failSource) Scan() bool {
 	s.i++
 	return s.i <= s.n
 }
-func (s *failSource) Fix() ais.Fix { return ais.Fix{MMSI: uint32(s.i), Pos: geo.Point{Lon: 24, Lat: 37}} }
-func (s *failSource) Err() error   { return s.err }
+func (s *failSource) Fix() ais.Fix {
+	return ais.Fix{MMSI: uint32(s.i), Pos: geo.Point{Lon: 24, Lat: 37}}
+}
+func (s *failSource) Err() error { return s.err }
 
 func TestIngestBufferPropagatesSourceError(t *testing.T) {
 	wantErr := errors.New("wire fell over")

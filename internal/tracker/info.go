@@ -1,0 +1,76 @@
+package tracker
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// VesselInfo is a point-in-time public summary of one tracked vessel's
+// motion state — the "current per-vessel state" snapshot the serving
+// tier exposes. It is a copy: callers may retain it freely.
+type VesselInfo struct {
+	MMSI     uint32    `json:"mmsi"`
+	LastPos  geo.Point `json:"last_pos"`
+	LastSeen time.Time `json:"last_seen"`
+	// SpeedKn and HeadingDeg are the velocity implied by the two most
+	// recent accepted fixes; zero when fewer than two fixes have arrived.
+	SpeedKn    float64 `json:"speed_kn"`
+	HeadingDeg float64 `json:"heading_deg"`
+	// Odometer readings in meters (total, and since last departure).
+	OdometerM       float64 `json:"odometer_m"`
+	SinceDepartureM float64 `json:"since_departure_m"`
+	// Episode flags of the ongoing long-lasting events.
+	Stopped bool `json:"stopped"`
+	Slow    bool `json:"slow"`
+	GapOpen bool `json:"gap_open"`
+	// SynopsisLen is the number of critical points currently retained in
+	// the window for this vessel.
+	SynopsisLen int `json:"synopsis_len"`
+}
+
+// infoOf builds the public summary from live state.
+func (tr *Tracker) infoOf(mmsi uint32, st *vesselState) VesselInfo {
+	info := VesselInfo{
+		MMSI:            mmsi,
+		LastSeen:        st.lastSeen,
+		OdometerM:       st.odometerM,
+		SinceDepartureM: st.departureM,
+		Stopped:         st.stopped,
+		Slow:            st.slow,
+		GapOpen:         st.gapOpen,
+		SynopsisLen:     st.synopsis.Len(),
+	}
+	if st.haveLast {
+		info.LastPos = st.last.Pos
+		if st.lastSeen.IsZero() {
+			info.LastSeen = st.last.Time
+		}
+	}
+	if st.haveV {
+		info.SpeedKn = st.vPrev.SpeedKnots
+		info.HeadingDeg = st.vPrev.HeadingDeg
+	}
+	return info
+}
+
+// Info returns the summary of one vessel; ok is false for vessels
+// without live state.
+func (tr *Tracker) Info(mmsi uint32) (VesselInfo, bool) {
+	st := tr.vessels[mmsi]
+	if st == nil {
+		return VesselInfo{}, false
+	}
+	return tr.infoOf(mmsi, st), true
+}
+
+// Infos returns the summary of every tracked vessel, ordered by MMSI.
+func (tr *Tracker) Infos() []VesselInfo {
+	out := make([]VesselInfo, 0, len(tr.vessels))
+	for mmsi, st := range tr.vessels {
+		out = append(out, tr.infoOf(mmsi, st))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	return out
+}
