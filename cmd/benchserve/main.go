@@ -1,0 +1,256 @@
+// Command benchserve measures the serving tier and writes the results
+// as a JSON artifact (BENCH_serve.json), so the fan-out numbers that
+// justified the hub's publish lock-scope change stay checked in next to
+// the code and can be regenerated with one make target.
+//
+// Two benchmark families run through testing.Benchmark:
+//
+//   - HubFanout/subs=N: one Publish of a slide's worth of alerts
+//     against N live drained subscribers — the serving-tier price of a
+//     slide, mirroring BenchmarkHubFanout in the repo's bench suite.
+//   - PipelineStream: a full simulated stream through ProcessBatch,
+//     reported both per run and per slide — the producer side that the
+//     hub must never block.
+//
+// The artifact embeds the pre-fix fan-out baseline (hub registry lock
+// held across the ring push and every subscriber offer) so a regression
+// is visible by diffing the artifact, without re-building old commits.
+//
+//	go run ./cmd/benchserve -out BENCH_serve.json
+//	go run ./cmd/benchserve -quick   # CI smoke: small fan-outs only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleetsim"
+	"repro/internal/maritime"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+// baselineNsPerOp is the hub fan-out measured on this benchmark before
+// the Publish lock-scope fix, when the hub held its registry lock
+// across the ring push and every subscriber offer. Kept as reference
+// data in the artifact; see DESIGN.md "Observability".
+var baselineNsPerOp = map[string]float64{
+	"HubFanout/subs=1":     904,
+	"HubFanout/subs=100":   84660,
+	"HubFanout/subs=10000": 24841470,
+}
+
+// result is one benchmark row of the artifact.
+type result struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BaselineNsOp   float64 `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsBase  float64 `json:"speedup_vs_baseline,omitempty"`
+	NsPerSlide     float64 `json:"ns_per_slide,omitempty"`
+	SlidesPerRun   int     `json:"slides_per_run,omitempty"`
+	DeliveredPerOp float64 `json:"delivered_per_op,omitempty"`
+	DroppedPerOp   float64 `json:"dropped_per_op,omitempty"`
+}
+
+type artifact struct {
+	GeneratedBy  string   `json:"generated_by"`
+	GoVersion    string   `json:"go_version"`
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	CPUs         int      `json:"cpus"`
+	BaselineNote string   `json:"baseline_note"`
+	Benchmarks   []result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchserve: ")
+	out := flag.String("out", "BENCH_serve.json", "artifact path (empty or \"-\" = stdout)")
+	quick := flag.Bool("quick", false, "CI smoke mode: small fan-outs only, skip the pipeline run")
+	flag.Parse()
+
+	fanouts := []int{1, 100, 10000}
+	if *quick {
+		fanouts = []int{1, 100}
+	}
+
+	art := artifact{
+		GeneratedBy:  "cmd/benchserve",
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		BaselineNote: "baseline_ns_per_op measured before the hub Publish lock-scope fix (registry lock held across ring push and subscriber offers)",
+	}
+
+	for _, subs := range fanouts {
+		name := fmt.Sprintf("HubFanout/subs=%d", subs)
+		log.Printf("running %s", name)
+		var delivered, dropped, publishes int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			hub := serve.NewHub(1024)
+			var wg sync.WaitGroup
+			sl := make([]*serve.Subscriber, subs)
+			for i := range sl {
+				sl[i] = hub.Subscribe(serve.Filter{}, 256)
+				wg.Add(1)
+				go func(s *serve.Subscriber) {
+					defer wg.Done()
+					for {
+						if _, ok := s.Next(); !ok {
+							return
+						}
+					}
+				}(sl[i])
+			}
+			alerts := benchAlerts(4)
+			base := time.Date(2015, 3, 15, 12, 0, 0, 0, time.UTC)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Publish(base.Add(time.Duration(i)*time.Second), alerts)
+			}
+			b.StopTimer()
+			drain(hub)
+			for _, s := range sl {
+				s.Close()
+			}
+			wg.Wait()
+			st := hub.Totals()
+			delivered, dropped = int64(st.Delivered), int64(st.Dropped)
+			publishes = int64(b.N)
+		})
+		row := result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if publishes > 0 {
+			row.DeliveredPerOp = float64(delivered) / float64(publishes)
+			row.DroppedPerOp = float64(dropped) / float64(publishes)
+		}
+		if base, ok := baselineNsPerOp[name]; ok {
+			row.BaselineNsOp = base
+			if row.NsPerOp > 0 {
+				row.SpeedupVsBase = base / row.NsPerOp
+			}
+		}
+		log.Printf("  %d iters, %.0f ns/op (baseline %.0f)", row.Iterations, row.NsPerOp, row.BaselineNsOp)
+		art.Benchmarks = append(art.Benchmarks, row)
+	}
+
+	if !*quick {
+		log.Printf("running PipelineStream")
+		art.Benchmarks = append(art.Benchmarks, benchPipeline())
+	}
+
+	enc, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// benchAlerts builds a slide's worth of alerts (4, matching the bench
+// suite's BenchmarkHubFanout).
+func benchAlerts(n int) []maritime.Alert {
+	base := time.Date(2015, 3, 15, 12, 0, 0, 0, time.UTC)
+	alerts := make([]maritime.Alert, n)
+	for i := range alerts {
+		alerts[i] = maritime.Alert{
+			CE:     maritime.CEIllegalShipping,
+			AreaID: "bench-area",
+			Time:   base,
+			Vessel: uint32(237000101 + i),
+		}
+	}
+	return alerts
+}
+
+// drain waits until every subscriber queue is empty, so the delivered
+// counter reflects every publish.
+func drain(hub *serve.Hub) {
+	for {
+		pending := 0
+		for _, s := range hub.Stats().Subs {
+			pending += s.Pending
+		}
+		if pending == 0 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// benchPipeline runs a complete simulated stream through ProcessBatch
+// per iteration and reports both per-run and per-slide cost.
+func benchPipeline() result {
+	simCfg := fleetsim.DefaultConfig()
+	simCfg.Vessels = 100
+	simCfg.Duration = time.Hour
+	sim := fleetsim.NewSimulator(simCfg)
+	fixes := sim.Run()
+	vessels, areas, ports := core.AdaptWorld(sim)
+	window := stream.WindowSpec{Range: time.Hour, Slide: 10 * time.Minute}
+	cfg := core.Config{
+		Window:      window,
+		Tracker:     tracker.DefaultParams(),
+		Recognition: maritime.Config{Window: window.Range},
+	}
+
+	slides := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys := core.NewSystem(cfg, vessels, areas, ports)
+			batcher := stream.NewBatcher(stream.NewSliceSource(fixes), window.Slide)
+			b.StartTimer()
+			n := 0
+			for {
+				batch, ok := batcher.Next()
+				if !ok {
+					break
+				}
+				sys.ProcessBatch(batch)
+				n++
+			}
+			slides = n
+		}
+	})
+	row := result{
+		Name:         "PipelineStream/vessels=100,hours=1",
+		Iterations:   r.N,
+		NsPerOp:      float64(r.NsPerOp()),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		SlidesPerRun: slides,
+	}
+	if slides > 0 {
+		row.NsPerSlide = row.NsPerOp / float64(slides)
+	}
+	log.Printf("  %d iters, %.0f ns/run over %d slides", row.Iterations, row.NsPerOp, slides)
+	return row
+}

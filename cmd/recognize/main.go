@@ -17,8 +17,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"repro/internal/feed"
 	"repro/internal/fleetsim"
 	"repro/internal/maritime"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/tracker"
 )
@@ -49,6 +52,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-alert output")
 		watchdog = flag.Duration("watchdog", 0, "per-slide recognition budget; wedged partitions are abandoned (0 = off)")
 		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer for live feeds, in fixes (0 = unbuffered)")
+		debug    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while the run lasts (empty = off)")
 	)
 	flag.Parse()
 
@@ -72,6 +76,22 @@ func main() {
 		WatchdogTimeout: *watchdog,
 	}, vesselsReg, areasReg, ports)
 
+	var reg *obs.Registry
+	if *debug != "" {
+		// Batch runs are usually observed through the final summary, but
+		// long replays benefit from live stage histograms and pprof: the
+		// sidecar exposes both for the duration of the run.
+		reg = obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		sys.RegisterMetrics(reg)
+		go func() {
+			log.Printf("debug on http://%s  (/metrics /debug/pprof)", *debug)
+			if err := http.ListenAndServe(*debug, obs.DebugMux(reg)); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	var src stream.FixSource
 	switch {
 	case *live != "":
@@ -85,11 +105,17 @@ func main() {
 		}
 		defer c.Close()
 		log.Printf("consuming live feed at %s", *live)
+		if reg != nil {
+			c.RegisterMetrics(reg)
+		}
 		src = c
 		var buf *stream.IngestBuffer
 		if *ingest > 0 {
 			buf = stream.NewIngestBuffer(c, *ingest)
 			defer buf.Close()
+			if reg != nil {
+				buf.RegisterMetrics(reg)
+			}
 			src = buf
 		}
 		sys.AddHealthSource(core.LiveHealthSource(c, buf))

@@ -12,6 +12,10 @@
 //	curl -N 'http://localhost:8080/events?ce=illegalShipping'
 //	curl 'http://localhost:8080/vessels' | head
 //	curl 'http://localhost:8080/healthz'
+//	curl 'http://localhost:8080/metrics'
+//
+// With -debug-addr a sidecar listener additionally serves /metrics and
+// net/http/pprof on an address that can stay private to operators.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"repro/internal/feed"
 	"repro/internal/fleetsim"
 	"repro/internal/maritime"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/tracker"
@@ -54,6 +59,7 @@ func main() {
 		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer, in fixes (0 = unbuffered)")
 		ring     = flag.Int("ring", 1024, "alert-history retention for replay and /alerts, in alerts")
 		subQueue = flag.Int("sub-queue", 256, "per-subscriber queue bound, in alerts (drop-oldest)")
+		debug    = flag.String("debug-addr", "", "sidecar listener for /metrics and /debug/pprof (empty = off; /metrics is always on the main address)")
 		verbose  = flag.Bool("v", false, "log subscriber connects/disconnects")
 	)
 	flag.Parse()
@@ -76,7 +82,14 @@ func main() {
 		WatchdogTimeout: *watchdog,
 	}, vesselsReg, areasReg, ports)
 
-	opts := serve.Options{RingSize: *ring, SubscriberQueue: *subQueue}
+	// One registry covers every tier: pipeline stage timings, hub
+	// fan-out, feed transport, ingest buffer and the Go runtime all
+	// land in the same /metrics exposition.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	sys.RegisterMetrics(reg)
+
+	opts := serve.Options{RingSize: *ring, SubscriberQueue: *subQueue, Metrics: reg}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
@@ -107,18 +120,31 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.RegisterMetrics(reg)
 	var src stream.FixSource = client
 	var buf *stream.IngestBuffer
 	if *ingest > 0 {
 		buf = stream.NewIngestBuffer(client, *ingest)
 		defer buf.Close()
+		buf.RegisterMetrics(reg)
 		src = buf
 	}
 	sys.AddHealthSource(core.LiveHealthSource(client, buf))
 
+	if *debug != "" {
+		// The debug sidecar binds its own listener so pprof and metrics
+		// scrapes never share the gateway's address or its middleware.
+		go func() {
+			log.Printf("debug on http://%s  (/metrics /debug/pprof)", *debug)
+			if err := http.ListenAndServe(*debug, obs.DebugMux(reg)); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: gw.Handler()}
 	go func() {
-		log.Printf("gateway on http://%s  (endpoints: /events /alerts /vessels /trips /od /report /healthz)", *addr)
+		log.Printf("gateway on http://%s  (endpoints: /events /alerts /vessels /trips /od /report /healthz /metrics)", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -164,7 +190,7 @@ func main() {
 	case <-done:
 	case <-time.After(2 * time.Second):
 	}
-	st := gw.Hub().Stats()
+	st := gw.Hub().Totals()
 	log.Printf("fan-out: %d published, %d delivered, %d dropped across %d live subscribers",
 		st.Published, st.Delivered, st.Dropped, st.Subscribers)
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/fleetsim"
 	"repro/internal/forecast"
 	"repro/internal/maritime"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/tracker"
@@ -97,8 +98,12 @@ func main() {
 	oracle := forecast.New(tracker.DefaultParams())
 
 	// The serving tier: an alert gateway over the same system, exposed
-	// on loopback for any SSE consumer or curl.
-	gw := serve.New(sys, serve.Options{Heartbeat: 2 * time.Second})
+	// on loopback for any SSE consumer or curl, with the observability
+	// registry covering every tier of this session.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	sys.RegisterMetrics(reg)
+	gw := serve.New(sys, serve.Options{Heartbeat: 2 * time.Second, Metrics: reg})
 	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -106,7 +111,7 @@ func main() {
 	}
 	go func() { _ = http.Serve(gwLn, gw.Handler()) }()
 	gwURL := "http://" + gwLn.Addr().String()
-	fmt.Printf("alert gateway on %s (try: curl -N %s/events)\n\n", gwURL, gwURL)
+	fmt.Printf("alert gateway on %s (try: curl -N %s/events, curl %s/metrics)\n\n", gwURL, gwURL, gwURL)
 
 	// CE alerts are printed either by the shared writer sink, or — with
 	// -sse — by a subscriber consuming the gateway's own event stream.
@@ -134,8 +139,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer client.Close()
+	client.RegisterMetrics(reg)
 	buf := stream.NewIngestBuffer(client, 1<<14)
 	defer buf.Close()
+	buf.RegisterMetrics(reg)
 	sys.AddHealthSource(core.LiveHealthSource(client, buf))
 
 	batcher := stream.NewBatcher(buf, window.Slide)

@@ -164,14 +164,16 @@ func (s *System) AddHealthSource(fn func() Health) {
 }
 
 // Health merges the system's own degradation counters with every
-// registered source.
+// registered source. It reads only atomics and the sources' own
+// synchronized snapshots, so it is safe to call from any goroutine
+// (HTTP health and metrics scrapes) while the pipeline is mid-slide.
 func (s *System) Health() Health {
 	h := Health{
-		WatchdogTrips:    s.watchdogTrips,
+		WatchdogTrips:    int(s.watchdogTrips.Load()),
 		WedgedPartitions: s.wedgedCount(),
 	}
-	if s.watchdogLostEvents > 0 {
-		h.DropsByCause = map[string]int{"watchdog": s.watchdogLostEvents}
+	if lost := s.watchdogLostEvents.Load(); lost > 0 {
+		h.DropsByCause = map[string]int{"watchdog": int(lost)}
 	}
 	for _, fn := range s.healthSources {
 		h = h.Merge(fn())
@@ -182,11 +184,11 @@ func (s *System) Health() Health {
 func (s *System) wedgedCount() int {
 	n := 0
 	for _, p := range s.partitions {
-		if p.wedged {
+		if p.wedged.Load() {
 			n++
 		}
 	}
-	if s.recognizerWedged {
+	if s.recognizerWedged.Load() {
 		n++
 	}
 	return n

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// pipelineMetrics is the pipeline's push-side instrumentation: the
+// per-stage slide histograms of the paper's Figure 10/11 breakdown plus
+// throughput counters, observed once per ProcessBatch.
+type pipelineMetrics struct {
+	reg *obs.Registry
+
+	tracking       *obs.Histogram
+	staging        *obs.Histogram
+	reconstruction *obs.Histogram
+	loading        *obs.Histogram
+	recognition    *obs.Histogram
+	total          *obs.Histogram
+
+	slides   *obs.Counter
+	fixes    *obs.Counter
+	critical *obs.Counter
+	trips    *obs.Counter
+}
+
+// RegisterMetrics wires the system's runtime metrics onto the registry:
+// per-stage slide latency histograms, fixes/critical-point/trip/alert
+// counters, and the watchdog health counters (sampled from the same
+// atomics Health reads). Call it during setup, before the pipeline
+// starts sliding; the watchdog metrics stay correct under concurrent
+// scrapes because they read only atomics.
+func (s *System) RegisterMetrics(r *obs.Registry) {
+	stageHelp := "Per-slide cost of one pipeline stage, in seconds (the paper's Fig. 10 maintenance / Fig. 11 recognition breakdown)."
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram("maritime_slide_stage_seconds", stageHelp, obs.Labels{"stage": name}, nil)
+	}
+	s.metrics = &pipelineMetrics{
+		reg:            r,
+		tracking:       stage("tracking"),
+		staging:        stage("staging"),
+		reconstruction: stage("reconstruction"),
+		loading:        stage("loading"),
+		recognition:    stage("recognition"),
+		total:          stage("total"),
+		slides:         r.Counter("maritime_slides_total", "Window slides processed.", nil),
+		fixes:          r.Counter("maritime_fixes_total", "Position fixes entering the window.", nil),
+		critical:       r.Counter("maritime_critical_points_total", "Critical points emitted by the mobility tracker.", nil),
+		trips:          r.Counter("maritime_trips_completed_total", "Trips reconstructed and loaded into the store.", nil),
+	}
+	r.CounterFunc("maritime_watchdog_trips_total",
+		"Slides on which CE recognition exceeded its budget and was abandoned.", nil,
+		func() float64 { return float64(s.watchdogTrips.Load()) })
+	r.CounterFunc("maritime_watchdog_lost_events_total",
+		"Events dropped because their recognizer was wedged.", nil,
+		func() float64 { return float64(s.watchdogLostEvents.Load()) })
+	r.GaugeFunc("maritime_wedged_partitions",
+		"Recognizer partitions currently out of service after a watchdog trip.", nil,
+		func() float64 { return float64(s.wedgedCount()) })
+}
+
+// observe records one slide's outcome. Alerts count per CE so the
+// export matches the per-pattern recognition-cost breakdown of the
+// maritime CER literature.
+func (m *pipelineMetrics) observe(rep SlideReport) {
+	m.tracking.ObserveDuration(rep.Timings.Tracking)
+	m.staging.ObserveDuration(rep.Timings.Staging)
+	m.reconstruction.ObserveDuration(rep.Timings.Reconstruction)
+	m.loading.ObserveDuration(rep.Timings.Loading)
+	m.recognition.ObserveDuration(rep.Timings.Recognition)
+	m.total.ObserveDuration(rep.Timings.Total())
+	m.slides.Inc()
+	m.fixes.Add(uint64(rep.FixesIn))
+	m.critical.Add(uint64(rep.CriticalPoints))
+	m.trips.Add(uint64(rep.TripsCompleted))
+	for _, a := range rep.Alerts {
+		m.reg.Counter("maritime_alerts_total", "Complex events recognized, by CE pattern.",
+			obs.Labels{"ce": a.CE}).Inc()
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleetsim"
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// TestHealthScrapeConcurrentWithProcessBatch is the regression test for
+// the watchdog-counter data race: Health() used to read plain ints that
+// advancePartitions mutates mid-slide, so the first concurrent metrics
+// scrape was undefined behavior. Run under -race (CI does) this fails
+// loudly if the counters ever regress to unsynchronized fields. The
+// hook wedges partition 0 so the run exercises the mutation paths —
+// trips, lost events and wedged flags — while scrapers hammer Health.
+func TestHealthScrapeConcurrentWithProcessBatch(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hook := func(i int) {
+		if i == 0 {
+			<-release
+		}
+	}
+	recognizerAdvanceHook.Store(&hook)
+	defer recognizerAdvanceHook.Store(nil)
+
+	sim := fleetsim.NewSimulator(simConfig(100, 3))
+	fixes := sim.Run()
+	vessels, areas, ports := AdaptWorld(sim)
+	sys := NewSystem(wedgeableConfig(50*time.Millisecond), vessels, areas, ports)
+	reg := obs.NewRegistry()
+	sys.RegisterMetrics(reg)
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := sys.Health()
+				if h.WedgedPartitions < 0 {
+					t.Error("negative wedged count")
+					return
+				}
+				var b strings.Builder
+				_ = reg.WriteText(&b)
+			}
+		}()
+	}
+
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), 10*time.Minute)
+	for {
+		b, ok := batcher.Next()
+		if !ok {
+			break
+		}
+		sys.ProcessBatch(b)
+	}
+	close(stop)
+	scrapers.Wait()
+
+	h := sys.Health()
+	if h.WatchdogTrips != 1 || h.WedgedPartitions != 1 {
+		t.Errorf("health after wedged run = %+v, want 1 trip / 1 wedged", h)
+	}
+}
+
+// TestPartitionOfBoundaries pins the band-ownership rule: bounds are
+// half-open [lo, hi), a longitude west of band 0 belongs to band 0
+// (its lower bound is -Inf), a longitude exactly on a band edge belongs
+// to the band east of it, and anything east of every finite bound falls
+// back to the last band.
+func TestPartitionOfBoundaries(t *testing.T) {
+	s := &System{partitions: []*partition{
+		{loLon: math.Inf(-1), hiLon: -5},
+		{loLon: -5, hiLon: 10},
+		{loLon: 10, hiLon: math.Inf(1)},
+	}}
+	cases := []struct {
+		lon  float64
+		want int
+	}{
+		{-180, 0}, // far west of band 0
+		{-5.001, 0},
+		{-5, 1}, // exactly on the first edge: east band owns it
+		{0, 1},
+		{10, 2}, // exactly on the second edge
+		{179, 2},
+		{math.Inf(1), 2}, // east of everything: fallback to last band
+	}
+	for _, tc := range cases {
+		if got := s.partitionOf(tc.lon); got != tc.want {
+			t.Errorf("partitionOf(%v) = %d, want %d", tc.lon, got, tc.want)
+		}
+	}
+	// Finite last bound: longitudes beyond it must still land in the
+	// last band via the fallback, never index out of range.
+	s2 := &System{partitions: []*partition{
+		{loLon: math.Inf(-1), hiLon: 0},
+		{loLon: 0, hiLon: 20},
+	}}
+	if got := s2.partitionOf(25); got != 1 {
+		t.Errorf("partitionOf east of a finite last bound = %d, want 1", got)
+	}
+}
+
+// TestWatchdogLostEventAccountingParity wedges the single recognizer
+// and one partition of a partitioned system over the same stream, and
+// checks both account every post-wedge event as lost the same way:
+// through Health.DropsByCause["watchdog"], counted per event.
+func TestWatchdogLostEventAccountingParity(t *testing.T) {
+	run := func(procs int, wedge int) (lost int, fed int) {
+		release := make(chan struct{})
+		defer close(release)
+		hook := func(i int) {
+			if i == wedge {
+				<-release
+			}
+		}
+		recognizerAdvanceHook.Store(&hook)
+		defer recognizerAdvanceHook.Store(nil)
+
+		sim := fleetsim.NewSimulator(simConfig(80, 3))
+		fixes := sim.Run()
+		vessels, areas, ports := AdaptWorld(sim)
+		cfg := defaultSystemConfig()
+		cfg.Processors = procs
+		cfg.WatchdogTimeout = 50 * time.Millisecond
+		sys := NewSystem(cfg, vessels, areas, ports)
+
+		batcher := stream.NewBatcher(stream.NewSliceSource(fixes), 10*time.Minute)
+		for {
+			b, ok := batcher.Next()
+			if !ok {
+				break
+			}
+			rep := sys.ProcessBatch(b)
+			if sys.Health().WatchdogTrips > 0 {
+				// Events that reach a wedged recognizer after the trip are
+				// the "fed" population the accounting must cover.
+				fed += rep.CriticalPoints
+			}
+		}
+		return sys.Health().DropsByCause["watchdog"], fed
+	}
+
+	lostSingle, fedSingle := run(1, -1)
+	if lostSingle == 0 {
+		t.Fatal("single recognizer: no events accounted as lost to the watchdog")
+	}
+	if fedSingle == 0 {
+		t.Fatal("single recognizer: wedge happened on the final slide, test is vacuous")
+	}
+
+	lostPart, _ := run(2, 0)
+	if lostPart == 0 {
+		t.Fatal("partitioned: no events accounted as lost to the watchdog")
+	}
+	// Parity of mechanism, not of magnitude: the single recognizer loses
+	// every event once wedged; the partitioned system loses only the
+	// wedged band's share. Both must account through the same channel
+	// and never exceed what was actually fed to a wedged recognizer.
+	if lostSingle > fedSingle+lostSingle {
+		t.Errorf("single recognizer over-accounted: lost %d", lostSingle)
+	}
+	h := Health{DropsByCause: map[string]int{"watchdog": lostPart}}
+	if h.TotalDropped() != lostPart {
+		t.Errorf("watchdog drops not visible through TotalDropped")
+	}
+}
+
+// TestPipelineMetricsExport runs a short stream with metrics registered
+// and checks every stage histogram, the throughput counters and the
+// per-CE alert counters land in the exposition.
+func TestPipelineMetricsExport(t *testing.T) {
+	sim := fleetsim.NewSimulator(simConfig(150, 5))
+	fixes := sim.Run()
+	vessels, areas, ports := AdaptWorld(sim)
+	sys := NewSystem(defaultSystemConfig(), vessels, areas, ports)
+	reg := obs.NewRegistry()
+	sys.RegisterMetrics(reg)
+
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), 10*time.Minute)
+	reports := sys.RunAll(batcher)
+	if len(reports) == 0 {
+		t.Fatal("no slides processed")
+	}
+	var alerts int
+	for _, r := range reports {
+		alerts += len(r.Alerts)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, stage := range []string{"tracking", "staging", "reconstruction", "loading", "recognition", "total"} {
+		if !strings.Contains(out, `maritime_slide_stage_seconds_count{stage="`+stage+`"}`) {
+			t.Errorf("no %s stage histogram in scrape", stage)
+		}
+	}
+	for _, name := range []string{
+		"maritime_slides_total", "maritime_fixes_total",
+		"maritime_critical_points_total", "maritime_watchdog_trips_total",
+		"maritime_wedged_partitions",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
+	if slides := reg.Counter("maritime_slides_total", "", nil).Value(); slides != uint64(len(reports)) {
+		t.Errorf("maritime_slides_total = %d, want %d", slides, len(reports))
+	}
+	if alerts > 0 && !strings.Contains(out, `maritime_alerts_total{ce="`) {
+		t.Error("alerts recognized but no per-CE alert counter exported")
+	}
+	if reg.Histogram("maritime_slide_stage_seconds", "", obs.Labels{"stage": "tracking"}, nil).Count() != uint64(len(reports)) {
+		t.Error("tracking histogram observation count != slides")
+	}
+}

@@ -93,12 +93,19 @@ type System struct {
 	// Registered alert consumers, notified after every slide.
 	sinks []AlertSink
 
+	// Optional metrics wiring (RegisterMetrics); nil leaves the hot path
+	// untouched.
+	metrics *pipelineMetrics
+
 	// Degradation state (see Health): watchdog bookkeeping and the
-	// drivers' ingest-side health contributions.
+	// drivers' ingest-side health contributions. The counters are
+	// atomics because Health() is scraped from HTTP goroutines
+	// (/healthz, /metrics) while the pipeline goroutine mutates them
+	// mid-slide.
 	healthSources      []func() Health
-	watchdogTrips      int
-	watchdogLostEvents int
-	recognizerWedged   bool
+	watchdogTrips      atomic.Int64
+	watchdogLostEvents atomic.Int64
+	recognizerWedged   atomic.Bool
 }
 
 // partition is one geographic slice of the monitored region.
@@ -109,8 +116,9 @@ type partition struct {
 	hiLon float64 // exclusive upper bound (+Inf for last)
 	// wedged marks a partition abandoned by the watchdog: its goroutine
 	// overran the slide budget and may still be running, so it must
-	// never be advanced again.
-	wedged bool
+	// never be advanced again. Atomic for the same reason as the
+	// watchdog counters: concurrent Health scrapes read it.
+	wedged atomic.Bool
 }
 
 // NewSystem wires the pipeline over the given static knowledge. vessels
@@ -233,6 +241,9 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 		rep.Timings.Recognition = time.Since(t)
 	}
 	rep.Health = s.Health()
+	if s.metrics != nil {
+		s.metrics.observe(rep)
+	}
 	s.notifySinks(rep)
 	return rep
 }
@@ -240,8 +251,8 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 // advanceSingle runs the lone recognizer, under the watchdog when one
 // is configured.
 func (s *System) advanceSingle(q time.Time, events []rtec.Event, facts []maritime.SpatialFact) []maritime.Alert {
-	if s.recognizerWedged {
-		s.watchdogLostEvents += len(events)
+	if s.recognizerWedged.Load() {
+		s.watchdogLostEvents.Add(int64(len(events)))
 		return nil
 	}
 	if s.cfg.WatchdogTimeout <= 0 {
@@ -263,9 +274,9 @@ func (s *System) advanceSingle(q time.Time, events []rtec.Event, facts []maritim
 		// The recognizer overran the slide budget; abandon it (the
 		// goroutine may still be running against its private state, so it
 		// must never be advanced again) and keep the pipeline moving.
-		s.recognizerWedged = true
-		s.watchdogTrips++
-		s.watchdogLostEvents += len(events)
+		s.recognizerWedged.Store(true)
+		s.watchdogTrips.Add(1)
+		s.watchdogLostEvents.Add(int64(len(events)))
 		return nil
 	}
 }
@@ -286,8 +297,8 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 	evByPart := make([][]rtec.Event, n)
 	for _, ev := range events {
 		i := s.partitionOf(ev.Lon)
-		if s.partitions[i].wedged {
-			s.watchdogLostEvents++
+		if s.partitions[i].wedged.Load() {
+			s.watchdogLostEvents.Add(1)
 			continue
 		}
 		evByPart[i] = append(evByPart[i], ev)
@@ -301,7 +312,7 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 			}
 		}
 		for _, f := range facts {
-			if i, ok := owner[f.AreaID]; ok && !s.partitions[i].wedged {
+			if i, ok := owner[f.AreaID]; ok && !s.partitions[i].wedged.Load() {
 				factByPart[i] = append(factByPart[i], f)
 			}
 		}
@@ -317,7 +328,7 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 	launched := make([]bool, n)
 	active := 0
 	for i, p := range s.partitions {
-		if p.wedged {
+		if p.wedged.Load() {
 			continue
 		}
 		launched[i] = true
@@ -346,11 +357,11 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 		case <-timeout:
 			// The slide budget is spent: flag every straggler as wedged
 			// and move on with the snapshots that did arrive.
-			s.watchdogTrips++
+			s.watchdogTrips.Add(1)
 			for i, p := range s.partitions {
 				if launched[i] && !completed[i] {
-					p.wedged = true
-					s.watchdogLostEvents += len(evByPart[i])
+					p.wedged.Store(true)
+					s.watchdogLostEvents.Add(int64(len(evByPart[i])))
 				}
 			}
 			got = active

@@ -1,0 +1,52 @@
+package feed
+
+import (
+	"repro/internal/ais"
+	"repro/internal/obs"
+)
+
+// RegisterMetrics exports the client's transport and scanner counters
+// into the registry as pull-style metrics: each scrape samples
+// NetStats/Stats under the client's own lock, so there is no second
+// bookkeeping path to drift from the authoritative counters.
+func (c *ReconnectingClient) RegisterMetrics(r *obs.Registry) {
+	net := func(f func(NetStats) int) func() float64 {
+		return func() float64 { return float64(f(c.NetStats())) }
+	}
+	r.CounterFunc("maritime_feed_dial_attempts_total",
+		"Feed dials tried, including the initial connect.",
+		nil, net(func(n NetStats) int { return n.DialAttempts }))
+	r.CounterFunc("maritime_feed_dial_failures_total",
+		"Feed dials that errored.",
+		nil, net(func(n NetStats) int { return n.DialFailures }))
+	r.CounterFunc("maritime_feed_disconnects_total",
+		"Established feed connections lost mid-stream.",
+		nil, net(func(n NetStats) int { return n.Disconnects }))
+	r.CounterFunc("maritime_feed_reconnects_total",
+		"Feed connections re-established after a loss.",
+		nil, net(func(n NetStats) int { return n.Reconnects }))
+	r.CounterFunc("maritime_feed_resumes_total",
+		"RESUME handshakes sent on reconnect.",
+		nil, net(func(n NetStats) int { return n.Resumes }))
+	r.CounterFunc("maritime_feed_resume_dupes_total",
+		"Duplicate fixes discarded during resume catch-up.",
+		nil, net(func(n NetStats) int { return n.ResumeSkipped }))
+
+	scan := func(f func(s ais.ScannerStats) int) func() float64 {
+		return func() float64 { return float64(f(c.Stats())) }
+	}
+	r.CounterFunc("maritime_feed_fixes_total",
+		"Cleaned fixes emitted by the feed scanner.",
+		nil, scan(func(s ais.ScannerStats) int { return s.Fixes }))
+	const dropHelp = "Feed scanner lines dropped, by cause."
+	r.CounterFunc("maritime_feed_drops_total", dropHelp,
+		obs.Labels{"cause": "checksum"}, scan(func(s ais.ScannerStats) int { return s.BadChecksum }))
+	r.CounterFunc("maritime_feed_drops_total", dropHelp,
+		obs.Labels{"cause": "malformed"}, scan(func(s ais.ScannerStats) int { return s.Malformed }))
+	r.CounterFunc("maritime_feed_drops_total", dropHelp,
+		obs.Labels{"cause": "unsupported"}, scan(func(s ais.ScannerStats) int { return s.Unsupported }))
+	r.CounterFunc("maritime_feed_drops_total", dropHelp,
+		obs.Labels{"cause": "no-position"}, scan(func(s ais.ScannerStats) int { return s.NoPosition }))
+	r.CounterFunc("maritime_feed_drops_total", dropHelp,
+		obs.Labels{"cause": "fragment-loss"}, scan(func(s ais.ScannerStats) int { return s.FragmentLoss }))
+}

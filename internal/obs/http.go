@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in the Prometheus text exposition format
+// (mount it at GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A failed write means the scraper went away; nothing to report.
+		_ = r.WriteText(w)
+	})
+}
+
+// DebugMux builds the sidecar debug mux the drivers expose behind
+// -debug-addr: the registry's /metrics plus the net/http/pprof suite
+// (/debug/pprof/, profile, heap, goroutine, trace, ...). It is a
+// separate listener by design, so profiling endpoints are never bound
+// to the public serving address by accident.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime registers the Go runtime gauges (goroutines, heap,
+// GC) on the registry. MemStats collection stops the world briefly, so
+// one snapshot per scrape is shared by every gauge and cached for a
+// second — scrapers hitting /metrics in close succession pay for it
+// once.
+func RegisterRuntime(r *Registry) {
+	var mu sync.Mutex
+	var last time.Time
+	var ms runtime.MemStats
+	snap := func() *runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); now.Sub(last) > time.Second {
+			runtime.ReadMemStats(&ms)
+			last = now
+		}
+		return &ms
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(snap().HeapAlloc) })
+	r.GaugeFunc("go_heap_sys_bytes", "Bytes of heap obtained from the OS.", nil,
+		func() float64 { return float64(snap().HeapSys) })
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.", nil,
+		func() float64 { return float64(snap().HeapObjects) })
+	r.GaugeFunc("go_next_gc_bytes", "Heap size target of the next GC cycle.", nil,
+		func() float64 { return float64(snap().NextGC) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil,
+		func() float64 { return float64(snap().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", nil,
+		func() float64 { return float64(snap().PauseTotalNs) / 1e9 })
+	r.CounterFunc("go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", nil,
+		func() float64 { return float64(snap().TotalAlloc) })
+}

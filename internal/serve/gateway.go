@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/maritime"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/tracker"
 )
@@ -26,6 +27,11 @@ type Options struct {
 	// Heartbeat is the idle-connection keepalive interval of the SSE
 	// stream (≤ 0: 15 s).
 	Heartbeat time.Duration
+	// Metrics, when set, mounts GET /metrics (Prometheus text format)
+	// on the gateway mux and registers the hub's fan-out counters on
+	// the registry. The pipeline's own metrics are the caller's to
+	// register (core.System.RegisterMetrics on the same registry).
+	Metrics *obs.Registry
 	// Logf receives lifecycle messages; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -68,6 +74,9 @@ func New(sys *core.System, opt Options) *Gateway {
 		opt.Heartbeat = 15 * time.Second
 	}
 	g := &Gateway{sys: sys, hub: NewHub(opt.RingSize), opt: opt}
+	if opt.Metrics != nil {
+		g.hub.RegisterMetrics(opt.Metrics)
+	}
 	sys.AddAlertSink(g)
 	return g
 }
@@ -120,6 +129,7 @@ func (g *Gateway) Consume(rep core.SlideReport) {
 //	GET /vessels/{mmsi}   one vessel's state + retained synopsis
 //	GET /trips            archived trips (?mmsi= to restrict)
 //	GET /od               the origin–destination matrix
+//	GET /metrics          Prometheus text exposition (when Options.Metrics is set)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /events", g.handleEvents)
@@ -130,6 +140,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /vessels/{mmsi}", g.handleVessel)
 	mux.HandleFunc("GET /trips", g.handleTrips)
 	mux.HandleFunc("GET /od", g.handleOD)
+	if g.opt.Metrics != nil {
+		mux.Handle("GET /metrics", g.opt.Metrics.Handler())
+	}
 	return mux
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/maritime"
+	"repro/internal/obs"
 )
 
 // Envelope is one recognized alert as published to subscribers: the
@@ -35,6 +36,15 @@ type Envelope struct {
 // each subscriber owns a bounded queue that drops its oldest entries
 // when the consumer falls behind, with drops accounted per subscriber.
 type Hub struct {
+	// pubMu serializes publishers end to end, so envelopes reach the
+	// ring — and every subscriber queue — in sequence order. It is never
+	// held by Subscribe, Stats or remove, which only need mu.
+	pubMu sync.Mutex
+
+	// mu guards the subscriber registry and the sequence/published
+	// counters. It is held only for short bookkeeping sections — never
+	// across the ring push or a subscriber offer — so registering,
+	// departing and stats never wait on a fan-out in flight.
 	mu     sync.Mutex
 	seq    uint64
 	nextID int
@@ -65,22 +75,45 @@ func (h *Hub) Ring() *Ring { return h.ring }
 
 // Publish stamps the slide's alerts with sequence numbers, appends them
 // to the history ring and offers them to every subscriber. It never
-// blocks on a slow consumer.
+// blocks on a slow consumer, and it delivers outside the hub lock: one
+// publish against 10k subscribers no longer serializes Subscribe,
+// Stats or departures behind every per-subscriber queue lock.
+//
+// The no-gap/no-dup contract with SubscribeFrom survives the unlocked
+// delivery: envelopes land in the ring before the subscriber snapshot
+// is taken, so a consumer registering mid-publish either is in the
+// snapshot (offered directly) or registered after the ring push (and
+// preloaded from the ring); a subscriber that ends up on both paths
+// deduplicates by sequence number in offer.
 func (h *Hub) Publish(slide time.Time, alerts []maritime.Alert) {
 	if len(alerts) == 0 {
 		return
 	}
 	now := time.Now()
+	h.pubMu.Lock()
+	defer h.pubMu.Unlock()
+
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	envs := make([]Envelope, len(alerts))
 	for i, a := range alerts {
 		h.seq++
 		envs[i] = Envelope{Seq: h.seq, Slide: slide, Published: now, Alert: a}
-		h.ring.Push(envs[i])
 	}
 	h.published += uint64(len(envs))
+	h.mu.Unlock()
+
+	for i := range envs {
+		h.ring.Push(envs[i])
+	}
+
+	h.mu.Lock()
+	subs := make([]*Subscriber, 0, len(h.subs))
 	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+
+	for _, s := range subs {
 		s.offer(envs)
 	}
 }
@@ -109,7 +142,14 @@ func (h *Hub) subscribe(f Filter, queueCap int, afterSeq *uint64) *Subscriber {
 	defer h.mu.Unlock()
 	h.nextID++
 	s.id = h.nextID
+	// Seed the duplicate guard with the subscription point: a fresh
+	// subscriber starts at the current head sequence (a publish already
+	// in flight counts as "before" it), a resuming one at its cursor.
+	// Without this, an in-flight publish whose envelopes straddle the
+	// registration could deliver alerts from before the resume point.
+	s.lastSeq = h.seq
 	if afterSeq != nil {
+		s.lastSeq = *afterSeq
 		s.offer(h.ring.Since(*afterSeq))
 	}
 	h.subs[s] = struct{}{}
@@ -150,6 +190,16 @@ type HubStats struct {
 
 // Stats snapshots the hub's accounting.
 func (h *Hub) Stats() HubStats {
+	return h.stats(true)
+}
+
+// Totals is Stats without the per-subscriber detail — the cheap
+// aggregate the metrics scrape and log lines want.
+func (h *Hub) Totals() HubStats {
+	return h.stats(false)
+}
+
+func (h *Hub) stats(detail bool) HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	st := HubStats{
@@ -162,9 +212,24 @@ func (h *Hub) Stats() HubStats {
 		ss := s.Stats()
 		st.Delivered += ss.Delivered
 		st.Dropped += ss.Dropped
-		st.Subs = append(st.Subs, ss)
+		if detail {
+			st.Subs = append(st.Subs, ss)
+		}
 	}
 	return st
+}
+
+// RegisterMetrics exports the hub's fan-out accounting on the registry,
+// sampled at scrape time from the same counters /healthz reports.
+func (h *Hub) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("maritime_hub_subscribers", "Live alert-stream subscribers.", nil,
+		func() float64 { return float64(h.Totals().Subscribers) })
+	r.CounterFunc("maritime_hub_published_total", "Alert envelopes published to the hub.", nil,
+		func() float64 { return float64(h.Totals().Published) })
+	r.CounterFunc("maritime_hub_delivered_total", "Envelopes delivered across all subscribers (departed ones included).", nil,
+		func() float64 { return float64(h.Totals().Delivered) })
+	r.CounterFunc("maritime_hub_dropped_total", "Envelopes dropped by subscriber queues (drop-oldest overflow).", nil,
+		func() float64 { return float64(h.Totals().Dropped) })
 }
 
 // Subscriber is one consumer's bounded drop-oldest queue. The producer
@@ -183,6 +248,10 @@ type Subscriber struct {
 	delivered uint64
 	dropped   uint64
 	closed    bool
+	// lastSeq is the highest sequence number ever offered (enqueued or
+	// filtered); offers at or below it are duplicates from the
+	// replay-preload/live-publish overlap and are discarded.
+	lastSeq uint64
 }
 
 // ID returns the hub-assigned subscriber id (stable for /healthz).
@@ -198,6 +267,10 @@ func (s *Subscriber) offer(envs []Envelope) {
 	}
 	pushed := false
 	for _, e := range envs {
+		if e.Seq <= s.lastSeq {
+			continue // duplicate of an envelope already offered
+		}
+		s.lastSeq = e.Seq
 		if !s.filter.Match(e.Alert) {
 			continue
 		}

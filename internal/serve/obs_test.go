@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/maritime"
+	"repro/internal/obs"
+)
+
+// scrapeText renders a registry for assertions.
+func scrapeText(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+// TestSubscribeDuringSlowPublishDoesNotBlock is the regression test for
+// the Publish lock scope: the hub used to hold its registry lock across
+// every subscriber offer, so one stalled subscriber queue serialized
+// every Subscribe (and every /healthz) behind the fan-out. Here one
+// subscriber's queue lock is held to freeze a publish mid-delivery;
+// registering a new subscriber must still return immediately.
+func TestSubscribeDuringSlowPublishDoesNotBlock(t *testing.T) {
+	h := NewHub(64)
+	stuck := h.Subscribe(Filter{}, 8)
+	defer stuck.Close()
+
+	stuck.mu.Lock() // freeze this subscriber's offer path
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		h.Publish(t0, mkAlerts(3, 1, maritime.CESuspicious, "a1"))
+	}()
+	// Wait until the publish is actually wedged inside offer: it must
+	// not have completed, and the hub lock must be free.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-pubDone:
+		t.Fatal("publish completed despite a frozen subscriber queue — test setup broken")
+	default:
+	}
+
+	subscribed := make(chan *Subscriber, 1)
+	go func() {
+		subscribed <- h.Subscribe(Filter{}, 8)
+	}()
+	select {
+	case s := <-subscribed:
+		s.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("Subscribe blocked behind a slow publish")
+	}
+	// Stats (the /healthz path) takes per-subscriber locks, so it is
+	// expected to wait on the frozen queue; Totals/Stats liveness is
+	// restored once the queue unfreezes.
+	stuck.mu.Unlock()
+	<-pubDone
+	if st := h.Stats(); st.Published != 3 {
+		t.Fatalf("published = %d, want 3", st.Published)
+	}
+}
+
+// TestSubscribeFromMidPublishNoGapNoDup races SubscribeFrom against a
+// publisher and checks every subscriber sees a contiguous, duplicate-
+// free sequence from its resume point: the no-gap/no-dup contract that
+// used to be enforced by holding the hub lock across the whole publish.
+func TestSubscribeFromMidPublishNoGapNoDup(t *testing.T) {
+	h := NewHub(8192)
+	const rounds = 200
+	stopPub := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopPub:
+				return
+			default:
+			}
+			h.Publish(t0.Add(time.Duration(i)*time.Second), mkAlerts(4, uint32(i), maritime.CESuspicious, "a1"))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds/8; j++ {
+				// Resume from wherever the stream currently is.
+				cur := h.Ring().Last(1)
+				var after uint64
+				if len(cur) == 1 {
+					after = cur[0].Seq
+				}
+				s := h.SubscribeFrom(Filter{}, 4096, after)
+				prev := after
+				gaps := 0
+				for k := 0; k < 16; k++ {
+					e, ok, timedOut := s.NextTimeout(time.Second)
+					if timedOut || !ok {
+						break
+					}
+					if e.Seq <= prev {
+						// Duplicates and reordering are bugs unconditionally.
+						errs <- "dup or reorder: got seq " + itoa(e.Seq) + " after " + itoa(prev)
+						break
+					}
+					// A forward gap is legal only when this subscriber's own
+					// bounded queue dropped (checked below) or the resume
+					// point already fell out of ring retention (first read).
+					if e.Seq != prev+1 && k > 0 {
+						gaps++
+					}
+					prev = e.Seq
+				}
+				if gaps > 0 && s.Stats().Dropped == 0 {
+					errs <- "gap without queue drops after seq " + itoa(prev)
+				}
+				s.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopPub)
+	pubWG.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestRingSinceEdgeCases pins the binary-search resume against every
+// boundary: empty ring, cursor older than retention, cursor at and
+// beyond the head, and a post-eviction wraparound where the ring's
+// start index has moved.
+func TestRingSinceEdgeCases(t *testing.T) {
+	empty := NewRing(4)
+	if got := empty.Since(0); got != nil {
+		t.Fatalf("Since on empty ring = %v, want nil", got)
+	}
+
+	r := NewRing(8)
+	// Push 20 envelopes: seqs 1..20, retention keeps 13..20 and the
+	// start index has wrapped the backing array more than once.
+	for i := 1; i <= 20; i++ {
+		r.Push(Envelope{Seq: uint64(i)})
+	}
+	cases := []struct {
+		seq       uint64
+		wantFirst uint64
+		wantLen   int
+	}{
+		{0, 13, 8},  // far older than retention: whole ring
+		{12, 13, 8}, // exactly the evicted edge
+		{13, 14, 7}, // oldest retained: everything after it
+		{16, 17, 4}, // interior wraparound point
+		{19, 20, 1}, // just before head
+		{20, 0, 0},  // at head: nothing newer
+		{99, 0, 0},  // beyond head
+	}
+	for _, tc := range cases {
+		got := r.Since(tc.seq)
+		if len(got) != tc.wantLen {
+			t.Errorf("Since(%d) len = %d, want %d", tc.seq, len(got), tc.wantLen)
+			continue
+		}
+		if tc.wantLen > 0 && got[0].Seq != tc.wantFirst {
+			t.Errorf("Since(%d) first = %d, want %d", tc.seq, got[0].Seq, tc.wantFirst)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq != got[i-1].Seq+1 {
+				t.Errorf("Since(%d) not contiguous at %d", tc.seq, i)
+			}
+		}
+	}
+}
+
+// TestGatewayMetricsEndpoint mounts /metrics through Options.Metrics
+// and checks a scrape over HTTP covers the hub fan-out counters, and
+// that the endpoint is absent when no registry is configured.
+func TestGatewayMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := newTestGateway(t, Options{Metrics: reg})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	g.Consume(report(t0, maritime.Alert{CE: maritime.CESuspicious, AreaID: "a1", Time: t0}))
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics returned %d", res.StatusCode)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE maritime_hub_published_total counter",
+		"maritime_hub_published_total 1",
+		"maritime_hub_subscribers 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	bare := newTestGateway(t, Options{})
+	bareSrv := httptest.NewServer(bare.Handler())
+	defer bareSrv.Close()
+	res2, err := bareSrv.Client().Get(bareSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode == 200 {
+		t.Fatal("/metrics served without a configured registry")
+	}
+}
+
+// TestHubMetricsExport publishes through a hub with metrics registered
+// and checks the fan-out counters reach the exposition.
+func TestHubMetricsExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHub(64)
+	h.RegisterMetrics(reg)
+	s := h.Subscribe(Filter{}, 64)
+	h.Publish(t0, mkAlerts(5, 1, maritime.CESuspicious, "a1"))
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatal("stream ended early")
+		}
+	}
+	s.Close()
+	out := scrapeText(t, reg)
+	for _, want := range []string{
+		"maritime_hub_published_total 5",
+		"maritime_hub_delivered_total 5",
+		"maritime_hub_dropped_total 0",
+		"maritime_hub_subscribers 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Ring is the fixed-capacity alert-history buffer: it retains the most
 // recent published envelopes for the JSON history endpoint and for SSE
@@ -62,15 +65,26 @@ func (r *Ring) Last(n int) []Envelope {
 // than seq, oldest first. A reconnecting client that was away longer
 // than the ring's retention silently loses the evicted prefix — the
 // same explicit degradation policy as everywhere else in the pipeline.
+//
+// Sequence numbers increase monotonically in ring order, so the resume
+// point is found by binary search: every SSE reconnect costs O(log n)
+// under the ring lock instead of a full scan, which matters when
+// thousands of clients re-attach after a gateway blip.
 func (r *Ring) Since(seq uint64) []Envelope {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []Envelope
-	for i := 0; i < r.n; i++ {
-		e := r.buf[(r.start+i)%len(r.buf)]
-		if e.Seq > seq {
-			out = append(out, e)
-		}
+	if r.n == 0 {
+		return nil
+	}
+	i := sort.Search(r.n, func(i int) bool {
+		return r.buf[(r.start+i)%len(r.buf)].Seq > seq
+	})
+	if i == r.n {
+		return nil
+	}
+	out := make([]Envelope, 0, r.n-i)
+	for ; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
 	}
 	return out
 }

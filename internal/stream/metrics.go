@@ -1,0 +1,18 @@
+package stream
+
+import "repro/internal/obs"
+
+// RegisterMetrics exports the buffer's occupancy and overflow counters.
+// Depth and drops are sampled at scrape time under the buffer's lock,
+// so the gauge reflects the instant the scrape happened rather than a
+// stale copy.
+func (b *IngestBuffer) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("maritime_ingest_pending",
+		"Fixes buffered between the feed and the pipeline, awaiting consumption.",
+		nil, func() float64 { return float64(b.Pending()) })
+	r.CounterFunc("maritime_ingest_dropped_total",
+		"Fixes discarded by ingest-buffer overflow (consumer fell behind).",
+		nil, func() float64 { return float64(b.Dropped()) })
+	r.Gauge("maritime_ingest_capacity",
+		"Ingest buffer capacity in fixes.", nil).Set(float64(b.cap))
+}

@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/obs"
+)
+
+// TestIngestBufferMetricsExport overflows a tiny buffer with no
+// consumer attached and checks depth, drops and capacity land in the
+// exposition with the same values the buffer's accessors report.
+func TestIngestBufferMetricsExport(t *testing.T) {
+	const total, capacity = 20, 4
+	fixes := make([]ais.Fix, total)
+	base := time.Unix(1_400_000_000, 0).UTC()
+	for i := range fixes {
+		fixes[i] = ais.Fix{MMSI: uint32(i + 1), Time: base.Add(time.Duration(i) * time.Second)}
+	}
+	b := NewIngestBuffer(NewSliceSource(fixes), capacity)
+	defer b.Close()
+
+	reg := obs.NewRegistry()
+	b.RegisterMetrics(reg)
+
+	// Wait for the pump to drain the source: every fix is then either
+	// pending or dropped.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Pending()+b.Dropped() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("pump stalled: pending=%d dropped=%d", b.Pending(), b.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"maritime_ingest_pending 4",
+		"maritime_ingest_dropped_total 16",
+		"maritime_ingest_capacity 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// Draining moves the gauge without touching the drop counter.
+	if !b.Scan() {
+		t.Fatal("Scan returned false with pending fixes")
+	}
+	if got := b.Pending(); got != 3 {
+		t.Fatalf("Pending after one Scan = %d, want 3", got)
+	}
+	sb.Reset()
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "maritime_ingest_pending 3") {
+		t.Errorf("gauge did not track drain:\n%s", sb.String())
+	}
+}
