@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race bench bench-serve experiments examples
+.PHONY: all build fmt-check vet test test-short test-race bench bench-serve bench-pipe experiments examples
 
 all: fmt-check build vet test
 
@@ -25,13 +25,19 @@ test-race:
 	go test -race ./...
 
 # One testing.B benchmark per table/figure of the paper's evaluation.
-bench: bench-serve
+bench: bench-serve bench-pipe
 	go test -bench=. -benchmem -benchtime=1x -run '^$$' .
 
 # Serving-tier benchmarks, written as a JSON artifact with the pre-fix
 # fan-out baseline embedded for comparison.
 bench-serve:
 	go run ./cmd/benchserve -out BENCH_serve.json
+
+# Pipeline benchmarks: sharded tracking-tier throughput/allocations per
+# shard count plus full-pipeline per-stage latency percentiles, written
+# as a JSON artifact with the pre-sharding serial baseline embedded.
+bench-pipe:
+	go run ./cmd/benchpipe -out BENCH_pipeline.json
 
 # Full row sets at the default scale (N=1000); see -list for ids.
 experiments:

@@ -1,0 +1,308 @@
+// benchpipe benchmarks the surveillance pipeline end to end: the
+// sharded mobility-tracking tier in isolation (throughput and
+// allocation pressure per slide, across shard counts) and the full
+// core.System (per-stage latency percentiles). It writes a JSON
+// artifact, BENCH_pipeline.json, comparing every configuration against
+// the pre-sharding serial baseline embedded below, so a run on any
+// machine shows both the scaling curve of this build and the distance
+// to the old code.
+//
+//	go run ./cmd/benchpipe                        # full run, writes BENCH_pipeline.json
+//	go run ./cmd/benchpipe -quick -out /dev/null  # CI smoke
+//	go run ./cmd/benchpipe -shards 1,2,4,8 -vessels 1000 -hours 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/core"
+	"repro/internal/fleetsim"
+	"repro/internal/maritime"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+// Pre-sharding serial baseline, measured on this repository immediately
+// before the sharded tier and the zero-alloc hot path landed (tracker
+// commit parent of the sharding change; fleetsim seed 42, 400 vessels,
+// 2 h, ω = 1 h, β = 5 min → 17 898 fixes over 24 slides; single CPU).
+// Kept as reference so any later run can report an honest speedup and
+// allocation delta against the old code on the same workload shape.
+const (
+	baselineNsPerSlide     = 825000.0
+	baselineAllocsPerSlide = 491.5
+	baselineBytesPerSlide  = 115788.0
+	baselineVessels        = 400
+	baselineHours          = 2
+)
+
+// TrackRow is one tracking-tier configuration's measurement.
+type TrackRow struct {
+	Shards         int     `json:"shards"`
+	NsPerSlide     float64 `json:"ns_per_slide"`
+	AllocsPerSlide float64 `json:"allocs_per_slide"`
+	BytesPerSlide  float64 `json:"bytes_per_slide"`
+	FixesPerSec    float64 `json:"fixes_per_sec"`
+	// SpeedupVsSerial is this row's throughput over the 1-shard row of
+	// the same run; SpeedupVsBaseline is over the embedded pre-sharding
+	// constants (only comparable on the baseline workload shape).
+	SpeedupVsSerial   float64 `json:"speedup_vs_serial,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// StagePercentiles is one pipeline stage's per-slide latency profile.
+type StagePercentiles struct {
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
+}
+
+// PipeRow is one full-pipeline configuration's measurement.
+type PipeRow struct {
+	Shards int                         `json:"shards"`
+	Slides int                         `json:"slides"`
+	Alerts int                         `json:"alerts"`
+	Stages map[string]StagePercentiles `json:"stages"`
+}
+
+// Artifact is the benchmark report written to -out.
+type Artifact struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	CPUs        int    `json:"cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Quick       bool   `json:"quick,omitempty"`
+
+	Vessels int     `json:"vessels"`
+	Hours   float64 `json:"hours"`
+	Fixes   int     `json:"fixes"`
+	Slides  int     `json:"slides"`
+
+	Baseline TrackRow   `json:"baseline_serial_presharding"`
+	Tracking []TrackRow `json:"tracking"`
+	Pipeline []PipeRow  `json:"pipeline"`
+
+	Notes string `json:"notes"`
+}
+
+func main() {
+	vessels := flag.Int("vessels", baselineVessels, "fleet size")
+	hours := flag.Float64("hours", baselineHours, "simulated duration in hours")
+	shardsCSV := flag.String("shards", "", "comma-separated shard counts (default 1,2,4 and GOMAXPROCS)")
+	reps := flag.Int("reps", 20, "tracking-tier repetitions per shard count")
+	quick := flag.Bool("quick", false, "small CI smoke run (overrides vessels/hours/reps)")
+	out := flag.String("out", "BENCH_pipeline.json", "artifact path")
+	flag.Parse()
+
+	if *quick {
+		*vessels, *hours, *reps = 120, 1, 3
+	}
+	shardCounts := parseShards(*shardsCSV, *quick)
+
+	log.Printf("simulating %d vessels for %.1f h ...", *vessels, *hours)
+	simCfg := fleetsim.DefaultConfig()
+	simCfg.Seed = 42
+	simCfg.Vessels = *vessels
+	simCfg.Duration = time.Duration(float64(time.Hour) * *hours)
+	sim := fleetsim.NewSimulator(simCfg)
+	fixes := sim.Run()
+	batches := batchAll(fixes, 5*time.Minute)
+	log.Printf("%d fixes over %d slides", len(fixes), len(batches))
+
+	art := &Artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       *quick,
+		Vessels:     *vessels,
+		Hours:       *hours,
+		Fixes:       len(fixes),
+		Slides:      len(batches),
+		Baseline: TrackRow{
+			Shards:         1,
+			NsPerSlide:     baselineNsPerSlide,
+			AllocsPerSlide: baselineAllocsPerSlide,
+			BytesPerSlide:  baselineBytesPerSlide,
+		},
+		Notes: "baseline_serial_presharding was measured before the sharded tier " +
+			"and hot-path allocation work, on the default workload (400 vessels, 2 h, 1 CPU); " +
+			"speedup_vs_baseline is meaningful only on that workload shape. " +
+			"Multi-shard speedup requires gomaxprocs > 1.",
+	}
+
+	// Tracking tier in isolation.
+	var serialNs float64
+	for _, n := range shardCounts {
+		row := benchTracking(batches, len(fixes), n, *reps)
+		if n == 1 {
+			serialNs = row.NsPerSlide
+		}
+		if serialNs > 0 {
+			row.SpeedupVsSerial = serialNs / row.NsPerSlide
+		}
+		if *vessels == baselineVessels && *hours == baselineHours {
+			row.SpeedupVsBaseline = baselineNsPerSlide / row.NsPerSlide
+		}
+		log.Printf("tracking shards=%d: %.0f ns/slide, %.1f allocs/slide, %.2fx vs serial",
+			n, row.NsPerSlide, row.AllocsPerSlide, row.SpeedupVsSerial)
+		art.Tracking = append(art.Tracking, row)
+	}
+
+	// Full pipeline with per-stage percentiles.
+	world := fleetsim.NewSimulator(simCfg) // fresh simulator: AdaptWorld reads its areas
+	world.Run()
+	for _, n := range shardCounts {
+		row := benchPipeline(world, batches, n)
+		log.Printf("pipeline shards=%d: tracking p95 %.0f µs, recognition p95 %.0f µs, %d alerts",
+			n, row.Stages["tracking"].P95Us, row.Stages["recognition"].P95Us, row.Alerts)
+		art.Pipeline = append(art.Pipeline, row)
+	}
+
+	if err := writeArtifact(*out, art); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// parseShards resolves the shard counts to benchmark, deduplicated and
+// ascending. The default covers the serial reference, small counts and
+// the machine's width.
+func parseShards(csv string, quick bool) []int {
+	var counts []int
+	if csv == "" {
+		counts = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+		if quick {
+			counts = []int{1, 2}
+		}
+	} else {
+		for _, s := range strings.Split(csv, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 0 {
+				log.Fatalf("bad -shards entry %q", s)
+			}
+			if n == 0 {
+				n = tracker.DefaultShards()
+			}
+			counts = append(counts, n)
+		}
+	}
+	slices.Sort(counts)
+	return slices.Compact(counts)
+}
+
+// batchAll slices the stream into window slides once; all benchmark
+// runs replay the same batches.
+func batchAll(fixes []ais.Fix, slide time.Duration) []stream.Batch {
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), slide)
+	var batches []stream.Batch
+	for {
+		b, ok := batcher.Next()
+		if !ok {
+			break
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// benchTracking replays the batches through a fresh sharded tier reps
+// times and reports per-slide cost and allocation pressure.
+func benchTracking(batches []stream.Batch, fixes, shards, reps int) TrackRow {
+	window := stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}
+	params := tracker.DefaultParams()
+
+	run := func() {
+		tr := tracker.NewSharded(params, window, shards)
+		for _, b := range batches {
+			tr.Slide(b)
+		}
+		tr.Close()
+	}
+	run() // warmup
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		run()
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	slides := reps * len(batches)
+	return TrackRow{
+		Shards:         shards,
+		NsPerSlide:     float64(dur.Nanoseconds()) / float64(slides),
+		AllocsPerSlide: float64(m1.Mallocs-m0.Mallocs) / float64(slides),
+		BytesPerSlide:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(slides),
+		FixesPerSec:    float64(reps*fixes) / dur.Seconds(),
+	}
+}
+
+// benchPipeline runs the full system once and distills per-stage
+// latency percentiles from the slide reports.
+func benchPipeline(sim *fleetsim.Simulator, batches []stream.Batch, shards int) PipeRow {
+	vessels, areas, ports := core.AdaptWorld(sim)
+	sys := core.NewSystem(core.Config{
+		Window:        stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute},
+		Tracker:       tracker.DefaultParams(),
+		Recognition:   maritime.Config{Window: time.Hour},
+		TrackerShards: shards,
+	}, vessels, areas, ports)
+	defer sys.Close()
+
+	byStage := map[string][]time.Duration{}
+	row := PipeRow{Shards: shards, Slides: len(batches), Stages: map[string]StagePercentiles{}}
+	for _, b := range batches {
+		rep := sys.ProcessBatch(b)
+		row.Alerts += len(rep.Alerts)
+		byStage["tracking"] = append(byStage["tracking"], rep.Timings.Tracking)
+		byStage["staging"] = append(byStage["staging"], rep.Timings.Staging)
+		byStage["reconstruction"] = append(byStage["reconstruction"], rep.Timings.Reconstruction)
+		byStage["loading"] = append(byStage["loading"], rep.Timings.Loading)
+		byStage["recognition"] = append(byStage["recognition"], rep.Timings.Recognition)
+		byStage["total"] = append(byStage["total"], rep.Timings.Total())
+	}
+	for stage, ds := range byStage {
+		row.Stages[stage] = percentiles(ds)
+	}
+	return row
+}
+
+// percentiles distills a latency sample into the artifact's profile.
+func percentiles(ds []time.Duration) StagePercentiles {
+	slices.Sort(ds)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return float64(ds[i].Nanoseconds()) / 1e3
+	}
+	return StagePercentiles{
+		P50Us: at(0.50), P95Us: at(0.95), P99Us: at(0.99), MaxUs: at(1.0),
+	}
+}
+
+// writeArtifact marshals the report.
+func writeArtifact(path string, art *Artifact) error {
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

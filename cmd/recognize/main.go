@@ -49,6 +49,7 @@ func main() {
 		slide    = flag.Duration("slide", 10*time.Minute, "window slide β")
 		facts    = flag.Bool("spatial-facts", false, "use precomputed spatial facts (Fig. 11(b) mode)")
 		procs    = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
+		shards   = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress per-alert output")
 		watchdog = flag.Duration("watchdog", 0, "per-slide recognition budget; wedged partitions are abandoned (0 = off)")
 		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer for live feeds, in fixes (0 = unbuffered)")
@@ -73,6 +74,7 @@ func main() {
 		Tracker:         tracker.DefaultParams(),
 		Recognition:     maritime.Config{Window: *window, Mode: mode},
 		Processors:      *procs,
+		TrackerShards:   *shards,
 		WatchdogTimeout: *watchdog,
 	}, vesselsReg, areasReg, ports)
 

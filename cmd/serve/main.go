@@ -54,6 +54,7 @@ func main() {
 		window  = flag.Duration("window", time.Hour, "window range ω")
 		slide   = flag.Duration("slide", 10*time.Minute, "window slide β")
 		procs   = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
+		shards  = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
 
 		watchdog = flag.Duration("watchdog", 5*time.Second, "per-slide recognition budget (0 = off)")
 		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer, in fixes (0 = unbuffered)")
@@ -79,6 +80,7 @@ func main() {
 		Tracker:         tracker.DefaultParams(),
 		Recognition:     maritime.Config{Window: *window},
 		Processors:      *procs,
+		TrackerShards:   *shards,
 		WatchdogTimeout: *watchdog,
 	}, vesselsReg, areasReg, ports)
 

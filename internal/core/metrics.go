@@ -56,6 +56,7 @@ func (s *System) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("maritime_wedged_partitions",
 		"Recognizer partitions currently out of service after a watchdog trip.", nil,
 		func() float64 { return float64(s.wedgedCount()) })
+	s.tracker.RegisterMetrics(r)
 }
 
 // observe records one slide's outcome. Alerts count per CE so the

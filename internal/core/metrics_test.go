@@ -33,7 +33,11 @@ func TestHealthScrapeConcurrentWithProcessBatch(t *testing.T) {
 	sim := fleetsim.NewSimulator(simConfig(100, 3))
 	fixes := sim.Run()
 	vessels, areas, ports := AdaptWorld(sim)
-	sys := NewSystem(wedgeableConfig(50*time.Millisecond), vessels, areas, ports)
+	// The budget must be generous: under -race on a small machine the
+	// four busy-loop scrapers can starve the healthy partition's
+	// goroutine for tens of milliseconds, and only the hook-blocked
+	// partition may trip the watchdog.
+	sys := NewSystem(wedgeableConfig(500*time.Millisecond), vessels, areas, ports)
 	reg := obs.NewRegistry()
 	sys.RegisterMetrics(reg)
 

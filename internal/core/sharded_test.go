@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/maritime"
+)
+
+// runPipeline replays a seeded fleet through a full pipeline with the
+// given tracker shard count and returns everything downstream consumes:
+// per-slide reports plus the end state of tracker and store.
+func runPipeline(t *testing.T, shards int) (*System, []SlideReport) {
+	t.Helper()
+	cfg := defaultSystemConfig()
+	cfg.TrackerShards = shards
+	sys, _, reports := buildSystem(t, simConfig(120, 4), cfg)
+	return sys, reports
+}
+
+// TestShardedPipelineEquivalence asserts that the whole pipeline —
+// critical points, alerts, reconstructed trips, tracker statistics — is
+// invariant under the tracker shard count: the sharded tier's merged
+// output must be indistinguishable from the serial tracker's as far as
+// every downstream stage can observe.
+func TestShardedPipelineEquivalence(t *testing.T) {
+	serialSys, serialReports := runPipeline(t, 1)
+	defer serialSys.Close()
+	for _, shards := range []int{2, 4} {
+		sys, reports := runPipeline(t, shards)
+		if got := sys.Tracker().Shards(); got != shards {
+			t.Fatalf("tracker has %d shards, want %d", got, shards)
+		}
+		if len(reports) != len(serialReports) {
+			t.Fatalf("slide count %d != %d", len(reports), len(serialReports))
+		}
+		var totalAlerts int
+		for i := range reports {
+			a, b := serialReports[i], reports[i]
+			if a.FixesIn != b.FixesIn || a.CriticalPoints != b.CriticalPoints ||
+				a.TripsCompleted != b.TripsCompleted {
+				t.Fatalf("slide %d: serial {fixes %d, critical %d, trips %d} != %d-shard {%d, %d, %d}",
+					i, a.FixesIn, a.CriticalPoints, a.TripsCompleted,
+					shards, b.FixesIn, b.CriticalPoints, b.TripsCompleted)
+			}
+			if len(a.Alerts) != len(b.Alerts) {
+				t.Fatalf("slide %d: alert count %d != %d", i, len(a.Alerts), len(b.Alerts))
+			}
+			for j := range a.Alerts {
+				if a.Alerts[j] != b.Alerts[j] {
+					t.Fatalf("slide %d: alert %d differs: %v vs %v", i, j, a.Alerts[j], b.Alerts[j])
+				}
+			}
+			totalAlerts += len(b.Alerts)
+		}
+		ss, gs := serialSys.Tracker().Stats(), sys.Tracker().Stats()
+		if ss.FixesIn != gs.FixesIn || ss.Critical != gs.Critical ||
+			ss.Duplicates != gs.Duplicates || ss.Outliers != gs.Outliers {
+			t.Errorf("shards=%d: tracker stats differ: %+v vs %+v", shards, ss, gs)
+		}
+		st4, gt4 := serialSys.Store().Table4Stats(), sys.Store().Table4Stats()
+		if st4 != gt4 {
+			t.Errorf("shards=%d: MOD stats differ: %+v vs %+v", shards, st4, gt4)
+		}
+		if totalAlerts == 0 {
+			t.Error("equivalence vacuous: no alerts recognized in the run")
+		}
+		sys.Close()
+	}
+}
+
+// TestShardedSpatialFactsEquivalence repeats the invariance check in
+// precomputed spatial-facts mode, which additionally exercises the fact
+// generator's parallel fan-out path wired up by NewSystem.
+func TestShardedSpatialFactsEquivalence(t *testing.T) {
+	run := func(shards int) []SlideReport {
+		cfg := defaultSystemConfig()
+		cfg.TrackerShards = shards
+		cfg.Recognition.Mode = maritime.SpatialFacts
+		sys, _, reports := buildSystem(t, simConfig(100, 3), cfg)
+		sys.Close()
+		return reports
+	}
+	serial := run(1)
+	sharded := run(4)
+	if len(serial) != len(sharded) {
+		t.Fatalf("slide count %d != %d", len(serial), len(sharded))
+	}
+	var alerts int
+	for i := range serial {
+		if len(serial[i].Alerts) != len(sharded[i].Alerts) {
+			t.Fatalf("slide %d: alert count %d != %d", i, len(serial[i].Alerts), len(sharded[i].Alerts))
+		}
+		for j := range serial[i].Alerts {
+			if serial[i].Alerts[j] != sharded[i].Alerts[j] {
+				t.Fatalf("slide %d: alert %d differs", i, j)
+			}
+		}
+		alerts += len(serial[i].Alerts)
+	}
+	if alerts == 0 {
+		t.Error("equivalence vacuous: no alerts in spatial-facts mode")
+	}
+}

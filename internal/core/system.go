@@ -9,8 +9,9 @@
 package core
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,12 @@ type Config struct {
 	// may further distribute CE recognition by dividing further the
 	// monitored area"). 0 or 1 runs a single recognizer.
 	Processors int
+	// TrackerShards splits mobility tracking across this many vessel
+	// shards driven concurrently per slide (trajectory detection is
+	// independent per vessel, §5.2). 0 picks one shard per CPU; 1 runs
+	// the exact single-threaded tracker. Output is byte-identical across
+	// shard counts.
+	TrackerShards int
 	// WatchdogTimeout bounds one slide's CE recognition: a recognizer
 	// that exceeds it is flagged as wedged and abandoned — its events are
 	// dropped (counted in Health) and the slide completes with whatever
@@ -81,7 +88,7 @@ type SlideReport struct {
 // System is the assembled pipeline.
 type System struct {
 	cfg        Config
-	tracker    *tracker.Tracker
+	tracker    *tracker.Sharded
 	recognizer *maritime.Recognizer
 	factGen    *maritime.FactGenerator
 	store      *mod.MOD
@@ -89,6 +96,18 @@ type System struct {
 	// Partitioned recognition (Processors > 1): one recognizer per
 	// longitude band, fed the events of vessels inside its band.
 	partitions []*partition
+	// areaOwner maps area ID → owning partition index; built once with
+	// the partitions so the per-slide fact routing needs no map rebuild.
+	areaOwner map[string]int
+
+	// Per-slide scratch for advancePartitions, reused across slides so
+	// the partitioned fan-out does not allocate per slide. (The alerts
+	// slice is NOT scratch: sinks and the gateway retain it.)
+	evByPart   [][]rtec.Event
+	factByPart [][]maritime.SpatialFact
+	launched   []bool
+	completed  []bool
+	snaps      []maritime.Snapshot
 
 	// Registered alert consumers, notified after every slide.
 	sinks []AlertSink
@@ -127,9 +146,13 @@ func NewSystem(cfg Config, vessels []maritime.Vessel, areas []maritime.Area, por
 	if cfg.Recognition.Window <= 0 {
 		cfg.Recognition.Window = cfg.Window.Range
 	}
+	shards := cfg.TrackerShards
+	if shards == 0 {
+		shards = tracker.DefaultShards()
+	}
 	s := &System{
 		cfg:     cfg,
-		tracker: tracker.New(cfg.Tracker, cfg.Window),
+		tracker: tracker.NewSharded(cfg.Tracker, cfg.Window, shards),
 		store:   mod.New(ports),
 	}
 	if !cfg.DisableRecognition {
@@ -144,18 +167,23 @@ func NewSystem(cfg Config, vessels []maritime.Vessel, areas []maritime.Area, por
 		}
 		if cfg.Recognition.Mode == maritime.SpatialFacts {
 			s.factGen = maritime.NewFactGenerator(areas, closeMetersOf(cfg.Recognition))
+			s.factGen.SetParallelism(s.tracker.Shards())
 		}
 	}
 	return s
 }
+
+// Close releases the tracker's shard worker pool. Systems are also
+// reclaimed by a finalizer, so Close is optional but prompt.
+func (s *System) Close() { s.tracker.Close() }
 
 // buildPartitions splits the areas into Processors longitude bands of
 // roughly equal area count and builds one recognizer per band.
 func (s *System) buildPartitions(vessels []maritime.Vessel, areas []maritime.Area) {
 	n := s.cfg.Processors
 	sorted := append([]maritime.Area(nil), areas...)
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Poly.Centroid().Lon < sorted[j].Poly.Centroid().Lon
+	slices.SortFunc(sorted, func(a, b maritime.Area) int {
+		return cmp.Compare(a.Poly.Centroid().Lon, b.Poly.Centroid().Lon)
 	})
 	per := (len(sorted) + n - 1) / n
 	if per < 1 {
@@ -182,6 +210,20 @@ func (s *System) buildPartitions(vessels []maritime.Vessel, areas []maritime.Are
 		})
 		lo = upper
 	}
+	// Area ownership and the per-slide fan-out scratch are fixed for the
+	// system's lifetime; build them once here instead of per slide.
+	s.areaOwner = make(map[string]int)
+	for i, p := range s.partitions {
+		for _, a := range p.areas {
+			s.areaOwner[a.ID] = i
+		}
+	}
+	np := len(s.partitions)
+	s.evByPart = make([][]rtec.Event, np)
+	s.factByPart = make([][]maritime.SpatialFact, np)
+	s.launched = make([]bool, np)
+	s.completed = make([]bool, np)
+	s.snaps = make([]maritime.Snapshot, np)
 }
 
 // closeMetersOf resolves the effective close/3 threshold.
@@ -193,7 +235,7 @@ func closeMetersOf(cfg maritime.Config) float64 {
 }
 
 // Tracker exposes the trajectory detection component.
-func (s *System) Tracker() *tracker.Tracker { return s.tracker }
+func (s *System) Tracker() *tracker.Sharded { return s.tracker }
 
 // Recognizer exposes the CE recognition component (nil when disabled).
 func (s *System) Recognizer() *maritime.Recognizer { return s.recognizer }
@@ -271,6 +313,13 @@ func (s *System) advanceSingle(q time.Time, events []rtec.Event, facts []maritim
 	case snap := <-done:
 		return snap.Alerts
 	case <-timer.C:
+		// The result can race the deadline into the select; prefer a
+		// delivery that beat the deadline over declaring a wedge.
+		select {
+		case snap := <-done:
+			return snap.Alerts
+		default:
+		}
 		// The recognizer overran the slide budget; abandon it (the
 		// goroutine may still be running against its private state, so it
 		// must never be advanced again) and keep the pipeline moving.
@@ -294,51 +343,53 @@ var recognizerAdvanceHook atomic.Pointer[func(i int)]
 // location", paper §5.2).
 func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []maritime.SpatialFact) []maritime.Alert {
 	n := len(s.partitions)
-	evByPart := make([][]rtec.Event, n)
+	// The routing slots are system-owned scratch reused across slides. A
+	// wedged partition's slot is never appended to again (its events are
+	// dropped below), so an abandoned goroutine that still holds last
+	// slide's slice sees a stable array.
+	for i := range s.evByPart {
+		s.evByPart[i] = s.evByPart[i][:0]
+		s.factByPart[i] = s.factByPart[i][:0]
+	}
 	for _, ev := range events {
 		i := s.partitionOf(ev.Lon)
 		if s.partitions[i].wedged.Load() {
 			s.watchdogLostEvents.Add(1)
 			continue
 		}
-		evByPart[i] = append(evByPart[i], ev)
+		s.evByPart[i] = append(s.evByPart[i], ev)
 	}
-	factByPart := make([][]maritime.SpatialFact, n)
-	if len(facts) > 0 {
-		owner := make(map[string]int)
-		for i, p := range s.partitions {
-			for _, a := range p.areas {
-				owner[a.ID] = i
-			}
-		}
-		for _, f := range facts {
-			if i, ok := owner[f.AreaID]; ok && !s.partitions[i].wedged.Load() {
-				factByPart[i] = append(factByPart[i], f)
-			}
+	for _, f := range facts {
+		if i, ok := s.areaOwner[f.AreaID]; ok && !s.partitions[i].wedged.Load() {
+			s.factByPart[i] = append(s.factByPart[i], f)
 		}
 	}
 	// Fan out to the live partitions. Results come back over a buffered
 	// channel rather than shared slots so that a goroutine abandoned by
-	// the watchdog can still complete without racing a later slide.
+	// the watchdog can still complete without racing a later slide; the
+	// channel itself is per-slide for the same reason. Each goroutine
+	// takes its event/fact slices by value at launch so later slides may
+	// reslice the scratch slots freely.
 	type partResult struct {
 		i    int
 		snap maritime.Snapshot
 	}
 	results := make(chan partResult, n)
-	launched := make([]bool, n)
 	active := 0
 	for i, p := range s.partitions {
+		s.launched[i] = false
+		s.completed[i] = false
 		if p.wedged.Load() {
 			continue
 		}
-		launched[i] = true
+		s.launched[i] = true
 		active++
-		go func(i int, p *partition) {
+		go func(i int, p *partition, evs []rtec.Event, fs []maritime.SpatialFact) {
 			if h := recognizerAdvanceHook.Load(); h != nil {
 				(*h)(i)
 			}
-			results <- partResult{i, p.rec.Advance(q, evByPart[i], factByPart[i])}
-		}(i, p)
+			results <- partResult{i, p.rec.Advance(q, evs, fs)}
+		}(i, p, s.evByPart[i], s.factByPart[i])
 	}
 	var timeout <-chan time.Time
 	if s.cfg.WatchdogTimeout > 0 {
@@ -346,42 +397,50 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 		defer timer.Stop()
 		timeout = timer.C
 	}
-	snaps := make([]maritime.Snapshot, n)
-	completed := make([]bool, n)
 	for got := 0; got < active; {
 		select {
 		case r := <-results:
-			snaps[r.i] = r.snap
-			completed[r.i] = true
+			s.snaps[r.i] = r.snap
+			s.completed[r.i] = true
 			got++
 		case <-timeout:
+			// A result can race the deadline into the select: when the
+			// pipeline goroutine is scheduled late, both channels are
+			// ready and select picks either. Drain deliveries that beat
+			// the deadline before declaring anyone a straggler — a
+			// partition that answered in time is not wedged.
+			for draining := true; draining && got < active; {
+				select {
+				case r := <-results:
+					s.snaps[r.i] = r.snap
+					s.completed[r.i] = true
+					got++
+				default:
+					draining = false
+				}
+			}
+			if got == active {
+				break
+			}
 			// The slide budget is spent: flag every straggler as wedged
 			// and move on with the snapshots that did arrive.
 			s.watchdogTrips.Add(1)
 			for i, p := range s.partitions {
-				if launched[i] && !completed[i] {
+				if s.launched[i] && !s.completed[i] {
 					p.wedged.Store(true)
-					s.watchdogLostEvents.Add(int64(len(evByPart[i])))
+					s.watchdogLostEvents.Add(int64(len(s.evByPart[i])))
 				}
 			}
 			got = active
 		}
 	}
 	var alerts []maritime.Alert
-	for i, snap := range snaps {
-		if completed[i] {
-			alerts = append(alerts, snap.Alerts...)
+	for i := range s.snaps {
+		if s.completed[i] {
+			alerts = append(alerts, s.snaps[i].Alerts...)
 		}
 	}
-	sort.Slice(alerts, func(i, j int) bool {
-		if !alerts[i].Time.Equal(alerts[j].Time) {
-			return alerts[i].Time.Before(alerts[j].Time)
-		}
-		if alerts[i].CE != alerts[j].CE {
-			return alerts[i].CE < alerts[j].CE
-		}
-		return alerts[i].AreaID < alerts[j].AreaID
-	})
+	slices.SortStableFunc(alerts, maritime.CompareAlerts)
 	return alerts
 }
 

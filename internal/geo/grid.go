@@ -134,13 +134,21 @@ func (idx *AreaIndex) Candidates(p Point) []int32 {
 // p is at most thresholdMeters, in ascending index order. This is the
 // exact form of the paper's close/3 predicate over the whole area set.
 func (idx *AreaIndex) CloseTo(p Point, thresholdMeters float64) []int32 {
-	var out []int32
+	return idx.CloseToAppend(nil, p, thresholdMeters)
+}
+
+// CloseToAppend is CloseTo writing into buf (grown as needed), so hot
+// loops can reuse one buffer across calls instead of allocating per
+// query. The index itself is read-only after construction, so
+// CloseToAppend is safe to call from concurrent goroutines as long as
+// each passes its own buf.
+func (idx *AreaIndex) CloseToAppend(buf []int32, p Point, thresholdMeters float64) []int32 {
 	for _, i := range idx.Candidates(p) {
 		if idx.polys[i].DistanceMeters(p) <= thresholdMeters {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
 
 // ContainedIn returns the indices of the polygons containing p.

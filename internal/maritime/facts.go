@@ -1,6 +1,8 @@
 package maritime
 
 import (
+	"sync"
+
 	"repro/internal/geo"
 	"repro/internal/rtec"
 )
@@ -9,16 +11,37 @@ import (
 // for each movement event, it emits one fact per area of interest that
 // the vessel is close to at the event's timestamp, so that recognition
 // needs no spatial reasoning.
+//
+// The generator owns reusable scratch (the dedupe set, the output
+// buffer, per-query candidate buffers), so repeated Facts calls on the
+// pipeline hot path do not allocate. It is not safe for concurrent
+// Facts calls.
 type FactGenerator struct {
 	areas       []*Area
 	idx         *geo.AreaIndex
 	closeMeters float64
+
+	// Reused across calls: the per-slide dedupe set, the output slice
+	// handed to the caller (valid until the next call), and the
+	// proximity-candidate buffer.
+	seen map[SpatialFact]bool
+	out  []SpatialFact
+	cand []int32
+
+	// Parallel fan-out (SetParallelism): chunk workers append candidate
+	// facts into per-chunk buffers; the dedupe pass stays serial.
+	par    int
+	chunks [][]SpatialFact
 }
+
+// factParallelMin is the event-slice size below which the parallel
+// fan-out is not worth the goroutine handoff.
+const factParallelMin = 512
 
 // NewFactGenerator builds a generator over the given areas with the
 // given close/3 threshold in meters.
 func NewFactGenerator(areas []Area, closeMeters float64) *FactGenerator {
-	g := &FactGenerator{closeMeters: closeMeters}
+	g := &FactGenerator{closeMeters: closeMeters, seen: make(map[SpatialFact]bool)}
 	polys := make([]*geo.Polygon, len(areas))
 	for i := range areas {
 		a := areas[i]
@@ -29,28 +52,112 @@ func NewFactGenerator(areas []Area, closeMeters float64) *FactGenerator {
 	return g
 }
 
+// SetParallelism fans the proximity probes of large event slices out
+// across n goroutines (1 or less keeps the serial path). The output is
+// identical to the serial path: candidate chunks are concatenated in
+// event order before the order-preserving dedupe.
+func (g *FactGenerator) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.par = n
+}
+
 // Facts returns the spatial facts accompanying the given movement
 // events: one per distinct (vessel, timestamp, close area) triple.
 // Co-timed MEs of the same vessel (e.g. slowStart and slowMotion from
 // one critical point) share one fact, so fact-consuming rules fire
 // exactly as often as the spatially-reasoning ones.
+//
+// The returned slice is generator-owned scratch, valid until the next
+// Facts call; callers that retain it must copy. It is nil when no event
+// is near any area.
 func (g *FactGenerator) Facts(events []rtec.Event) []SpatialFact {
-	var out []SpatialFact
-	seen := make(map[SpatialFact]bool)
-	for _, ev := range events {
-		p := geo.Point{Lon: ev.Lon, Lat: ev.Lat}
-		for _, i := range g.idx.CloseTo(p, g.closeMeters) {
-			f := SpatialFact{
-				Vessel: ev.Entity,
-				AreaID: g.areas[i].ID,
-				Time:   ev.Time,
-			}
-			if seen[f] {
-				continue
-			}
-			seen[f] = true
-			out = append(out, f)
+	if len(events) == 0 || g.idx.Len() == 0 {
+		return nil
+	}
+	g.out = g.out[:0]
+	if len(g.seen) > 0 {
+		clear(g.seen)
+	}
+	if g.par > 1 && len(events) >= factParallelMin {
+		g.factsParallel(events)
+	} else {
+		for _, ev := range events {
+			g.out = g.appendFacts(g.out, ev, &g.cand)
 		}
 	}
-	return out
+	g.dedupe()
+	if len(g.out) == 0 {
+		return nil
+	}
+	return g.out
+}
+
+// appendFacts probes the area index for one event and appends one
+// (possibly duplicate) fact per close area. cand is the reusable
+// candidate buffer of the calling goroutine.
+func (g *FactGenerator) appendFacts(dst []SpatialFact, ev rtec.Event, cand *[]int32) []SpatialFact {
+	p := geo.Point{Lon: ev.Lon, Lat: ev.Lat}
+	*cand = g.idx.CloseToAppend((*cand)[:0], p, g.closeMeters)
+	for _, i := range *cand {
+		dst = append(dst, SpatialFact{
+			Vessel: ev.Entity,
+			AreaID: g.areas[i].ID,
+			Time:   ev.Time,
+		})
+	}
+	return dst
+}
+
+// factsParallel splits the events into contiguous chunks, probes each
+// chunk on its own goroutine, then concatenates the chunk outputs in
+// event order into g.out. Probing dominates (polygon distance tests);
+// the index is read-only, so workers share it freely.
+func (g *FactGenerator) factsParallel(events []rtec.Event) {
+	n := g.par
+	if len(g.chunks) < n {
+		g.chunks = append(g.chunks, make([][]SpatialFact, n-len(g.chunks))...)
+	}
+	per := (len(events) + n - 1) / n
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		lo := c * per
+		if lo >= len(events) {
+			g.chunks[c] = g.chunks[c][:0]
+			continue
+		}
+		hi := lo + per
+		if hi > len(events) {
+			hi = len(events)
+		}
+		wg.Add(1)
+		go func(c int, part []rtec.Event) {
+			defer wg.Done()
+			buf := g.chunks[c][:0]
+			var cand []int32
+			for _, ev := range part {
+				buf = g.appendFacts(buf, ev, &cand)
+			}
+			g.chunks[c] = buf
+		}(c, events[lo:hi])
+	}
+	wg.Wait()
+	for c := 0; c < n; c++ {
+		g.out = append(g.out, g.chunks[c]...)
+	}
+}
+
+// dedupe removes duplicate facts from g.out in place, preserving first
+// occurrence order, using the reusable seen set.
+func (g *FactGenerator) dedupe() {
+	kept := g.out[:0]
+	for _, f := range g.out {
+		if g.seen[f] {
+			continue
+		}
+		g.seen[f] = true
+		kept = append(kept, f)
+	}
+	g.out = kept
 }

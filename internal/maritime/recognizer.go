@@ -1,7 +1,7 @@
 package maritime
 
 import (
-	"sort"
+	"slices"
 	"strconv"
 	"time"
 
@@ -442,15 +442,7 @@ func (r *Recognizer) Advance(q time.Time, events []rtec.Event, facts []SpatialFa
 			add(Alert{CE: key.Fluent, AreaID: key.Entity, Time: time.Unix(iv.Since, 0).UTC()})
 		}
 	}
-	sort.Slice(snap.Alerts, func(i, j int) bool {
-		if !snap.Alerts[i].Time.Equal(snap.Alerts[j].Time) {
-			return snap.Alerts[i].Time.Before(snap.Alerts[j].Time)
-		}
-		if snap.Alerts[i].CE != snap.Alerts[j].CE {
-			return snap.Alerts[i].CE < snap.Alerts[j].CE
-		}
-		return snap.Alerts[i].AreaID < snap.Alerts[j].AreaID
-	})
+	slices.SortStableFunc(snap.Alerts, CompareAlerts)
 	r.alerts = append(r.alerts, snap.Alerts...)
 	return snap
 }

@@ -159,3 +159,27 @@ func (a Alert) String() string {
 	}
 	return fmt.Sprintf("%s at %s (%s)", a.CE, a.AreaID, a.Time.UTC().Format(time.RFC3339))
 }
+
+// CompareAlerts is the canonical alert ordering — time, then CE name,
+// then area — used both inside the recognizer and when merging the
+// alert streams of parallel recognizers. It is a concrete comparator
+// for slices.SortFunc, keeping reflection-based sorting off the
+// per-slide path.
+func CompareAlerts(a, b Alert) int {
+	if c := a.Time.Compare(b.Time); c != 0 {
+		return c
+	}
+	if a.CE != b.CE {
+		if a.CE < b.CE {
+			return -1
+		}
+		return 1
+	}
+	if a.AreaID != b.AreaID {
+		if a.AreaID < b.AreaID {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,9 +1,19 @@
 package rtec
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
+
+// compareEventTime orders events chronologically; it is a concrete
+// comparator for slices.SortStableFunc so the per-query sorts of the
+// recognition hot path avoid reflection.
+func compareEventTime(a, b Event) int { return cmp.Compare(a.Time, b.Time) }
+
+// compareWeightedTime orders weighted points chronologically.
+func compareWeightedTime(a, b WeightedPoint) int { return cmp.Compare(a.Time, b.Time) }
 
 // Event is one instantaneous event occurrence: an input movement event
 // from trajectory detection (turn, speedChange, gap, or the start/end
@@ -215,7 +225,7 @@ func (e *Engine) Advance(q Timepoint, incoming []Event) Result {
 		}
 	}
 	e.memory = live
-	sort.SliceStable(e.memory, func(i, j int) bool { return e.memory[i].Time < e.memory[j].Time })
+	slices.SortStableFunc(e.memory, compareEventTime)
 
 	ctx := &Ctx{
 		engine:      e,
@@ -252,7 +262,7 @@ func (e *Engine) Advance(q Timepoint, incoming []Event) Result {
 		}
 	}
 
-	sort.SliceStable(derived, func(i, j int) bool { return derived[i].Time < derived[j].Time })
+	slices.SortStableFunc(derived, compareEventTime)
 	e.stats.DerivedEvents += len(derived)
 	e.fluents = ctx.fluents
 	e.beliefs = ctx.beliefs
@@ -350,7 +360,7 @@ func (c *Ctx) computeInputFluent(f InputFluent) {
 	merged := make([]Event, 0, len(starts)+len(ends))
 	merged = append(merged, starts...)
 	merged = append(merged, ends...)
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Time < merged[j].Time })
+	slices.SortStableFunc(merged, compareEventTime)
 
 	for _, ev := range merged {
 		s := get(ev.Entity)
@@ -401,7 +411,7 @@ func (c *Ctx) evalEventDef(def EventDef) []Event {
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	slices.SortStableFunc(out, compareEventTime)
 	return out
 }
 
@@ -480,8 +490,8 @@ func (c *Ctx) evalSimpleFluent(def SimpleFluentDef) {
 					breaks = append(breaks, oInits...)
 				}
 			}
-			sort.Slice(breaks, func(i, j int) bool { return breaks[i].Time < breaks[j].Time })
-			sort.Slice(inits, func(i, j int) bool { return inits[i].Time < inits[j].Time })
+			slices.SortFunc(breaks, compareWeightedTime)
+			slices.SortFunc(inits, compareWeightedTime)
 
 			var ivs []Interval
 			for _, ts := range inits {

@@ -9,8 +9,10 @@
 package rtec
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -64,11 +66,11 @@ func Normalize(ivs []Interval) IntervalList {
 	if len(sorted) == 0 {
 		return nil
 	}
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Since != sorted[j].Since {
-			return sorted[i].Since < sorted[j].Since
+	slices.SortFunc(sorted, func(a, b Interval) int {
+		if c := cmp.Compare(a.Since, b.Since); c != 0 {
+			return c
 		}
-		return sorted[i].Until < sorted[j].Until
+		return cmp.Compare(a.Until, b.Until)
 	})
 	out := IntervalList{sorted[0]}
 	for _, iv := range sorted[1:] {

@@ -1,6 +1,9 @@
 package rtec
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Probabilistic fluents — the uncertainty treatment the paper plans
 // (§7: "we are porting RTEC into probabilistic logic programming
@@ -66,7 +69,7 @@ func EvolveProbability(inits, terms []WeightedPoint, prior float64) []ProbStep {
 	for _, o := range merged {
 		occs = append(occs, o)
 	}
-	sort.Slice(occs, func(i, j int) bool { return occs[i].t < occs[j].t })
+	slices.SortFunc(occs, func(a, b *occ) int { return cmp.Compare(a.t, b.t) })
 
 	p := clamp01(prior)
 	var steps []ProbStep

@@ -1,7 +1,7 @@
 package tracker
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/geo"
@@ -71,6 +71,14 @@ func (tr *Tracker) Infos() []VesselInfo {
 	for mmsi, st := range tr.vessels {
 		out = append(out, tr.infoOf(mmsi, st))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MMSI < out[j].MMSI })
+	slices.SortFunc(out, func(a, b VesselInfo) int {
+		switch {
+		case a.MMSI < b.MMSI:
+			return -1
+		case a.MMSI > b.MMSI:
+			return 1
+		}
+		return 0
+	})
 	return out
 }

@@ -2,6 +2,7 @@ package tracker
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -17,7 +18,7 @@ type Synopsis []CriticalPoint
 
 // SortByTime orders the synopsis chronologically in place.
 func (s Synopsis) SortByTime() {
-	sort.SliceStable(s, func(i, j int) bool { return s[i].Time.Before(s[j].Time) })
+	slices.SortStableFunc(s, func(a, b CriticalPoint) int { return a.Time.Compare(b.Time) })
 }
 
 // At returns the approximate (time-aligned) position at time t: the

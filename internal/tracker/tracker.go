@@ -3,7 +3,7 @@ package tracker
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/ais"
@@ -23,8 +23,28 @@ type Tracker struct {
 	vessels map[uint32]*vesselState
 	stats   Stats
 
-	fresh []CriticalPoint // emissions of the current slide
+	// Slide-scoped scratch, reused across slides so the hot path does
+	// not re-allocate per slide. fresh holds the emissions of the
+	// current slide; delta and gapScan back eviction and the slide-time
+	// gap sweep.
+	fresh   []CriticalPoint
+	delta   []CriticalPoint
+	gapScan []uint32
+
+	// Emission indexing, enabled only when the tracker runs as one
+	// shard of a Sharded tier: freshIdx records, parallel to fresh, the
+	// batch index of the fix that triggered each emission, so the
+	// sharded merge can restore global batch order exactly. curIdx is
+	// the index of the fix being ingested (gapSentinel outside ingest).
+	indexing bool
+	curIdx   int32
+	freshIdx []int32
 }
+
+// gapSentinel tags emissions not attributable to a fix: the slide-time
+// gap sweep runs after every fix of the batch, so its emissions sort
+// after all ingest-time ones.
+const gapSentinel = int32(1<<31 - 1)
 
 // vesselState is the per-vessel in-memory motion state.
 type vesselState struct {
@@ -106,17 +126,51 @@ type SlideResult struct {
 // Slide processes one batch: it updates the window with fresh
 // positions, detects trajectory events, performs slide-time gap
 // detection, and evicts expired critical points and stale vessels.
+// The returned slices are copies the caller may retain freely; the
+// sharded tier uses the scratch-backed internal phases instead.
 func (tr *Tracker) Slide(b stream.Batch) SlideResult {
-	tr.fresh = tr.fresh[:0]
-	for _, f := range b.Fixes {
+	tr.beginSlide()
+	for i, f := range b.Fixes {
+		tr.curIdx = int32(i)
 		tr.ingest(f)
 	}
-	tr.detectGaps(b.Query)
-	delta := tr.evict(b.Query)
+	_, delta := tr.finishSlide(b.Query)
 
-	out := SlideResult{Query: b.Query, Delta: delta}
-	out.Fresh = append(out.Fresh, tr.fresh...)
+	out := SlideResult{Query: b.Query}
+	if len(tr.fresh) > 0 {
+		out.Fresh = append([]CriticalPoint(nil), tr.fresh...)
+	}
+	if len(delta) > 0 {
+		out.Delta = append([]CriticalPoint(nil), delta...)
+	}
 	return out
+}
+
+// beginSlide resets the slide-scoped scratch.
+func (tr *Tracker) beginSlide() {
+	tr.fresh = tr.fresh[:0]
+	tr.freshIdx = tr.freshIdx[:0]
+	tr.curIdx = gapSentinel
+}
+
+// ingestIndexed processes one fix tagged with its global batch index,
+// the sharded tier's ingest entry point.
+func (tr *Tracker) ingestIndexed(f ais.Fix, idx int32) {
+	tr.curIdx = idx
+	tr.ingest(f)
+}
+
+// finishSlide runs the per-slide phases that follow ingestion: the
+// slide-time gap sweep and window eviction. It returns the offset into
+// fresh where the gap-sweep emissions start (they are ordered by MMSI,
+// while fresh[:gapStart] is ordered by triggering fix) and the expired
+// delta points. Both fresh and delta are tracker-owned scratch, valid
+// until the next slide.
+func (tr *Tracker) finishSlide(q time.Time) (gapStart int, delta []CriticalPoint) {
+	tr.curIdx = gapSentinel
+	gapStart = len(tr.fresh)
+	tr.detectGaps(q)
+	return gapStart, tr.evict(q)
 }
 
 // emit records a critical point.
@@ -124,6 +178,9 @@ func (tr *Tracker) emit(st *vesselState, cp CriticalPoint) {
 	tr.stats.Critical++
 	tr.stats.ByType[cp.Type]++
 	tr.fresh = append(tr.fresh, cp)
+	if tr.indexing {
+		tr.freshIdx = append(tr.freshIdx, tr.curIdx)
+	}
 	st.synopsis.Append(cp.Time, cp)
 }
 
@@ -292,7 +349,7 @@ func (tr *Tracker) updateStopRun(st *vesselState, f ais.Fix, vNow geo.Velocity, 
 				// The vessel drifted out of the stop circle: close the
 				// episode and start a fresh run at the current position.
 				tr.endStop(st, f.Time)
-				st.stopRun = []ais.Fix{f}
+				st.stopRun = append(st.stopRun[:0], f)
 				return
 			}
 			st.stopRun = st.stopRun[1:]
@@ -379,40 +436,65 @@ func (tr *Tracker) closeRuns(st *vesselState, last ais.Fix) {
 
 // detectGaps performs slide-time gap detection: a vessel silent for at
 // least ΔT as of query time Q gets a gap-start critical point stamped at
-// its last report (paper Figure 3(a)).
+// its last report (paper Figure 3(a)). Vessels are swept in ascending
+// MMSI order so the emission order is deterministic — the sharded tier
+// merges per-shard gap emissions back into exactly this order.
 func (tr *Tracker) detectGaps(q time.Time) {
+	tr.gapScan = tr.gapScan[:0]
 	for mmsi, st := range tr.vessels {
 		if !st.haveLast || st.gapOpen {
 			continue
 		}
 		if q.Sub(st.last.Time) >= tr.params.GapPeriod {
-			tr.closeRuns(st, st.last)
-			tr.emit(st, CriticalPoint{
-				MMSI: mmsi, Pos: st.last.Pos, Time: st.last.Time, Type: EventGapStart,
-			})
-			st.gapOpen = true
+			tr.gapScan = append(tr.gapScan, mmsi)
 		}
 	}
+	slices.Sort(tr.gapScan)
+	for _, mmsi := range tr.gapScan {
+		st := tr.vessels[mmsi]
+		tr.closeRuns(st, st.last)
+		tr.emit(st, CriticalPoint{
+			MMSI: mmsi, Pos: st.last.Pos, Time: st.last.Time, Type: EventGapStart,
+		})
+		st.gapOpen = true
+	}
+}
+
+// compareDelta orders the delta stream by time, then MMSI; equal keys
+// can only come from one vessel's synopsis, whose order a stable sort
+// preserves, so the sorted stream is fully deterministic.
+func compareDelta(a, b CriticalPoint) int {
+	if c := a.Time.Compare(b.Time); c != 0 {
+		return c
+	}
+	switch {
+	case a.MMSI < b.MMSI:
+		return -1
+	case a.MMSI > b.MMSI:
+		return 1
+	}
+	return 0
 }
 
 // evict expires critical points older than the window range and removes
 // vessels silent beyond it, returning the expired "delta" points in
-// per-vessel time order.
+// per-vessel time order. The returned slice is tracker-owned scratch,
+// valid until the next slide.
 func (tr *Tracker) evict(q time.Time) []CriticalPoint {
 	cutoff := q.Add(-tr.window.Range)
-	var delta []CriticalPoint
+	tr.delta = tr.delta[:0]
 	for mmsi, st := range tr.vessels {
 		st.synopsis.Each(func(ts time.Time, cp CriticalPoint) bool {
 			if ts.After(cutoff) {
 				return false
 			}
-			delta = append(delta, cp)
+			tr.delta = append(tr.delta, cp)
 			return true
 		})
 		st.synopsis.EvictBefore(cutoff)
 		if !st.lastSeen.After(cutoff) {
 			st.synopsis.Each(func(_ time.Time, cp CriticalPoint) bool {
-				delta = append(delta, cp)
+				tr.delta = append(tr.delta, cp)
 				return true
 			})
 			delete(tr.vessels, mmsi)
@@ -420,13 +502,8 @@ func (tr *Tracker) evict(q time.Time) []CriticalPoint {
 	}
 	// Map iteration order is random; keep the delta stream deterministic
 	// for reproducible staging and archival.
-	sort.Slice(delta, func(i, j int) bool {
-		if !delta[i].Time.Equal(delta[j].Time) {
-			return delta[i].Time.Before(delta[j].Time)
-		}
-		return delta[i].MMSI < delta[j].MMSI
-	})
-	return delta
+	slices.SortStableFunc(tr.delta, compareDelta)
+	return tr.delta
 }
 
 // Odometer returns a vessel's traveled distance in meters: the total
@@ -490,13 +567,17 @@ func stopConfidence(run []ais.Fix, radius float64) float64 {
 	return conf
 }
 
-// runCentroid returns the centroid of the run's positions.
+// runCentroid returns the centroid of the run's positions. It is
+// computed inline (same arithmetic as geo.Centroid) because it runs for
+// every low-speed fix on the hot path and must not allocate.
 func runCentroid(run []ais.Fix) geo.Point {
-	pts := make([]geo.Point, len(run))
-	for i, f := range run {
-		pts[i] = f.Pos
+	var sLon, sLat float64
+	for _, f := range run {
+		sLon += f.Pos.Lon
+		sLat += f.Pos.Lat
 	}
-	return geo.Centroid(pts)
+	n := float64(len(run))
+	return geo.Point{Lon: sLon / n, Lat: sLat / n}
 }
 
 // runMedian returns the positionally central fix of the run: the
