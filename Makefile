@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race bench bench-serve bench-pipe experiments examples
+.PHONY: all build fmt-check vet test test-short test-race test-recovery bench bench-serve bench-pipe experiments examples
 
 all: fmt-check build vet test
 
@@ -23,6 +23,12 @@ test-short:
 # What CI runs: the whole suite under the race detector.
 test-race:
 	go test -race ./...
+
+# Crash-injection equivalence suite: kill-and-restore at arbitrary
+# slides and mid-checkpoint-write, byte-identical output and
+# exactly-once delivery through the gateway, under the race detector.
+test-recovery:
+	go test -race -v -run 'TestKillRestore|TestGatewayExactlyOnce|TestReplayGap' ./internal/checkpoint/
 
 # One testing.B benchmark per table/figure of the paper's evaluation.
 bench: bench-serve bench-pipe

@@ -8,23 +8,35 @@
 // dataset produced by aisgen the -seed/-vessels/-areas flags must match
 // the ones used there.
 //
+// With -checkpoint-dir the run is crash-safe: the pipeline state is
+// checkpointed atomically every -checkpoint-every slides (and once more
+// on SIGINT/SIGTERM), and a restart with the same flags restores the
+// newest valid checkpoint and replays the stream from its cursor —
+// every fix processed exactly once across the crash.
+//
 // Usage:
 //
 //	recognize -vessels 300 -hours 6                 # self-contained run
 //	aisgen -vessels 300 -hours 6 > f.csv
 //	recognize -in f.csv -vessels 300                # same world, same results
+//	recognize -in f.csv -checkpoint-dir ckpt        # kill -9 and rerun: resumes
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/ais"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/feed"
 	"repro/internal/fleetsim"
@@ -39,21 +51,23 @@ func main() {
 	log.SetPrefix("recognize: ")
 
 	var (
-		in       = flag.String("in", "", "input dataset (CSV/NMEA); empty = simulate internally")
-		live     = flag.String("feed", "", "consume a live feed at this address (see cmd/feed) instead of a file")
-		vessels  = flag.Int("vessels", 300, "fleet size (must match aisgen when -in is used)")
-		hours    = flag.Float64("hours", 6, "simulated duration (internal runs only)")
-		seed     = flag.Int64("seed", 1, "world/fleet seed")
-		areas    = flag.Int("areas", 35, "areas of interest")
-		window   = flag.Duration("window", time.Hour, "window range ω")
-		slide    = flag.Duration("slide", 10*time.Minute, "window slide β")
-		facts    = flag.Bool("spatial-facts", false, "use precomputed spatial facts (Fig. 11(b) mode)")
-		procs    = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
-		shards   = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
-		quiet    = flag.Bool("quiet", false, "suppress per-alert output")
-		watchdog = flag.Duration("watchdog", 0, "per-slide recognition budget; wedged partitions are abandoned (0 = off)")
-		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer for live feeds, in fixes (0 = unbuffered)")
-		debug    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while the run lasts (empty = off)")
+		in        = flag.String("in", "", "input dataset (CSV/NMEA); empty = simulate internally")
+		live      = flag.String("feed", "", "consume a live feed at this address (see cmd/feed) instead of a file")
+		vessels   = flag.Int("vessels", 300, "fleet size (must match aisgen when -in is used)")
+		hours     = flag.Float64("hours", 6, "simulated duration (internal runs only)")
+		seed      = flag.Int64("seed", 1, "world/fleet seed")
+		areas     = flag.Int("areas", 35, "areas of interest")
+		window    = flag.Duration("window", time.Hour, "window range ω")
+		slide     = flag.Duration("slide", 10*time.Minute, "window slide β")
+		facts     = flag.Bool("spatial-facts", false, "use precomputed spatial facts (Fig. 11(b) mode)")
+		procs     = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
+		shards    = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
+		quiet     = flag.Bool("quiet", false, "suppress per-alert output")
+		watchdog  = flag.Duration("watchdog", 0, "per-slide recognition budget; wedged partitions are abandoned (0 = off)")
+		ingest    = flag.Int("ingest-buffer", 8192, "bounded ingest buffer for live feeds, in fixes (0 = unbuffered)")
+		debug     = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while the run lasts (empty = off)")
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe restart (empty = off)")
+		ckptEvery = flag.Int("checkpoint-every", 6, "slides between checkpoints")
 	)
 	flag.Parse()
 
@@ -94,33 +108,77 @@ func main() {
 		}()
 	}
 
+	// Crash safety: restore the newest valid checkpoint before touching
+	// the stream, then replay from its cursor below. Invalid files are
+	// skipped (reported, never fatal); none at all is a cold start.
+	var mgr *checkpoint.Manager
+	var restored *checkpoint.State
+	if *ckptDir != "" {
+		var err error
+		mgr, err = checkpoint.NewManager(checkpoint.Options{Dir: *ckptDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reg != nil {
+			mgr.RegisterMetrics(reg)
+		}
+		restored, err = mgr.RestoreNewest()
+		if err != nil {
+			log.Printf("checkpoint: skipped invalid files: %v", err)
+		}
+		if restored != nil {
+			if err := sys.RestoreSnapshot(restored.System); err != nil {
+				log.Fatalf("checkpoint: restore: %v", err)
+			}
+			log.Printf("restored checkpoint: %d slides, query %s", restored.Slides, restored.Query.Format(time.RFC3339))
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	var src stream.FixSource
+	var client *feed.ReconnectingClient
+	var resume *feed.ResumeFilter
 	switch {
 	case *live != "":
 		// The reconnecting client survives transport faults: it re-dials
 		// with backoff and resumes from the last fix it saw, and the
 		// bounded ingest buffer keeps a slow slide from exerting
-		// backpressure onto the wire.
-		c, err := feed.DialReconnecting(*live, feed.DefaultRetryPolicy())
+		// backpressure onto the wire. A restored run seeds the very first
+		// connection with the checkpoint cursor, so the RESUME handshake
+		// skips everything already processed.
+		var err error
+		if restored != nil {
+			client, err = feed.DialReconnectingFrom(*live, feed.DefaultRetryPolicy(), restored.Cursor)
+		} else {
+			client, err = feed.DialReconnecting(*live, feed.DefaultRetryPolicy())
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer c.Close()
+		defer client.Close()
 		log.Printf("consuming live feed at %s", *live)
 		if reg != nil {
-			c.RegisterMetrics(reg)
+			client.RegisterMetrics(reg)
 		}
-		src = c
+		src = client
 		var buf *stream.IngestBuffer
 		if *ingest > 0 {
-			buf = stream.NewIngestBuffer(c, *ingest)
+			buf = stream.NewIngestBuffer(client, *ingest)
 			defer buf.Close()
 			if reg != nil {
 				buf.RegisterMetrics(reg)
 			}
 			src = buf
 		}
-		sys.AddHealthSource(core.LiveHealthSource(c, buf))
+		sys.AddHealthSource(core.LiveHealthSource(client, buf))
+		// Graceful shutdown: closing the client ends Scan, the loop
+		// finishes its in-flight batch, and the final checkpoint runs.
+		go func() {
+			<-ctx.Done()
+			client.Close()
+		}()
 	case *in == "":
 		src = stream.NewSliceSource(sim.Run())
 	default:
@@ -131,6 +189,12 @@ func main() {
 		defer f.Close()
 		src = ais.NewScanner(bufio.NewReaderSize(f, 1<<20))
 	}
+	if restored != nil && client == nil {
+		// Offline replay: the file or simulation starts at the beginning;
+		// the resume filter discards the prefix the cursor covers.
+		resume = feed.NewResumeFilter(src, restored.Cursor)
+		src = resume
+	}
 
 	// Alert formatting goes through the shared sink instead of a
 	// driver-local printing loop.
@@ -138,21 +202,96 @@ func main() {
 		sys.AddAlertSink(core.NewWriterSink(os.Stdout, ""))
 	}
 
-	batcher := stream.NewBatcher(src, *slide)
+	// A checkpoint older than the feed's replayable horizon resumes with
+	// a partial replay; the gap is surfaced through Health, not silently
+	// closed. Atomic because /healthz and /metrics scrape concurrently.
+	var replayGap atomic.Int64
+	if restored != nil {
+		sys.AddHealthSource(func() core.Health {
+			return core.Health{ReplayGapSlides: int(replayGap.Load())}
+		})
+	}
+
+	var batcher *stream.Batcher
+	var cur feed.Cursor
+	baseSlides := 0
+	if restored != nil {
+		// Continue on the original slide grid: slides between the
+		// checkpoint and the first replayed fix still run (empty), so gap
+		// detection behaves as in the uninterrupted run.
+		batcher = stream.NewBatcherFrom(src, *slide, restored.Query)
+		cur = restored.Cursor.Clone()
+		baseSlides = restored.Slides
+	} else {
+		batcher = stream.NewBatcher(src, *slide)
+	}
+
+	saveCkpt := func(q time.Time, slides int) {
+		snap, err := sys.Snapshot()
+		if err != nil {
+			log.Printf("checkpoint: %v", err)
+			return
+		}
+		st := &checkpoint.State{Query: q, System: snap, Cursor: cur.Clone(), Slides: slides}
+		if err := mgr.Save(st); err != nil {
+			log.Printf("checkpoint: %v", err)
+		}
+	}
+
 	var totalAlerts, slides int
 	var recogTime time.Duration
+	var lastQuery, firstTraffic time.Time
 	for {
 		b, ok := batcher.Next()
-		if !ok {
+		if !ok || ctx.Err() != nil {
+			// On interrupt the batch in flight may have been truncated by
+			// the closing source; discard it so the final checkpoint sits
+			// on a complete-slide boundary and the cursor replays it whole.
 			break
 		}
 		rep := sys.ProcessBatch(b)
+		for _, f := range b.Fixes {
+			cur.Note(f)
+		}
 		slides++
 		recogTime += rep.Timings.Recognition
 		totalAlerts += len(rep.Alerts)
+		lastQuery = rep.Query
+		if restored != nil && firstTraffic.IsZero() && len(b.Fixes) > 0 {
+			firstTraffic = b.Query
+			replayGap.Store(int64(checkpoint.ReplayGapSlides(restored.Query, firstTraffic, *slide)))
+		}
+		if mgr != nil && *ckptEvery > 0 && slides%*ckptEvery == 0 {
+			saveCkpt(rep.Query, baseSlides+slides)
+		}
 	}
+	interrupted := ctx.Err() != nil
 	if err := src.Err(); err != nil {
 		log.Fatal(err)
+	}
+	if mgr != nil {
+		// Final checkpoint before Drain: Drain finalizes trips a resumed
+		// run would otherwise re-derive differently, so the durable state
+		// must predate it.
+		if !lastQuery.IsZero() {
+			saveCkpt(lastQuery, baseSlides+slides)
+		}
+		skipped := 0
+		if resume != nil {
+			skipped = resume.Skipped()
+		} else if client != nil {
+			skipped = client.NetStats().ResumeSkipped
+		}
+		mgr.NoteReplaySkipped(skipped)
+		if restored != nil {
+			log.Printf("resumed: replay discarded %d already-processed fixes", skipped)
+		}
+	}
+	if interrupted {
+		// Interrupted runs intend to resume: leave the pipeline state as
+		// checkpointed, do not finalize trips.
+		log.Printf("interrupted after %d slides; state checkpointed, rerun to resume", baseSlides+slides)
+		return
 	}
 	sys.Drain(time.Now())
 
@@ -164,7 +303,7 @@ func main() {
 	t4 := sys.Store().Table4Stats()
 	log.Printf("archived %d trips (%d points; %d still staged)",
 		t4.Trips, t4.PointsInTrajectories, t4.PointsInStaging)
-	if *live != "" || *watchdog > 0 {
+	if *live != "" || *watchdog > 0 || restored != nil {
 		log.Printf("health: %s", sys.Health())
 	}
 }

@@ -14,6 +14,13 @@
 //	curl 'http://localhost:8080/healthz'
 //	curl 'http://localhost:8080/metrics'
 //
+// With -checkpoint-dir the gateway is crash-safe: pipeline and hub
+// state are checkpointed atomically every -checkpoint-every slides and
+// once more on SIGINT/SIGTERM; a restart restores the newest valid
+// checkpoint, resumes the feed from its cursor, and continues the
+// envelope sequence exactly where it stopped, so SSE clients
+// reconnecting with Last-Event-ID see every alert exactly once.
+//
 // With -debug-addr a sidecar listener additionally serves /metrics and
 // net/http/pprof on an address that can stay private to operators.
 package main
@@ -27,8 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/feed"
 	"repro/internal/fleetsim"
@@ -56,12 +66,14 @@ func main() {
 		procs   = flag.Int("procs", 1, "partition CE recognition across this many parallel recognizers")
 		shards  = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
 
-		watchdog = flag.Duration("watchdog", 5*time.Second, "per-slide recognition budget (0 = off)")
-		ingest   = flag.Int("ingest-buffer", 8192, "bounded ingest buffer, in fixes (0 = unbuffered)")
-		ring     = flag.Int("ring", 1024, "alert-history retention for replay and /alerts, in alerts")
-		subQueue = flag.Int("sub-queue", 256, "per-subscriber queue bound, in alerts (drop-oldest)")
-		debug    = flag.String("debug-addr", "", "sidecar listener for /metrics and /debug/pprof (empty = off; /metrics is always on the main address)")
-		verbose  = flag.Bool("v", false, "log subscriber connects/disconnects")
+		watchdog  = flag.Duration("watchdog", 5*time.Second, "per-slide recognition budget (0 = off)")
+		ingest    = flag.Int("ingest-buffer", 8192, "bounded ingest buffer, in fixes (0 = unbuffered)")
+		ring      = flag.Int("ring", 1024, "alert-history retention for replay and /alerts, in alerts")
+		subQueue  = flag.Int("sub-queue", 256, "per-subscriber queue bound, in alerts (drop-oldest)")
+		debug     = flag.String("debug-addr", "", "sidecar listener for /metrics and /debug/pprof (empty = off; /metrics is always on the main address)")
+		verbose   = flag.Bool("v", false, "log subscriber connects/disconnects")
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe restart (empty = off)")
+		ckptEvery = flag.Int("checkpoint-every", 6, "slides between checkpoints")
 	)
 	flag.Parse()
 
@@ -85,19 +97,55 @@ func main() {
 	}, vesselsReg, areasReg, ports)
 
 	// One registry covers every tier: pipeline stage timings, hub
-	// fan-out, feed transport, ingest buffer and the Go runtime all
-	// land in the same /metrics exposition.
+	// fan-out, feed transport, ingest buffer, checkpointing and the Go
+	// runtime all land in the same /metrics exposition.
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	sys.RegisterMetrics(reg)
+
+	// Crash safety: restore pipeline and hub state before the gateway
+	// starts serving or the pipeline touches the stream.
+	var mgr *checkpoint.Manager
+	var restored *checkpoint.State
+	if *ckptDir != "" {
+		var err error
+		mgr, err = checkpoint.NewManager(checkpoint.Options{Dir: *ckptDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgr.RegisterMetrics(reg)
+		restored, err = mgr.RestoreNewest()
+		if err != nil {
+			log.Printf("checkpoint: skipped invalid files: %v", err)
+		}
+		if restored != nil {
+			if err := sys.RestoreSnapshot(restored.System); err != nil {
+				log.Fatalf("checkpoint: restore: %v", err)
+			}
+			log.Printf("restored checkpoint: %d slides, query %s", restored.Slides, restored.Query.Format(time.RFC3339))
+		}
+	}
 
 	opts := serve.Options{RingSize: *ring, SubscriberQueue: *subQueue, Metrics: reg}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
 	gw := serve.New(sys, opts)
+	if restored != nil && restored.Hub != nil {
+		// The restored hub continues the envelope sequence, so the slides
+		// replayed below re-publish their alerts under the same sequence
+		// numbers and reconnecting SSE clients deduplicate them.
+		gw.Hub().Restore(*restored.Hub)
+	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	var replayGap atomic.Int64
+	if restored != nil {
+		sys.AddHealthSource(func() core.Health {
+			return core.Health{ReplayGapSlides: int(replayGap.Load())}
+		})
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	feedAddr := *live
@@ -105,7 +153,7 @@ func main() {
 		// Self-contained mode: an in-process feed server replays the
 		// simulation over loopback, so the ingest path (reconnecting
 		// client, bounded buffer, health accounting) is the same either
-		// way.
+		// way — including the RESUME handshake a restored run performs.
 		srv := &feed.Server{Fixes: sim.Run(), Speedup: *speedup, HandshakeWait: 2 * time.Second}
 		addrCh := make(chan net.Addr, 1)
 		go func() {
@@ -117,7 +165,13 @@ func main() {
 		log.Printf("internal feed on %s (%gx)", feedAddr, *speedup)
 	}
 
-	client, err := feed.DialReconnecting(feedAddr, feed.DefaultRetryPolicy())
+	var client *feed.ReconnectingClient
+	var err error
+	if restored != nil {
+		client, err = feed.DialReconnectingFrom(feedAddr, feed.DefaultRetryPolicy(), restored.Cursor)
+	} else {
+		client, err = feed.DialReconnecting(feedAddr, feed.DefaultRetryPolicy())
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,26 +206,90 @@ func main() {
 		}
 	}()
 
+	// Graceful shutdown: closing the client ends Scan, the pipeline loop
+	// finishes its in-flight slide, checkpoints, and exits.
+	go func() {
+		<-ctx.Done()
+		client.Close()
+	}()
+
 	// The pipeline loop: one goroutine drives recognition; alerts reach
 	// subscribers through the hub without ever blocking this loop.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		batcher := stream.NewBatcher(src, *slide)
+		var batcher *stream.Batcher
+		var cur feed.Cursor
+		baseSlides := 0
+		if restored != nil {
+			batcher = stream.NewBatcherFrom(src, *slide, restored.Query)
+			cur = restored.Cursor.Clone()
+			baseSlides = restored.Slides
+		} else {
+			batcher = stream.NewBatcher(src, *slide)
+		}
+		// Checkpoints capture pipeline and hub together under Quiesce, so
+		// no slide is in flight and the two are mutually consistent.
+		saveCkpt := func(q time.Time, slides int) {
+			var st *checkpoint.State
+			gw.Quiesce(func() {
+				snap, err := sys.Snapshot()
+				if err != nil {
+					log.Printf("checkpoint: %v", err)
+					return
+				}
+				hub := gw.Hub().Snapshot()
+				st = &checkpoint.State{Query: q, System: snap, Cursor: cur.Clone(), Hub: &hub, Slides: slides}
+			})
+			if st == nil {
+				return
+			}
+			if err := mgr.Save(st); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
+		}
 		var slides, alerts int
-		var last time.Time
+		var last, firstTraffic time.Time
 		for {
 			b, ok := batcher.Next()
-			if !ok {
+			if !ok || ctx.Err() != nil {
+				// On interrupt the batch in flight may have been truncated
+				// by the closing client; discard it so the final checkpoint
+				// sits on a complete-slide boundary and the cursor replays
+				// it whole.
 				break
 			}
 			rep := gw.Process(b)
+			for _, f := range b.Fixes {
+				cur.Note(f)
+			}
 			slides++
 			alerts += len(rep.Alerts)
 			last = rep.Query
+			if restored != nil && firstTraffic.IsZero() && len(b.Fixes) > 0 {
+				firstTraffic = b.Query
+				replayGap.Store(int64(checkpoint.ReplayGapSlides(restored.Query, firstTraffic, *slide)))
+			}
+			if mgr != nil && *ckptEvery > 0 && slides%*ckptEvery == 0 {
+				saveCkpt(rep.Query, baseSlides+slides)
+			}
 		}
 		if err := src.Err(); err != nil {
 			log.Printf("feed: %v", err)
+		}
+		if mgr != nil {
+			// The final checkpoint precedes Drain: drained trips are
+			// final, a resumed run must not re-finalize them.
+			if !last.IsZero() {
+				saveCkpt(last, baseSlides+slides)
+			}
+			mgr.NoteReplaySkipped(client.NetStats().ResumeSkipped)
+		}
+		if ctx.Err() != nil {
+			// Interrupted: state is checkpointed for resumption; skip
+			// Drain so trips stay replayable.
+			log.Printf("interrupted after %d slides; state checkpointed, restart to resume", baseSlides+slides)
+			return
 		}
 		if !last.IsZero() {
 			gw.Drain(last)
@@ -185,13 +303,18 @@ func main() {
 	// Serve until interrupted; the gateway keeps answering snapshot and
 	// history queries after the stream ends.
 	<-ctx.Done()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		log.Printf("pipeline did not stop in time; shutting down anyway")
+	}
+	// Close the hub first so SSE pump loops end their responses cleanly
+	// (EOF, not a reset) and Shutdown is not held up by streaming
+	// subscribers.
+	gw.Hub().Close()
 	shutdownCtx, stop := context.WithTimeout(context.Background(), 2*time.Second)
 	defer stop()
 	_ = httpSrv.Shutdown(shutdownCtx)
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-	}
 	st := gw.Hub().Totals()
 	log.Printf("fan-out: %d published, %d delivered, %d dropped across %d live subscribers",
 		st.Published, st.Delivered, st.Dropped, st.Subscribers)

@@ -1,0 +1,348 @@
+// Package checkpoint persists the full pipeline state — tracker
+// vessels, recognizer working memories, the moving-object store, the
+// alert hub's sequence/history, and the feed resume cursor — so a
+// surveillance process killed at any instant restarts with no
+// observable difference in its output stream.
+//
+// Each checkpoint is one file: a durable frame (magic, version, CRC)
+// around a gob-encoded State, written atomically (temp file, fsync,
+// rename, directory fsync) so a crash mid-write leaves the previous
+// checkpoint untouched. The manager keeps the last K checkpoints;
+// restore walks them newest-first and falls back past any truncated,
+// corrupt, or future-version file — every rejection is a typed
+// durable error, never a panic or a half-restored pipeline.
+//
+// The restore → replay contract: State.Cursor covers exactly the fixes
+// the pipeline had processed when the checkpoint was taken. On restart
+// the driver restores the newest valid State into an identically
+// configured system, then re-attaches to the feed with the cursor
+// (feed.DialReconnectingFrom live, feed.ResumeFilter offline); the
+// RESUME handshake plus per-vessel same-second dedupe discard
+// everything already processed, so each fix is applied exactly once
+// across the crash.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/feed"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+const (
+	// fileMagic tags a pipeline checkpoint file; fileVersion is the
+	// current payload format (gob of State).
+	fileMagic   = "MARCKPT"
+	fileVersion = 1
+	// filePrefix/fileSuffix shape checkpoint file names:
+	// checkpoint-<seq>.ckpt with a fixed-width sequence number so
+	// lexicographic and numeric order agree.
+	filePrefix = "checkpoint-"
+	fileSuffix = ".ckpt"
+)
+
+// State is everything a restart needs, captured atomically between two
+// window slides.
+type State struct {
+	// Query is the query time of the last slide folded into this
+	// checkpoint; the resumed batcher continues the slide grid from it.
+	Query time.Time
+	// System is the pipeline's dynamic state (tracker, recognizers,
+	// store).
+	System core.Snapshot
+	// Cursor covers exactly the fixes processed up to Query.
+	Cursor feed.Cursor
+	// Hub is the alert gateway's sequence/history state; nil for drivers
+	// without a gateway.
+	Hub *serve.HubSnapshot
+	// Slides is how many slides the pipeline had processed.
+	Slides int
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the checkpoint directory, created if missing.
+	Dir string
+	// Keep is how many checkpoints to retain (≤ 0: 3). Older ones are
+	// pruned after each successful save.
+	Keep int
+	// WrapWriter, when set, wraps the frame writer inside the atomic
+	// write protocol — the crash-injection hook: a writer that fails
+	// mid-stream aborts the protocol exactly like a process death, and
+	// the previous checkpoint must survive. Production leaves it nil.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+// Manager owns one checkpoint directory: periodic saves with pruning,
+// and newest-valid restore with fallback.
+type Manager struct {
+	opt Options
+
+	mu       sync.Mutex
+	seq      uint64
+	lastSize int64
+	lastSave time.Time
+
+	metrics *managerMetrics
+}
+
+// NewManager opens (creating if needed) the checkpoint directory and
+// positions the sequence counter after the newest existing checkpoint.
+func NewManager(opt Options) (*Manager, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("checkpoint: Options.Dir is required")
+	}
+	if opt.Keep <= 0 {
+		opt.Keep = 3
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", opt.Dir, err)
+	}
+	m := &Manager{opt: opt}
+	files, err := m.list()
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 0 {
+		m.seq = files[len(files)-1].seq
+	}
+	return m, nil
+}
+
+// ckptFile is one discovered checkpoint file.
+type ckptFile struct {
+	seq  uint64
+	path string
+}
+
+// list returns the directory's checkpoint files in ascending sequence
+// order.
+func (m *Manager) list() ([]ckptFile, error) {
+	entries, err := os.ReadDir(m.opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", m.opt.Dir, err)
+	}
+	var out []ckptFile
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		if _, err := fmt.Sscanf(name, filePrefix+"%d"+fileSuffix, &seq); err != nil {
+			continue
+		}
+		if name != fileName(seq) {
+			continue
+		}
+		out = append(out, ckptFile{seq: seq, path: filepath.Join(m.opt.Dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// fileName renders the canonical name of sequence seq.
+func fileName(seq uint64) string {
+	return fmt.Sprintf("%s%012d%s", filePrefix, seq, fileSuffix)
+}
+
+// Save persists one checkpoint atomically and prunes beyond Keep. On
+// any failure — including an injected mid-write crash — the directory
+// still holds the previous checkpoints, untouched.
+func (m *Manager) Save(st *State) error {
+	start := time.Now()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		m.countFailure()
+		return fmt.Errorf("checkpoint: encoding state: %w", err)
+	}
+
+	m.mu.Lock()
+	seq := m.seq + 1
+	m.mu.Unlock()
+	path := filepath.Join(m.opt.Dir, fileName(seq))
+	err := durable.WriteFileAtomic(path, func(w io.Writer) error {
+		if m.opt.WrapWriter != nil {
+			w = m.opt.WrapWriter(w)
+		}
+		return durable.WriteFrame(w, fileMagic, fileVersion, payload.Bytes())
+	})
+	if err != nil {
+		m.countFailure()
+		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+
+	m.mu.Lock()
+	m.seq = seq
+	m.lastSize = int64(payload.Len())
+	m.lastSave = time.Now()
+	m.mu.Unlock()
+	if m.metrics != nil {
+		m.metrics.saves.Inc()
+		m.metrics.saveDur.ObserveDuration(time.Since(start))
+	}
+	return m.prune()
+}
+
+// prune removes checkpoints beyond the newest Keep.
+func (m *Manager) prune() error {
+	files, err := m.list()
+	if err != nil {
+		return err
+	}
+	for len(files) > m.opt.Keep {
+		if err := os.Remove(files[0].path); err != nil {
+			return fmt.Errorf("checkpoint: pruning %s: %w", files[0].path, err)
+		}
+		files = files[1:]
+	}
+	return nil
+}
+
+// Load reads and verifies one checkpoint file. Truncated, corrupt,
+// wrong-magic, and future-version files fail with the corresponding
+// typed durable error.
+func Load(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	payload, _, err := durable.ReadFrame(f, fileMagic, fileVersion)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding %s: %w", path, err)
+	}
+	return &st, nil
+}
+
+// RestoreNewest loads the newest valid checkpoint, walking past
+// invalid ones (each failure is joined into err so the caller can log
+// what was skipped). A nil State means cold start: no checkpoint could
+// be restored — err is nil when the directory held none at all, and
+// carries the rejection reasons when every candidate was invalid.
+func (m *Manager) RestoreNewest() (*State, error) {
+	files, err := m.list()
+	if err != nil {
+		return nil, err
+	}
+	var failures []error
+	for i := len(files) - 1; i >= 0; i-- {
+		st, err := Load(files[i].path)
+		if err != nil {
+			failures = append(failures, err)
+			if m.metrics != nil {
+				m.metrics.rejected.Inc()
+			}
+			continue
+		}
+		if m.metrics != nil {
+			m.metrics.restores.Inc()
+		}
+		return st, errors.Join(failures...)
+	}
+	return nil, errors.Join(failures...)
+}
+
+// Dir returns the checkpoint directory.
+func (m *Manager) Dir() string { return m.opt.Dir }
+
+// LastSeq returns the sequence number of the newest saved checkpoint
+// (0 before any save).
+func (m *Manager) LastSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+func (m *Manager) countFailure() {
+	if m.metrics != nil {
+		m.metrics.failures.Inc()
+	}
+}
+
+// NoteReplaySkipped feeds the replay-dedupe counter: how many
+// already-processed fixes the resume path discarded after a restore.
+func (m *Manager) NoteReplaySkipped(n int) {
+	if m.metrics != nil && n > 0 {
+		m.metrics.replaySkipped.Add(uint64(n))
+	}
+}
+
+// ReplayGapSlides reports how many window slides separate a restored
+// checkpoint from the first traffic the feed could actually replay. A
+// checkpoint older than the feed's replayable horizon resumes with a
+// partial replay; the driver folds the result into core.Health so the
+// gap is reported instead of silently closed. checkpointQuery is the
+// restored State.Query, firstQuery the query time of the first
+// non-empty batch after resume. Zero means the replay was complete.
+func ReplayGapSlides(checkpointQuery, firstQuery time.Time, slide time.Duration) int {
+	if slide <= 0 || firstQuery.IsZero() {
+		return 0
+	}
+	gap := int(firstQuery.Sub(checkpointQuery)/slide) - 1
+	if gap < 0 {
+		return 0
+	}
+	return gap
+}
+
+// managerMetrics is the checkpoint observability wiring.
+type managerMetrics struct {
+	saveDur       *obs.Histogram
+	saves         *obs.Counter
+	failures      *obs.Counter
+	restores      *obs.Counter
+	rejected      *obs.Counter
+	replaySkipped *obs.Counter
+}
+
+// RegisterMetrics exposes the checkpoint lifecycle on the registry:
+// save cost and cadence, the size and age of the newest checkpoint,
+// restores, rejected (corrupt/stale) files, and the fixes skipped as
+// already-processed during post-restore replay.
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	m.metrics = &managerMetrics{
+		saveDur: r.Histogram("maritime_checkpoint_seconds",
+			"Time to serialize and atomically persist one pipeline checkpoint.", nil, nil),
+		saves: r.Counter("maritime_checkpoint_saves_total",
+			"Checkpoints successfully written.", nil),
+		failures: r.Counter("maritime_checkpoint_failures_total",
+			"Checkpoint writes that failed (the previous checkpoint survives).", nil),
+		restores: r.Counter("maritime_checkpoint_restores_total",
+			"Successful restores from a checkpoint at startup.", nil),
+		rejected: r.Counter("maritime_checkpoint_rejected_total",
+			"Checkpoint files rejected at restore (truncated, corrupt, or future-version).", nil),
+		replaySkipped: r.Counter("maritime_checkpoint_replay_skipped_total",
+			"Already-processed fixes discarded during post-restore replay.", nil),
+	}
+	r.GaugeFunc("maritime_checkpoint_size_bytes",
+		"Payload size of the newest checkpoint.", nil,
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.lastSize)
+		})
+	r.GaugeFunc("maritime_checkpoint_age_seconds",
+		"Age of the newest checkpoint; rises between saves.", nil,
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.lastSave.IsZero() {
+				return 0
+			}
+			return time.Since(m.lastSave).Seconds()
+		})
+}

@@ -1,0 +1,279 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/feed"
+)
+
+// testState builds a small distinguishable State; the System field stays
+// zero — Manager treats it as opaque, and the full-pipeline round trip
+// is covered by the recovery equivalence tests.
+func testState(slides int) *State {
+	return &State{
+		Query:  time.Unix(int64(1000+60*slides), 0).UTC(),
+		Cursor: feed.Cursor{Sec: int64(1000 + 60*slides), SeenAtSec: map[uint32]int{7: slides + 1}},
+		Slides: slides,
+	}
+}
+
+func newTestManager(t *testing.T, opt Options) *Manager {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	m, err := NewManager(opt)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+func mustSave(t *testing.T, m *Manager, st *State) {
+	t.Helper()
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	m := newTestManager(t, Options{})
+	mustSave(t, m, testState(1))
+	mustSave(t, m, testState(2))
+
+	st, err := m.RestoreNewest()
+	if err != nil {
+		t.Fatalf("RestoreNewest: %v", err)
+	}
+	if st == nil {
+		t.Fatal("RestoreNewest returned nil state")
+	}
+	if st.Slides != 2 {
+		t.Errorf("restored Slides = %d, want 2 (the newest checkpoint)", st.Slides)
+	}
+	if !st.Query.Equal(testState(2).Query) {
+		t.Errorf("restored Query = %v, want %v", st.Query, testState(2).Query)
+	}
+	if st.Cursor.Sec != 1120 || st.Cursor.SeenAtSec[7] != 3 {
+		t.Errorf("restored Cursor = %+v, want Sec=1120 SeenAtSec[7]=3", st.Cursor)
+	}
+}
+
+func TestEmptyDirIsColdStart(t *testing.T) {
+	m := newTestManager(t, Options{})
+	st, err := m.RestoreNewest()
+	if st != nil || err != nil {
+		t.Fatalf("RestoreNewest on empty dir = (%v, %v), want (nil, nil)", st, err)
+	}
+}
+
+// newestPath returns the path of the newest checkpoint file on disk.
+func newestPath(t *testing.T, m *Manager) string {
+	t.Helper()
+	files, err := m.list()
+	if err != nil || len(files) == 0 {
+		t.Fatalf("listing checkpoints: files=%d err=%v", len(files), err)
+	}
+	return files[len(files)-1].path
+}
+
+func TestRestoreFallsBackPastCorruptNewest(t *testing.T) {
+	m := newTestManager(t, Options{})
+	mustSave(t, m, testState(1))
+	mustSave(t, m, testState(2))
+
+	// Flip a payload byte of the newest checkpoint.
+	path := newestPath(t, m)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := m.RestoreNewest()
+	if st == nil {
+		t.Fatalf("RestoreNewest found no valid checkpoint, err=%v", err)
+	}
+	if st.Slides != 1 {
+		t.Errorf("restored Slides = %d, want 1 (fallback past corrupt newest)", st.Slides)
+	}
+	if !errors.Is(err, durable.ErrChecksum) {
+		t.Errorf("err = %v, want the skipped file's ErrChecksum joined in", err)
+	}
+}
+
+func TestRestoreFallsBackPastTruncatedNewest(t *testing.T) {
+	m := newTestManager(t, Options{})
+	mustSave(t, m, testState(1))
+	mustSave(t, m, testState(2))
+
+	path := newestPath(t, m)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := m.RestoreNewest()
+	if st == nil || st.Slides != 1 {
+		t.Fatalf("RestoreNewest = (%+v, %v), want fallback to Slides=1", st, err)
+	}
+	if !errors.Is(err, durable.ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated joined in", err)
+	}
+}
+
+func TestRestoreFallsBackPastFutureVersion(t *testing.T) {
+	m := newTestManager(t, Options{})
+	mustSave(t, m, testState(1))
+	mustSave(t, m, testState(2))
+
+	path := newestPath(t, m)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[durable.MagicLen] = 0x7f // version byte far beyond fileVersion
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := m.RestoreNewest()
+	if st == nil || st.Slides != 1 {
+		t.Fatalf("RestoreNewest = (%+v, %v), want fallback to Slides=1", st, err)
+	}
+	if !errors.Is(err, durable.ErrFutureVersion) {
+		t.Errorf("err = %v, want ErrFutureVersion joined in", err)
+	}
+}
+
+func TestAllInvalidIsColdStartWithReasons(t *testing.T) {
+	m := newTestManager(t, Options{})
+	mustSave(t, m, testState(1))
+	mustSave(t, m, testState(2))
+	files, err := m.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f.path, []byte("definitely not a checkpoint frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := m.RestoreNewest()
+	if st != nil {
+		t.Fatalf("RestoreNewest restored %+v from garbage", st)
+	}
+	if !errors.Is(err, durable.ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic for the rejected files", err)
+	}
+}
+
+func TestPruneKeepsLastK(t *testing.T) {
+	m := newTestManager(t, Options{Keep: 2})
+	for i := 1; i <= 5; i++ {
+		mustSave(t, m, testState(i))
+	}
+	files, err := m.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("dir holds %d checkpoints after pruning, want 2", len(files))
+	}
+	st, err := m.RestoreNewest()
+	if err != nil || st == nil || st.Slides != 5 {
+		t.Fatalf("RestoreNewest after pruning = (%+v, %v), want Slides=5", st, err)
+	}
+	// The oldest survivor must be the 4th save, not an arbitrary pair.
+	old, err := Load(files[0].path)
+	if err != nil || old.Slides != 4 {
+		t.Fatalf("oldest survivor = (%+v, %v), want Slides=4", old, err)
+	}
+}
+
+func TestCrashMidWriteLeavesPreviousIntact(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Options{Dir: dir})
+	mustSave(t, m, testState(1))
+
+	// Arm the crash: the next save dies after 10 bytes, inside the frame
+	// header of the temp file.
+	m.opt.WrapWriter = func(w io.Writer) io.Writer { return faults.NewCrashWriter(w, 10) }
+	err := m.Save(testState(2))
+	if !errors.Is(err, faults.ErrInjectedCrash) {
+		t.Fatalf("Save with crash writer: err = %v, want ErrInjectedCrash", err)
+	}
+	m.opt.WrapWriter = nil
+
+	// No temp litter, and the previous checkpoint restores cleanly.
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), fileSuffix) {
+			t.Errorf("crashed save left stray file %q in checkpoint dir", e.Name())
+		}
+	}
+	st, restoreErr := m.RestoreNewest()
+	if restoreErr != nil || st == nil || st.Slides != 1 {
+		t.Fatalf("RestoreNewest after crashed save = (%+v, %v), want intact Slides=1", st, restoreErr)
+	}
+
+	// And the manager keeps working: the next clean save supersedes it.
+	mustSave(t, m, testState(3))
+	st, err = m.RestoreNewest()
+	if err != nil || st == nil || st.Slides != 3 {
+		t.Fatalf("RestoreNewest after recovery save = (%+v, %v), want Slides=3", st, err)
+	}
+}
+
+func TestNewManagerContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	m1 := newTestManager(t, Options{Dir: dir})
+	mustSave(t, m1, testState(1))
+	mustSave(t, m1, testState(2))
+	seq := m1.LastSeq()
+
+	// A fresh manager over the same dir (a restarted process) numbers its
+	// saves after the existing ones instead of overwriting them.
+	m2 := newTestManager(t, Options{Dir: dir})
+	mustSave(t, m2, testState(3))
+	if m2.LastSeq() != seq+1 {
+		t.Errorf("restarted manager LastSeq = %d, want %d", m2.LastSeq(), seq+1)
+	}
+	st, err := m2.RestoreNewest()
+	if err != nil || st == nil || st.Slides != 3 {
+		t.Fatalf("RestoreNewest = (%+v, %v), want Slides=3", st, err)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Options{Dir: dir})
+	mustSave(t, m, testState(1))
+	for _, name := range []string{"README", "checkpoint-abc.ckpt", "checkpoint-9.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.RestoreNewest()
+	if err != nil || st == nil || st.Slides != 1 {
+		t.Fatalf("RestoreNewest with foreign files = (%+v, %v), want Slides=1 and no error", st, err)
+	}
+}

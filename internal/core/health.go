@@ -42,6 +42,12 @@ type Health struct {
 	// currently out of service because of it.
 	WatchdogTrips    int
 	WedgedPartitions int
+	// ReplayGapSlides counts window slides between a restored checkpoint
+	// and the first fix the feed could actually replay: a restart whose
+	// checkpoint predates the feed's replayable horizon resumes with a
+	// partial replay, and this reports how much of the stream was
+	// unrecoverable instead of silently closing the gap.
+	ReplayGapSlides int
 }
 
 // Merge returns the element-wise combination of two snapshots.
@@ -56,6 +62,7 @@ func (h Health) Merge(o Health) Health {
 	out.IngestOverflow += o.IngestOverflow
 	out.WatchdogTrips += o.WatchdogTrips
 	out.WedgedPartitions += o.WedgedPartitions
+	out.ReplayGapSlides += o.ReplayGapSlides
 	if len(o.DropsByCause) > 0 {
 		if out.DropsByCause == nil {
 			out.DropsByCause = make(map[string]int, len(o.DropsByCause))
@@ -93,6 +100,9 @@ func (h Health) String() string {
 	}
 	if h.ResumeDupes > 0 {
 		fmt.Fprintf(&b, " resume-dupes=%d", h.ResumeDupes)
+	}
+	if h.ReplayGapSlides > 0 {
+		fmt.Fprintf(&b, " replay-gap-slides=%d", h.ReplayGapSlides)
 	}
 	if len(h.DropsByCause) > 0 {
 		causes := make([]string, 0, len(h.DropsByCause))

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/maritime"
+	"repro/internal/tracker"
+)
+
+// Checkpoint support. The system serializes every stateful pipeline
+// stage — tracker vessels, recognizer working memories, the
+// moving-object store — into one Snapshot the checkpoint subsystem
+// frames and persists. Configuration and static world knowledge are not
+// serialized: the restoring process builds an identically configured
+// System first, then restores dynamic state into it.
+//
+// Watchdog degradation state (wedged recognizers, trip counters) is
+// deliberately NOT checkpointed: a restart is exactly the recovery
+// action for a wedged recognizer, so the restored process starts with
+// every partition healthy.
+
+// Typed restore failures, matched with errors.Is.
+var (
+	// ErrTopologyMismatch means the snapshot was taken by a system with a
+	// different recognizer layout (Processors count, or recognition
+	// enabled vs disabled) than the one restoring it.
+	ErrTopologyMismatch = errors.New("core: snapshot recognizer topology does not match this system")
+	// ErrWedged means the system has recognizers abandoned by the
+	// watchdog; their state may still be mutating in abandoned goroutines,
+	// so a consistent snapshot cannot be taken.
+	ErrWedged = errors.New("core: cannot snapshot a system with wedged recognizers")
+)
+
+// Snapshot is the serialized dynamic state of a System. Recognizers
+// holds one entry per recognizer in partition order (a single entry for
+// an unpartitioned system, none with recognition disabled); Store is the
+// MOD's own framed snapshot, kept opaque so its format versioning stays
+// with the mod package.
+type Snapshot struct {
+	Tracker     tracker.Snapshot
+	Recognizers []maritime.RecognizerSnapshot
+	Store       []byte
+}
+
+// recognizerCount is the structural recognizer layout Snapshot/Restore
+// must agree on.
+func (s *System) recognizerCount() int {
+	if s.recognizer != nil {
+		return 1
+	}
+	return len(s.partitions)
+}
+
+// Snapshot captures the system's complete dynamic state. It must not
+// run concurrently with ProcessBatch. It fails with ErrWedged when the
+// watchdog has abandoned a recognizer, because an abandoned goroutine
+// may still be mutating that recognizer's state.
+func (s *System) Snapshot() (Snapshot, error) {
+	if s.recognizerWedged.Load() {
+		return Snapshot{}, ErrWedged
+	}
+	for _, p := range s.partitions {
+		if p.wedged.Load() {
+			return Snapshot{}, ErrWedged
+		}
+	}
+	snap := Snapshot{Tracker: s.tracker.Snapshot()}
+	if s.recognizer != nil {
+		snap.Recognizers = []maritime.RecognizerSnapshot{s.recognizer.Snapshot()}
+	}
+	for _, p := range s.partitions {
+		snap.Recognizers = append(snap.Recognizers, p.rec.Snapshot())
+	}
+	var store bytes.Buffer
+	if err := s.store.SaveSnapshot(&store); err != nil {
+		return Snapshot{}, fmt.Errorf("core: snapshotting store: %w", err)
+	}
+	snap.Store = store.Bytes()
+	return snap, nil
+}
+
+// RestoreSnapshot replaces the system's dynamic state with a
+// snapshot's. The system must be configured identically to the one the
+// snapshot was taken from, except for TrackerShards, which may differ
+// freely (the tracker encoding is shard-count-independent). A topology
+// mismatch or a corrupt embedded store snapshot fails with a typed
+// error before any state is replaced — except that a store failure
+// after the tracker restored leaves the tracker restored; callers treat
+// a failed restore as fatal and fall back to an older checkpoint or a
+// cold start. It must not run concurrently with ProcessBatch.
+func (s *System) RestoreSnapshot(snap Snapshot) error {
+	if len(snap.Recognizers) != s.recognizerCount() {
+		return fmt.Errorf("%w: snapshot has %d recognizers, system has %d",
+			ErrTopologyMismatch, len(snap.Recognizers), s.recognizerCount())
+	}
+	if err := s.store.RestoreSnapshot(bytes.NewReader(snap.Store)); err != nil {
+		return err
+	}
+	if err := s.tracker.RestoreSnapshot(snap.Tracker); err != nil {
+		return err
+	}
+	if s.recognizer != nil {
+		s.recognizer.RestoreSnapshot(snap.Recognizers[0])
+	}
+	for i, p := range s.partitions {
+		p.rec.RestoreSnapshot(snap.Recognizers[i])
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package durable is the shared on-disk safety layer for every file the
+// pipeline must be able to trust after a crash: a self-describing frame
+// (magic header, format version, payload checksum) so that a truncated,
+// corrupted or future-format file is rejected with a typed error instead
+// of being half-decoded, and an atomic write protocol (temp file, fsync,
+// rename, directory fsync) so that a file either exists completely or
+// not at all. The MOD snapshot and the checkpoint subsystem both frame
+// their payloads through this package.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Typed failure shapes of ReadFrame. Callers branch with errors.Is; the
+// returned errors additionally carry context (expected vs found).
+var (
+	// ErrBadMagic means the file does not start with the expected magic
+	// header — it is not this kind of file at all.
+	ErrBadMagic = errors.New("durable: bad magic header")
+	// ErrTruncated means the file ends before the declared payload does:
+	// an interrupted write that bypassed the atomic protocol.
+	ErrTruncated = errors.New("durable: truncated frame")
+	// ErrChecksum means the payload does not match its recorded CRC:
+	// silent corruption, a torn write, or manual editing.
+	ErrChecksum = errors.New("durable: payload checksum mismatch")
+	// ErrFutureVersion means the frame was written by a newer format
+	// revision than this binary understands.
+	ErrFutureVersion = errors.New("durable: unsupported future format version")
+)
+
+// MagicLen is the fixed magic header length. Shorter magics are padded
+// with NULs by WriteFrame, so readable tags like "MODSNAP" fit.
+const MagicLen = 8
+
+// frame layout after the magic: version (uint16 BE), payload length
+// (uint64 BE), CRC-32C of the payload (uint32 BE), then the payload.
+const headerLen = MagicLen + 2 + 8 + 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// padMagic normalizes a tag to the fixed header width.
+func padMagic(magic string) ([MagicLen]byte, error) {
+	var m [MagicLen]byte
+	if len(magic) == 0 || len(magic) > MagicLen {
+		return m, fmt.Errorf("durable: magic %q must be 1..%d bytes", magic, MagicLen)
+	}
+	copy(m[:], magic)
+	return m, nil
+}
+
+// WriteFrame writes one framed payload: magic, version, length, CRC,
+// payload. The frame is self-checking but not self-syncing; one file
+// holds one frame.
+func WriteFrame(w io.Writer, magic string, version uint16, payload []byte) error {
+	m, err := padMagic(magic)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, m[:])
+	binary.BigEndian.PutUint16(hdr[MagicLen:], version)
+	binary.BigEndian.PutUint64(hdr[MagicLen+2:], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[MagicLen+10:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("durable: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("durable: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and verifies one frame written with WriteFrame,
+// returning the payload and the format version it was written with.
+// maxVersion is the newest revision the caller understands; frames
+// beyond it fail with ErrFutureVersion before the payload is touched.
+// Every failure shape maps to one of the typed errors above.
+func ReadFrame(r io.Reader, magic string, maxVersion uint16) (payload []byte, version uint16, err error) {
+	m, err := padMagic(magic)
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, fmt.Errorf("%w: file shorter than the frame header", ErrTruncated)
+		}
+		return nil, 0, fmt.Errorf("durable: reading frame header: %w", err)
+	}
+	if string(hdr[:MagicLen]) != string(m[:]) {
+		return nil, 0, fmt.Errorf("%w: want %q", ErrBadMagic, magic)
+	}
+	version = binary.BigEndian.Uint16(hdr[MagicLen:])
+	if version > maxVersion {
+		return nil, version, fmt.Errorf("%w: frame version %d, this binary reads up to %d",
+			ErrFutureVersion, version, maxVersion)
+	}
+	length := binary.BigEndian.Uint64(hdr[MagicLen+2:])
+	want := binary.BigEndian.Uint32(hdr[MagicLen+10:])
+	// Bound the allocation by what the reader can actually deliver: a
+	// frame lying about its length fails as truncated, not as OOM.
+	const maxPayload = 1 << 32
+	if length > maxPayload {
+		return nil, version, fmt.Errorf("%w: declared payload of %d bytes exceeds the format bound", ErrTruncated, length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, version, fmt.Errorf("%w: payload ends after fewer than the declared %d bytes", ErrTruncated, length)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, version, fmt.Errorf("%w: crc %08x, recorded %08x", ErrChecksum, got, want)
+	}
+	return payload, version, nil
+}
+
+// WriteFileAtomic writes a file so that path either holds the complete
+// new contents or is untouched, across crashes at any instant: the data
+// goes to a temp file in the same directory, is fsynced, renamed over
+// path, and the directory itself is fsynced so the rename is durable.
+// write receives the temp file's writer; any error it returns aborts
+// the protocol and removes the temp file.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("durable: renaming into place: %w", err)
+	}
+	tmpName = "" // committed; nothing to clean up
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func frameBytes(t *testing.T, magic string, version uint16, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, magic, version, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the payload bytes")
+	raw := frameBytes(t, "TESTFRM", 3, payload)
+	got, version, err := ReadFrame(bytes.NewReader(raw), "TESTFRM", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 {
+		t.Errorf("version = %d, want 3", version)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload round trip mismatch: %q", got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	raw := frameBytes(t, "TESTFRM", 1, nil)
+	got, _, err := ReadFrame(bytes.NewReader(raw), "TESTFRM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty payload decoded as %d bytes", len(got))
+	}
+}
+
+func TestFrameRejectsWrongMagic(t *testing.T) {
+	raw := frameBytes(t, "TESTFRM", 1, []byte("x"))
+	_, _, err := ReadFrame(bytes.NewReader(raw), "OTHER", 1)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameRejectsFutureVersion(t *testing.T) {
+	raw := frameBytes(t, "TESTFRM", 7, []byte("x"))
+	_, version, err := ReadFrame(bytes.NewReader(raw), "TESTFRM", 6)
+	if !errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("err = %v, want ErrFutureVersion", err)
+	}
+	if version != 7 {
+		t.Errorf("reported version = %d, want 7 so callers can log it", version)
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	raw := frameBytes(t, "TESTFRM", 1, []byte("a longer payload to cut"))
+	for _, cut := range []int{0, 3, MagicLen + 1, headerLen - 1, headerLen + 4, len(raw) - 1} {
+		_, _, err := ReadFrame(bytes.NewReader(raw[:cut]), "TESTFRM", 1)
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	raw := frameBytes(t, "TESTFRM", 1, []byte("payload under checksum"))
+	for _, pos := range []int{headerLen, headerLen + 5, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x40
+		_, _, err := ReadFrame(bytes.NewReader(mut), "TESTFRM", 1)
+		if !errors.Is(err, ErrChecksum) {
+			t.Errorf("flip at %d: err = %v, want ErrChecksum", pos, err)
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader([]byte("not a frame at all, just text")), "TESTFRM", 1)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteFrame(w, "TESTFRM", 1, []byte("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: the new contents replace the old completely.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteFrame(w, "TESTFRM", 1, []byte("v2 longer"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload, _, err := ReadFrame(f, "TESTFRM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "v2 longer" {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
+func TestWriteFileAtomicAbortLeavesOldContents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("good"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected crash mid-write")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial")); err != nil {
+			return err
+		}
+		return injected
+	})
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Errorf("aborted write clobbered the file: %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after aborted write, want 1", len(entries))
+	}
+}

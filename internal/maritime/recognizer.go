@@ -80,6 +80,9 @@ type Recognizer struct {
 	// is re-derived by every overlapping window instantiation.
 	seen   map[Alert]bool
 	alerts []Alert
+	// restoredAlerts carries the alert count of a restored checkpoint, so
+	// CECount stays cumulative across a crash/restore cycle.
+	restoredAlerts int
 }
 
 // SpatialFact states that a vessel was close to an area at the
@@ -448,5 +451,6 @@ func (r *Recognizer) Advance(q time.Time, events []rtec.Event, facts []SpatialFa
 }
 
 // CECount returns the total number of CE recognitions so far: derived
-// instantaneous occurrences plus durative interval starts.
-func (r *Recognizer) CECount() int { return len(r.alerts) }
+// instantaneous occurrences plus durative interval starts, including
+// those recognized before a restored checkpoint was taken.
+func (r *Recognizer) CECount() int { return r.restoredAlerts + len(r.alerts) }

@@ -1,10 +1,12 @@
 package mod
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
+	"repro/internal/durable"
 	"repro/internal/tracker"
 )
 
@@ -14,6 +16,19 @@ import (
 // serializes its staging area, per-vessel origins, and archived trips
 // so a surveillance process can restart without losing the trajectory
 // history.
+//
+// On disk the snapshot is framed through internal/durable: a magic
+// header, a format version, and a payload CRC, so restoring from a
+// truncated, corrupted or future-format file fails with one of the
+// typed durable errors (ErrBadMagic, ErrTruncated, ErrChecksum,
+// ErrFutureVersion) instead of panicking or half-populating the store.
+
+// snapshotMagic tags a MOD snapshot file; snapshotVersion is the
+// current payload format revision (gob of the snapshot struct).
+const (
+	snapshotMagic   = "MODSNAP"
+	snapshotVersion = 1
+)
 
 // snapshot is the serialized form of a store.
 type snapshot struct {
@@ -32,8 +47,12 @@ func (m *MOD) SaveSnapshot(w io.Writer) error {
 	for i, t := range m.trips {
 		snap.Trips[i] = *t
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
 		return fmt.Errorf("mod: encoding snapshot: %w", err)
+	}
+	if err := durable.WriteFrame(w, snapshotMagic, snapshotVersion, payload.Bytes()); err != nil {
+		return fmt.Errorf("mod: writing snapshot frame: %w", err)
 	}
 	return nil
 }
@@ -41,25 +60,38 @@ func (m *MOD) SaveSnapshot(w io.Writer) error {
 // RestoreSnapshot replaces the store's contents with a serialized
 // snapshot. The port set is not serialized: it is configuration, and
 // the restoring process supplies it to New.
+//
+// The frame is verified and the payload fully decoded into fresh state
+// before the store is touched, so a failed restore (typed durable
+// errors for a bad/truncated/corrupt/future-version file, or a gob
+// decode failure) leaves the store exactly as it was.
 func (m *MOD) RestoreSnapshot(r io.Reader) error {
+	payload, _, err := durable.ReadFrame(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return fmt.Errorf("mod: snapshot frame: %w", err)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return fmt.Errorf("mod: decoding snapshot: %w", err)
 	}
-	m.staging = snap.Staging
-	if m.staging == nil {
-		m.staging = make(map[uint32][]tracker.CriticalPoint)
+	staging := snap.Staging
+	if staging == nil {
+		staging = make(map[uint32][]tracker.CriticalPoint)
 	}
-	m.origin = snap.Origin
-	if m.origin == nil {
-		m.origin = make(map[uint32]string)
+	origin := snap.Origin
+	if origin == nil {
+		origin = make(map[uint32]string)
 	}
-	m.trips = m.trips[:0]
-	m.byVessel = make(map[uint32][]*Trip)
+	trips := make([]*Trip, 0, len(snap.Trips))
+	byVessel := make(map[uint32][]*Trip)
 	for i := range snap.Trips {
 		t := snap.Trips[i]
-		m.trips = append(m.trips, &t)
-		m.byVessel[t.MMSI] = append(m.byVessel[t.MMSI], &t)
+		trips = append(trips, &t)
+		byVessel[t.MMSI] = append(byVessel[t.MMSI], &t)
 	}
+	m.staging = staging
+	m.origin = origin
+	m.trips = trips
+	m.byVessel = byVessel
 	return nil
 }

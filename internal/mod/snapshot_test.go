@@ -2,6 +2,7 @@ package mod
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/tracker"
 )
 
@@ -116,8 +118,104 @@ func TestSnapshotToFile(t *testing.T) {
 
 func TestRestoreRejectsGarbage(t *testing.T) {
 	m := New(testPorts())
-	err := m.RestoreSnapshot(strings.NewReader("not a gob stream"))
+	err := m.RestoreSnapshot(strings.NewReader("not a gob stream, and long enough to cover a whole frame header"))
 	if err == nil {
 		t.Fatal("garbage accepted")
 	}
+	if !errors.Is(err, durable.ErrBadMagic) {
+		t.Errorf("err = %v, want durable.ErrBadMagic", err)
+	}
+}
+
+// populatedStore builds a store with trips and staged points, plus its
+// serialized snapshot bytes.
+func populatedStore(t *testing.T) (*MOD, []byte) {
+	t.Helper()
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.ReconstructAndLoad()
+	m.Stage([]tracker.CriticalPoint{
+		cp(9, 24.0, 37.0, 0, tracker.EventFirst),
+	})
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+// assertUntouched verifies a failed restore left the store's previous
+// contents fully intact — no half-populated state.
+func assertUntouched(t *testing.T, got, want *MOD) {
+	t.Helper()
+	if len(got.Trips()) != len(want.Trips()) {
+		t.Errorf("failed restore changed trips: %d, want %d", len(got.Trips()), len(want.Trips()))
+	}
+	if got.StagedCount() != want.StagedCount() {
+		t.Errorf("failed restore changed staging: %d, want %d", got.StagedCount(), want.StagedCount())
+	}
+}
+
+func TestRestoreRejectsTruncatedFile(t *testing.T) {
+	want, raw := populatedStore(t)
+	for _, cut := range []int{0, 4, 13, len(raw) / 2, len(raw) - 1} {
+		m := New(testPorts())
+		m.Stage(voyagePoints(2))
+		m.ReconstructAndLoad()
+		prev := New(testPorts())
+		prev.Stage(voyagePoints(2))
+		prev.ReconstructAndLoad()
+		err := m.RestoreSnapshot(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, durable.ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want durable.ErrTruncated", cut, err)
+		}
+		assertUntouched(t, m, prev)
+	}
+	_ = want
+}
+
+func TestRestoreRejectsCorruptPayload(t *testing.T) {
+	want, raw := populatedStore(t)
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-3] ^= 0xff
+	m := New(testPorts())
+	err := m.RestoreSnapshot(bytes.NewReader(mut))
+	if !errors.Is(err, durable.ErrChecksum) {
+		t.Fatalf("err = %v, want durable.ErrChecksum", err)
+	}
+	if len(m.Trips()) != 0 || m.StagedCount() != 0 {
+		t.Error("failed restore half-populated an empty store")
+	}
+	_ = want
+}
+
+func TestRestoreRejectsFutureVersion(t *testing.T) {
+	_, raw := populatedStore(t)
+	// The version field sits right after the magic (big endian uint16).
+	mut := append([]byte(nil), raw...)
+	mut[durable.MagicLen] = 0x7f
+	m := New(testPorts())
+	err := m.RestoreSnapshot(bytes.NewReader(mut))
+	if !errors.Is(err, durable.ErrFutureVersion) {
+		t.Fatalf("err = %v, want durable.ErrFutureVersion", err)
+	}
+}
+
+func TestRestoreRejectsCorruptGobInsideValidFrame(t *testing.T) {
+	// A frame whose checksum is fine but whose payload is not a gob
+	// snapshot: the decode error must also leave the store untouched.
+	var buf bytes.Buffer
+	if err := durable.WriteFrame(&buf, "MODSNAP", 1, []byte("valid frame, bogus gob")); err != nil {
+		t.Fatal(err)
+	}
+	m := New(testPorts())
+	m.Stage(voyagePoints(1))
+	m.ReconstructAndLoad()
+	prev := New(testPorts())
+	prev.Stage(voyagePoints(1))
+	prev.ReconstructAndLoad()
+	if err := m.RestoreSnapshot(&buf); err == nil {
+		t.Fatal("bogus gob accepted")
+	}
+	assertUntouched(t, m, prev)
 }

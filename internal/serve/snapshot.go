@@ -1,0 +1,79 @@
+package serve
+
+// Checkpoint support. The hub serializes its sequence counter and the
+// retained history ring so that a restored gateway resumes the envelope
+// sequence exactly where the crashed one stopped: deterministic replay
+// after restore re-publishes the in-flight slides' alerts under the
+// same sequence numbers, and SSE clients reconnecting with their
+// Last-Event-ID deduplicate them — zero duplicate alerts end to end.
+
+// HubSnapshot is the serialized replay state of a Hub.
+type HubSnapshot struct {
+	// Seq is the last assigned envelope sequence number.
+	Seq uint64
+	// Published is the cumulative publish counter (stats continuity).
+	Published uint64
+	// Ring holds the retained history, oldest first.
+	Ring []Envelope
+}
+
+// Snapshot captures the hub's replay state. Subscribers are not
+// serialized — connections do not survive a process, clients re-attach
+// with Last-Event-ID.
+func (h *Hub) Snapshot() HubSnapshot {
+	h.mu.Lock()
+	snap := HubSnapshot{Seq: h.seq, Published: h.published}
+	h.mu.Unlock()
+	snap.Ring = h.ring.Last(0)
+	return snap
+}
+
+// Restore replaces the hub's sequence counter and history with a
+// snapshot's. It must run before the pipeline publishes and before
+// subscribers attach.
+func (h *Hub) Restore(snap HubSnapshot) {
+	h.mu.Lock()
+	h.seq = snap.Seq
+	h.published = snap.Published
+	h.mu.Unlock()
+	for _, e := range snap.Ring {
+		h.ring.Push(e)
+	}
+}
+
+// Close shuts the hub down for graceful termination: every live
+// subscriber is closed, so blocked Next/NextTimeout calls return ok
+// false and SSE pump loops end their responses cleanly (EOF, not a
+// connection reset). New subscriptions after Close are permitted but
+// will only ever see alerts published after them; a shutting-down
+// gateway stops accepting connections separately.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	// Subscriber.Close re-enters the hub via remove, so it must run
+	// outside h.mu.
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// Quiesce runs fn while the pipeline is paused under the gateway's
+// write lock: no slide is in flight and no snapshot query is reading,
+// so fn observes (or captures) a consistent pipeline state. The
+// checkpoint loop uses it to snapshot between slides.
+func (g *Gateway) Quiesce(fn func()) {
+	g.pipeMu.Lock()
+	defer g.pipeMu.Unlock()
+	fn()
+}
+
+// SlideCount returns how many slides the gateway has consumed.
+func (g *Gateway) SlideCount() int {
+	g.repMu.RLock()
+	defer g.repMu.RUnlock()
+	return g.slides
+}

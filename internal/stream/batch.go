@@ -76,6 +76,28 @@ func NewBatcher(src FixSource, slide time.Duration) *Batcher {
 	return &Batcher{src: src, slide: slide}
 }
 
+// NewBatcherFrom wraps src with the first query time pinned to
+// start+slide instead of aligned to the first fix. A pipeline resuming
+// from a checkpoint taken at query time Q continues on the same slide
+// grid: slides between Q and the first replayed fix still yield empty
+// batches (preserving gap detection), where a plain NewBatcher would
+// re-align to the first fix and silently skip them. start must lie on
+// the original run's slide grid.
+func NewBatcherFrom(src FixSource, slide time.Duration, start time.Time) *Batcher {
+	if slide <= 0 {
+		panic("stream: NewBatcherFrom with non-positive slide")
+	}
+	b := &Batcher{src: src, slide: slide}
+	if !b.src.Scan() {
+		b.done = true
+		return b
+	}
+	b.pending = b.src.Fix()
+	b.query = start.Add(slide)
+	b.started = true
+	return b
+}
+
 // Next returns the next batch and true, or a zero batch and false at
 // end of stream. Fixes are assigned to batches by timestamp: a batch
 // with query time Q contains fixes with t in (Q-β, Q]. Input is assumed

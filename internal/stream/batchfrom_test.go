@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+)
+
+func TestBatcherFromContinuesSlideGrid(t *testing.T) {
+	// A checkpoint taken at query time t0+10m; the replay's first fix is
+	// three slides later. The resumed batcher must keep the original
+	// grid: two empty slides, then the fix's slide.
+	start := t0.Add(10 * time.Minute)
+	fixes := []ais.Fix{
+		fixAt(1, 34*time.Minute),
+		fixAt(1, 38*time.Minute),
+		fixAt(2, 44*time.Minute),
+	}
+	b := NewBatcherFrom(NewSliceSource(fixes), 10*time.Minute, start)
+	var batches []Batch
+	for {
+		batch, ok := b.Next()
+		if !ok {
+			break
+		}
+		batches = append(batches, batch)
+	}
+	wantQueries := []time.Time{
+		start.Add(10 * time.Minute), // empty
+		start.Add(20 * time.Minute), // empty
+		start.Add(30 * time.Minute), // fixes at 34m, 38m
+		start.Add(40 * time.Minute), // fix at 44m
+	}
+	if len(batches) != len(wantQueries) {
+		t.Fatalf("got %d batches, want %d", len(batches), len(wantQueries))
+	}
+	for i, q := range wantQueries {
+		if !batches[i].Query.Equal(q) {
+			t.Errorf("batch %d query = %v, want %v (grid not preserved)", i, batches[i].Query, q)
+		}
+	}
+	if len(batches[0].Fixes) != 0 || len(batches[1].Fixes) != 0 {
+		t.Error("gap slides before the first replayed fix must be empty, not skipped")
+	}
+	if len(batches[2].Fixes) != 2 || len(batches[3].Fixes) != 1 {
+		t.Errorf("fix assignment off: %d and %d fixes", len(batches[2].Fixes), len(batches[3].Fixes))
+	}
+}
+
+func TestBatcherFromMatchesPlainBatcherOnAlignedStart(t *testing.T) {
+	// Resuming from the slide grid the plain batcher would have chosen
+	// yields the identical batch sequence.
+	var fixes []ais.Fix
+	for i := 0; i < 40; i++ {
+		fixes = append(fixes, fixAt(uint32(1+i%3), time.Duration(i)*90*time.Second))
+	}
+	plain := NewBatcher(NewSliceSource(fixes), 5*time.Minute)
+	// The plain batcher aligns its first query to the slide grid below
+	// the first fix; t0 is on that grid.
+	resumed := NewBatcherFrom(NewSliceSource(fixes), 5*time.Minute, t0)
+	for i := 0; ; i++ {
+		pb, pok := plain.Next()
+		rb, rok := resumed.Next()
+		if pok != rok {
+			t.Fatalf("batch %d: plain ok=%v resumed ok=%v", i, pok, rok)
+		}
+		if !pok {
+			break
+		}
+		if !pb.Query.Equal(rb.Query) || len(pb.Fixes) != len(rb.Fixes) {
+			t.Fatalf("batch %d diverges: plain (%v, %d fixes) vs resumed (%v, %d fixes)",
+				i, pb.Query, len(pb.Fixes), rb.Query, len(rb.Fixes))
+		}
+	}
+}
+
+func TestBatcherFromEmptySource(t *testing.T) {
+	b := NewBatcherFrom(NewSliceSource(nil), time.Minute, t0)
+	if _, ok := b.Next(); ok {
+		t.Fatal("empty source produced a batch")
+	}
+}

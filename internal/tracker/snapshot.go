@@ -1,0 +1,162 @@
+package tracker
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+// Checkpoint support. The tracking tier serializes its full per-vessel
+// motion state so a crashed surveillance process restores mid-window
+// instead of rebuilding from a cold stream. The encoding is
+// shard-count-independent: vessels are gathered across shards into one
+// MMSI-sorted list, and restore re-routes each vessel by hash — a
+// checkpoint taken with N shards restores into a tier with M.
+
+// VesselSnapshot is the serialized motion state of one vessel: every
+// field of the in-memory vesselState, with the window synopsis flattened
+// to its critical points (entry timestamps equal cp.Time by
+// construction, so they need no separate encoding).
+type VesselSnapshot struct {
+	MMSI     uint32
+	Last     ais.Fix
+	HaveLast bool
+
+	VPrev  geo.Velocity
+	HaveV  bool
+	Recent []geo.Velocity
+
+	OutlierRun int
+	GapOpen    bool
+
+	StopRun []ais.Fix
+	Stopped bool
+
+	SlowRun []ais.Fix
+	Slow    bool
+
+	RecentTurns []float64
+
+	OdometerM  float64
+	DepartureM float64
+
+	Synopsis []CriticalPoint
+	LastSeen time.Time
+}
+
+// Snapshot is the serialized state of the whole tracking tier: every
+// vessel, MMSI-sorted, plus the merged counters.
+type Snapshot struct {
+	Vessels []VesselSnapshot
+	Stats   Stats
+}
+
+// snapshotVessel captures one vessel's state. Slices are copied so the
+// snapshot stays valid while the tracker keeps sliding.
+func snapshotVessel(mmsi uint32, st *vesselState) VesselSnapshot {
+	vs := VesselSnapshot{
+		MMSI:        mmsi,
+		Last:        st.last,
+		HaveLast:    st.haveLast,
+		VPrev:       st.vPrev,
+		HaveV:       st.haveV,
+		Recent:      slices.Clone(st.recent),
+		OutlierRun:  st.outlierRun,
+		GapOpen:     st.gapOpen,
+		StopRun:     slices.Clone(st.stopRun),
+		Stopped:     st.stopped,
+		SlowRun:     slices.Clone(st.slowRun),
+		Slow:        st.slow,
+		RecentTurns: slices.Clone(st.recentTurns),
+		OdometerM:   st.odometerM,
+		DepartureM:  st.departureM,
+		LastSeen:    st.lastSeen,
+	}
+	if n := st.synopsis.Len(); n > 0 {
+		vs.Synopsis = make([]CriticalPoint, 0, n)
+		st.synopsis.Each(func(_ time.Time, cp CriticalPoint) bool {
+			vs.Synopsis = append(vs.Synopsis, cp)
+			return true
+		})
+	}
+	return vs
+}
+
+// restoreVessel rebuilds the in-memory state from its snapshot.
+func restoreVessel(vs VesselSnapshot) *vesselState {
+	st := &vesselState{
+		last:        vs.Last,
+		haveLast:    vs.HaveLast,
+		vPrev:       vs.VPrev,
+		haveV:       vs.HaveV,
+		recent:      slices.Clone(vs.Recent),
+		outlierRun:  vs.OutlierRun,
+		gapOpen:     vs.GapOpen,
+		stopRun:     slices.Clone(vs.StopRun),
+		stopped:     vs.Stopped,
+		slowRun:     slices.Clone(vs.SlowRun),
+		slow:        vs.Slow,
+		recentTurns: slices.Clone(vs.RecentTurns),
+		odometerM:   vs.OdometerM,
+		departureM:  vs.DepartureM,
+		lastSeen:    vs.LastSeen,
+	}
+	for _, cp := range vs.Synopsis {
+		st.synopsis.Append(cp.Time, cp)
+	}
+	return st
+}
+
+// Snapshot captures the tier's complete state. It must not run
+// concurrently with Slide.
+func (s *Sharded) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, sh := range s.shards {
+		for mmsi, st := range sh.vessels {
+			snap.Vessels = append(snap.Vessels, snapshotVessel(mmsi, st))
+		}
+	}
+	slices.SortFunc(snap.Vessels, func(a, b VesselSnapshot) int {
+		switch {
+		case a.MMSI < b.MMSI:
+			return -1
+		case a.MMSI > b.MMSI:
+			return 1
+		}
+		return 0
+	})
+	snap.Stats = s.Stats()
+	return snap
+}
+
+// RestoreSnapshot replaces the tier's vessel state and counters with a
+// snapshot's. Vessels are re-routed by hash, so the snapshot may come
+// from a tier with a different shard count; the merged counters land on
+// shard 0 (per-shard attribution is not preserved across a reshard, the
+// merged totals are). It must not run concurrently with Slide.
+func (s *Sharded) RestoreSnapshot(snap Snapshot) error {
+	n := len(s.shards)
+	for _, sh := range s.shards {
+		sh.vessels = make(map[uint32]*vesselState)
+		sh.stats = Stats{ByType: make(map[EventType]int)}
+	}
+	for _, vs := range snap.Vessels {
+		sh := s.shards[ShardOf(vs.MMSI, n)]
+		if _, dup := sh.vessels[vs.MMSI]; dup {
+			return fmt.Errorf("tracker: snapshot lists vessel %d twice", vs.MMSI)
+		}
+		sh.vessels[vs.MMSI] = restoreVessel(vs)
+	}
+	s0 := s.shards[0]
+	s0.stats.FixesIn = snap.Stats.FixesIn
+	s0.stats.Duplicates = snap.Stats.Duplicates
+	s0.stats.Outliers = snap.Stats.Outliers
+	s0.stats.Critical = snap.Stats.Critical
+	for k, v := range snap.Stats.ByType {
+		s0.stats.ByType[k] = v
+	}
+	return nil
+}
