@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race test-recovery bench bench-serve bench-pipe experiments examples
+.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos bench bench-serve bench-pipe experiments examples
 
 all: fmt-check build vet test
 
@@ -28,7 +28,15 @@ test-race:
 # slides and mid-checkpoint-write, byte-identical output and
 # exactly-once delivery through the gateway, under the race detector.
 test-recovery:
-	go test -race -v -run 'TestKillRestore|TestGatewayExactlyOnce|TestReplayGap' ./internal/checkpoint/
+	go test -race -v -run 'TestKillRestore|TestGatewayExactlyOnce|TestReplayGap|TestSigterm' ./internal/checkpoint/
+
+# Panic/stall-injection supervision suite: shard kills, recognizer and
+# store panics, watchdog stalls, supervisor restore-then-replay, and the
+# overload degradation ladder — golden-run equivalence under the race
+# detector.
+test-chaos:
+	go test -race -v -run 'TestChaos|TestSelfHeal|TestHealErrors|TestDegradation|TestSupervisor|TestDelayedStream' \
+		./internal/faults/ ./internal/core/ ./internal/tracker/ ./internal/supervise/
 
 # One testing.B benchmark per table/figure of the paper's evaluation.
 bench: bench-serve bench-pipe

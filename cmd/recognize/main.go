@@ -43,6 +43,7 @@ import (
 	"repro/internal/maritime"
 	"repro/internal/obs"
 	"repro/internal/stream"
+	"repro/internal/supervise"
 	"repro/internal/tracker"
 )
 
@@ -64,6 +65,10 @@ func main() {
 		shards    = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
 		quiet     = flag.Bool("quiet", false, "suppress per-alert output")
 		watchdog  = flag.Duration("watchdog", 0, "per-slide recognition budget; wedged partitions are abandoned (0 = off)")
+		selfHeal  = flag.Bool("self-heal", false, "recover panics and wedged partitions by quarantine-and-restore instead of crashing (batch runs default to fail-fast)")
+		degrade   = flag.Bool("degrade", false, "shed work under overload (defer archival → instantaneous-only recognition → shed stationary vessels); meaningful for live feeds")
+		degSlide  = flag.Duration("degrade-slide-high", 0, "per-slide cost above which the pipeline degrades (0 = 80% of -slide)")
+		degDepth  = flag.Int("degrade-depth-high", 0, "ingest-backlog depth above which the pipeline degrades (0 = 3/4 of -ingest-buffer)")
 		ingest    = flag.Int("ingest-buffer", 8192, "bounded ingest buffer for live feeds, in fixes (0 = unbuffered)")
 		debug     = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while the run lasts (empty = off)")
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe restart (empty = off)")
@@ -83,14 +88,45 @@ func main() {
 	if *facts {
 		mode = maritime.SpatialFacts
 	}
-	sys := core.NewSystem(core.Config{
+	// ingestBuf is assigned once the live ingest path is built (before
+	// the pipeline starts sliding); the degradation ladder reads its
+	// backlog.
+	var ingestBuf *stream.IngestBuffer
+	sysCfg := core.Config{
 		Window:          stream.WindowSpec{Range: *window, Slide: *slide},
 		Tracker:         tracker.DefaultParams(),
 		Recognition:     maritime.Config{Window: *window, Mode: mode},
 		Processors:      *procs,
 		TrackerShards:   *shards,
 		WatchdogTimeout: *watchdog,
-	}, vesselsReg, areasReg, ports)
+		SelfHeal:        *selfHeal,
+	}
+	if *degrade {
+		spec := &core.DegradeSpec{SlideHigh: *degSlide, DepthHigh: *degDepth}
+		if spec.SlideHigh <= 0 {
+			spec.SlideHigh = *slide * 8 / 10
+		}
+		if spec.DepthHigh <= 0 && *ingest > 0 {
+			spec.DepthHigh = *ingest * 3 / 4
+		}
+		spec.DepthFunc = func() int {
+			if ingestBuf == nil {
+				return 0
+			}
+			return ingestBuf.Pending()
+		}
+		sysCfg.Degrade = spec
+	}
+	sys := core.NewSystem(sysCfg, vesselsReg, areasReg, ports)
+
+	// The supervisor repairs quarantined targets between slides:
+	// restore-then-replay from the in-memory journal, exponential backoff
+	// on repeated failure, give-up past the policy threshold.
+	if *selfHeal {
+		sup := supervise.New(sys, supervise.Policy{})
+		sup.SetLogger(log.Printf)
+		sys.OnSlideEnd(func(core.SlideReport) { sup.Poll() })
+	}
 
 	var reg *obs.Registry
 	if *debug != "" {
@@ -163,16 +199,15 @@ func main() {
 			client.RegisterMetrics(reg)
 		}
 		src = client
-		var buf *stream.IngestBuffer
 		if *ingest > 0 {
-			buf = stream.NewIngestBuffer(client, *ingest)
-			defer buf.Close()
+			ingestBuf = stream.NewIngestBuffer(client, *ingest)
+			defer ingestBuf.Close()
 			if reg != nil {
-				buf.RegisterMetrics(reg)
+				ingestBuf.RegisterMetrics(reg)
 			}
-			src = buf
+			src = ingestBuf
 		}
-		sys.AddHealthSource(core.LiveHealthSource(client, buf))
+		sys.AddHealthSource(core.LiveHealthSource(client, ingestBuf))
 		// Graceful shutdown: closing the client ends Scan, the loop
 		// finishes its in-flight batch, and the final checkpoint runs.
 		go func() {
@@ -303,7 +338,7 @@ func main() {
 	t4 := sys.Store().Table4Stats()
 	log.Printf("archived %d trips (%d points; %d still staged)",
 		t4.Trips, t4.PointsInTrajectories, t4.PointsInStaging)
-	if *live != "" || *watchdog > 0 || restored != nil {
+	if *live != "" || *watchdog > 0 || restored != nil || *selfHeal {
 		log.Printf("health: %s", sys.Health())
 	}
 }

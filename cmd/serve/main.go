@@ -46,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stream"
+	"repro/internal/supervise"
 	"repro/internal/tracker"
 )
 
@@ -67,6 +68,10 @@ func main() {
 		shards  = flag.Int("shards", 0, "mobility-tracker shards (0 = one per CPU, 1 = serial)")
 
 		watchdog  = flag.Duration("watchdog", 5*time.Second, "per-slide recognition budget (0 = off)")
+		selfHeal  = flag.Bool("self-heal", true, "recover panics and wedged partitions by quarantine-and-restore instead of crashing")
+		degrade   = flag.Bool("degrade", true, "shed work under overload (defer archival → instantaneous-only recognition → shed stationary vessels) and climb back when healthy")
+		degSlide  = flag.Duration("degrade-slide-high", 0, "per-slide cost above which the pipeline degrades (0 = 80% of -slide)")
+		degDepth  = flag.Int("degrade-depth-high", 0, "ingest-backlog depth above which the pipeline degrades (0 = 3/4 of -ingest-buffer)")
 		ingest    = flag.Int("ingest-buffer", 8192, "bounded ingest buffer, in fixes (0 = unbuffered)")
 		ring      = flag.Int("ring", 1024, "alert-history retention for replay and /alerts, in alerts")
 		subQueue  = flag.Int("sub-queue", 256, "per-subscriber queue bound, in alerts (drop-oldest)")
@@ -87,14 +92,46 @@ func main() {
 	sim := fleetsim.NewSimulator(cfg)
 	vesselsReg, areasReg, ports := core.AdaptWorld(sim)
 
-	sys := core.NewSystem(core.Config{
+	// buf is assigned once the ingest path is built (before the pipeline
+	// starts sliding); the degradation ladder reads its backlog.
+	var buf *stream.IngestBuffer
+	sysCfg := core.Config{
 		Window:          stream.WindowSpec{Range: *window, Slide: *slide},
 		Tracker:         tracker.DefaultParams(),
 		Recognition:     maritime.Config{Window: *window},
 		Processors:      *procs,
 		TrackerShards:   *shards,
 		WatchdogTimeout: *watchdog,
-	}, vesselsReg, areasReg, ports)
+		SelfHeal:        *selfHeal,
+	}
+	if *degrade {
+		spec := &core.DegradeSpec{SlideHigh: *degSlide, DepthHigh: *degDepth}
+		if spec.SlideHigh <= 0 {
+			spec.SlideHigh = *slide * 8 / 10
+		}
+		if spec.DepthHigh <= 0 && *ingest > 0 {
+			spec.DepthHigh = *ingest * 3 / 4
+		}
+		spec.DepthFunc = func() int {
+			if buf == nil {
+				return 0
+			}
+			return buf.Pending()
+		}
+		sysCfg.Degrade = spec
+	}
+	sys := core.NewSystem(sysCfg, vesselsReg, areasReg, ports)
+
+	// The supervisor drives quarantine→restore→replay→re-admit: it polls
+	// after every slide (so repairs land between slides) and, once the
+	// run context exists, ticks in the background in case the stream goes
+	// quiet while a target is down.
+	var sup *supervise.Supervisor
+	if *selfHeal {
+		sup = supervise.New(sys, supervise.Policy{})
+		sup.SetLogger(log.Printf)
+		sys.OnSlideEnd(func(core.SlideReport) { sup.Poll() })
+	}
 
 	// One registry covers every tier: pipeline stage timings, hub
 	// fan-out, feed transport, ingest buffer, checkpointing and the Go
@@ -147,6 +184,9 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if sup != nil {
+		go sup.Run(ctx, time.Second)
+	}
 
 	feedAddr := *live
 	if feedAddr == "" {
@@ -178,7 +218,6 @@ func main() {
 	defer client.Close()
 	client.RegisterMetrics(reg)
 	var src stream.FixSource = client
-	var buf *stream.IngestBuffer
 	if *ingest > 0 {
 		buf = stream.NewIngestBuffer(client, *ingest)
 		defer buf.Close()

@@ -83,6 +83,17 @@ type Options struct {
 	// mid-stream aborts the protocol exactly like a process death, and
 	// the previous checkpoint must survive. Production leaves it nil.
 	WrapWriter func(io.Writer) io.Writer
+	// RetryAttempts is how many extra write attempts a failed save gets
+	// before it is declared failed — transient filesystem errors
+	// (ENOSPC while logs rotate, EIO on flaky storage) routinely clear
+	// within milliseconds, and each attempt restarts the atomic protocol
+	// on a fresh temp file so a partial write never leaks into a retry.
+	// 0 uses the default (2); negative disables retrying. Encoding
+	// errors are never retried — they are deterministic.
+	RetryAttempts int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt (default 25ms).
+	RetryBackoff time.Duration
 }
 
 // Manager owns one checkpoint directory: periodic saves with pruning,
@@ -170,13 +181,33 @@ func (m *Manager) Save(st *State) error {
 	seq := m.seq + 1
 	m.mu.Unlock()
 	path := filepath.Join(m.opt.Dir, fileName(seq))
-	err := durable.WriteFileAtomic(path, func(w io.Writer) error {
-		if m.opt.WrapWriter != nil {
-			w = m.opt.WrapWriter(w)
+	attempts := 1 + m.retryAttempts()
+	backoff := m.opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if m.metrics != nil {
+				m.metrics.retries.Inc()
+			}
 		}
-		return durable.WriteFrame(w, fileMagic, fileVersion, payload.Bytes())
-	})
+		err = durable.WriteFileAtomic(path, func(w io.Writer) error {
+			if m.opt.WrapWriter != nil {
+				w = m.opt.WrapWriter(w)
+			}
+			return durable.WriteFrame(w, fileMagic, fileVersion, payload.Bytes())
+		})
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
+		// Only an exhausted save counts as a failure; recovered retries
+		// are reported separately.
 		m.countFailure()
 		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
 	}
@@ -267,6 +298,17 @@ func (m *Manager) LastSeq() uint64 {
 	return m.seq
 }
 
+// retryAttempts resolves the effective extra-attempt budget.
+func (m *Manager) retryAttempts() int {
+	if m.opt.RetryAttempts < 0 {
+		return 0
+	}
+	if m.opt.RetryAttempts == 0 {
+		return 2
+	}
+	return m.opt.RetryAttempts
+}
+
 func (m *Manager) countFailure() {
 	if m.metrics != nil {
 		m.metrics.failures.Inc()
@@ -304,6 +346,7 @@ type managerMetrics struct {
 	saveDur       *obs.Histogram
 	saves         *obs.Counter
 	failures      *obs.Counter
+	retries       *obs.Counter
 	restores      *obs.Counter
 	rejected      *obs.Counter
 	replaySkipped *obs.Counter
@@ -320,7 +363,9 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 		saves: r.Counter("maritime_checkpoint_saves_total",
 			"Checkpoints successfully written.", nil),
 		failures: r.Counter("maritime_checkpoint_failures_total",
-			"Checkpoint writes that failed (the previous checkpoint survives).", nil),
+			"Checkpoint saves that failed after exhausting their retries (the previous checkpoint survives).", nil),
+		retries: r.Counter("maritime_checkpoint_retries_total",
+			"Write attempts retried after a transient failure (ENOSPC, EIO); not counted as failures when a retry succeeds.", nil),
 		restores: r.Counter("maritime_checkpoint_restores_total",
 			"Successful restores from a checkpoint at startup.", nil),
 		rejected: r.Counter("maritime_checkpoint_rejected_total",

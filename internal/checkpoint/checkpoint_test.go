@@ -12,6 +12,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/faults"
 	"repro/internal/feed"
+	"repro/internal/obs"
 )
 
 // testState builds a small distinguishable State; the System field stays
@@ -240,6 +241,79 @@ func TestCrashMidWriteLeavesPreviousIntact(t *testing.T) {
 	st, err = m.RestoreNewest()
 	if err != nil || st == nil || st.Slides != 3 {
 		t.Fatalf("RestoreNewest after recovery save = (%+v, %v), want Slides=3", st, err)
+	}
+}
+
+func TestSaveRetriesTransientWriteFailure(t *testing.T) {
+	m := newTestManager(t, Options{RetryBackoff: time.Millisecond})
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg)
+
+	// The first two attempts crash mid-frame (a transient ENOSPC/EIO
+	// stand-in); the third writes through. Each retry restarts the
+	// atomic protocol, so WrapWriter is called once per attempt.
+	attempts := 0
+	m.opt.WrapWriter = func(w io.Writer) io.Writer {
+		attempts++
+		if attempts <= 2 {
+			return faults.NewCrashWriter(w, 10)
+		}
+		return w
+	}
+	if err := m.Save(testState(1)); err != nil {
+		t.Fatalf("Save should succeed on the third attempt: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("write attempts = %d, want 3", attempts)
+	}
+	st, err := m.RestoreNewest()
+	if err != nil || st == nil || st.Slides != 1 {
+		t.Fatalf("RestoreNewest after retried save = (%+v, %v), want Slides=1", st, err)
+	}
+
+	// Recovered retries are not failures: 2 retries, 0 failures.
+	var buf strings.Builder
+	reg.WriteText(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "maritime_checkpoint_retries_total 2") {
+		t.Errorf("metrics should count 2 retries:\n%s", text)
+	}
+	if !strings.Contains(text, "maritime_checkpoint_failures_total 0") {
+		t.Errorf("recovered retries must not count as failures:\n%s", text)
+	}
+
+	// A persistent fault exhausts the budget (1 + RetryAttempts writes)
+	// and only then counts one failure.
+	attempts = 0
+	m.opt.WrapWriter = func(w io.Writer) io.Writer {
+		attempts++
+		return faults.NewCrashWriter(w, 10)
+	}
+	if err := m.Save(testState(2)); !errors.Is(err, faults.ErrInjectedCrash) {
+		t.Fatalf("Save with persistent fault: err = %v, want ErrInjectedCrash", err)
+	}
+	if attempts != 3 {
+		t.Errorf("exhausted save used %d attempts, want 3", attempts)
+	}
+	buf.Reset()
+	reg.WriteText(&buf)
+	if !strings.Contains(buf.String(), "maritime_checkpoint_failures_total 1") {
+		t.Errorf("exhausted save should count exactly one failure:\n%s", buf.String())
+	}
+}
+
+func TestSaveRetryDisabled(t *testing.T) {
+	m := newTestManager(t, Options{RetryAttempts: -1})
+	attempts := 0
+	m.opt.WrapWriter = func(w io.Writer) io.Writer {
+		attempts++
+		return faults.NewCrashWriter(w, 10)
+	}
+	if err := m.Save(testState(1)); err == nil {
+		t.Fatal("Save should fail with retries disabled")
+	}
+	if attempts != 1 {
+		t.Errorf("RetryAttempts=-1 made %d attempts, want 1", attempts)
 	}
 }
 

@@ -1,9 +1,11 @@
 package checkpoint
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"slices"
 	"strings"
 	"testing"
@@ -271,6 +273,93 @@ func TestKillRestoreMidCheckpointWrite(t *testing.T) {
 	st, resumed, resFinal := resumeRun(t, sim, fixes, mgr, 3)
 	if st.Slides != 9 {
 		t.Fatalf("restored checkpoint covers %d slides, want the pre-crash 9", st.Slides)
+	}
+	compareRuns(t, reference, killed, resumed, refFinal, resFinal, st.Slides)
+}
+
+func TestSigtermMidReplayDiscardsPartialReplayWhole(t *testing.T) {
+	// A restart dies *during* restore-then-replay — SIGTERM while the
+	// replayed slides are still in flight, before any new checkpoint.
+	// The partial replay must be discarded whole: replay writes nothing
+	// durable, so the interrupted attempt leaves the checkpoint dir
+	// byte-identical and the next start recovers from the same
+	// checkpoint with full equivalence.
+	sim, fixes := testFleet(t, 120, 4)
+	reference, refFinal := referenceRun(t, sim, fixes)
+
+	const saveEvery, killSlide = 3, 10
+	mgr := newTestManager(t, Options{})
+	killed := checkpointingRun(t, sim, fixes, mgr, saveEvery, killSlide, 3)
+	seqBefore := mgr.LastSeq()
+	newest := newestPath(t, mgr)
+	rawBefore, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: restore, replay a handful of slides, then die.
+	var partial []string
+	{
+		st, err := mgr.RestoreNewest()
+		if err != nil || st == nil {
+			t.Fatalf("RestoreNewest: (%v, %v)", st, err)
+		}
+		sys := newPipeline(sim, 3)
+		if err := sys.RestoreSnapshot(st.System); err != nil {
+			t.Fatalf("RestoreSnapshot: %v", err)
+		}
+		src := feed.NewResumeFilter(stream.NewSliceSource(fixes), st.Cursor)
+		batcher := stream.NewBatcherFrom(src, testSlide, st.Query)
+		for i := 0; i < 4; i++ {
+			b, ok := batcher.Next()
+			if !ok {
+				t.Fatalf("stream ended %d slides into the replay", i)
+			}
+			partial = append(partial, renderSlide(sys.ProcessBatch(b)))
+		}
+		// SIGTERM: no Drain, no checkpoint, the process just stops.
+		sys.Close()
+	}
+
+	// Nothing durable changed: same newest checkpoint, same bytes, no
+	// new sequence numbers, no temp litter.
+	m2 := newTestManager(t, Options{Dir: mgr.Dir()})
+	if m2.LastSeq() != seqBefore {
+		t.Fatalf("aborted replay advanced the checkpoint sequence: %d → %d", seqBefore, m2.LastSeq())
+	}
+	rawAfter, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawBefore, rawAfter) {
+		t.Fatal("aborted replay mutated the newest checkpoint on disk")
+	}
+	entries, err := os.ReadDir(mgr.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), fileSuffix) {
+			t.Errorf("aborted replay left stray file %q", e.Name())
+		}
+	}
+
+	// Second restart recovers byte-identically: the durable prefix plus
+	// the fresh replay reproduce the uninterrupted reference, and the
+	// discarded partial slides match their re-replayed counterparts
+	// (determinism makes the re-emission identical, so nothing from the
+	// interrupted attempt is lost — it is simply recomputed).
+	st, resumed, resFinal := resumeRun(t, sim, fixes, m2, 3)
+	if st.Slides != killSlide/saveEvery*saveEvery {
+		t.Fatalf("second restart restored %d slides, want %d", st.Slides, killSlide/saveEvery*saveEvery)
+	}
+	for i, p := range partial {
+		if i >= len(resumed) {
+			t.Fatalf("second replay shorter than the aborted one: %d < %d", len(resumed), len(partial))
+		}
+		if p != resumed[i] {
+			t.Fatalf("replay slide %d not deterministic across restarts:\n  aborted: %s\n  second:  %s", i, p, resumed[i])
+		}
 	}
 	compareRuns(t, reference, killed, resumed, refFinal, resFinal, st.Slides)
 }

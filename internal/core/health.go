@@ -37,15 +37,35 @@ type Health struct {
 	// IngestOverflow is the bounded-buffer overflow count (also present
 	// in DropsByCause under "overflow").
 	IngestOverflow int
-	// WatchdogTrips counts slides where recognition exceeded its budget
-	// and was abandoned; WedgedPartitions is how many partitions are
-	// currently out of service because of it.
+	// WatchdogTrips counts slides where a pipeline stage exceeded its
+	// budget and was abandoned (recognition watchdog plus tracker shard
+	// stalls); WedgedPartitions is how many recognizers are currently
+	// out of service because of it.
 	WatchdogTrips    int
 	WedgedPartitions int
-	// ReplayGapSlides counts window slides between a restored checkpoint
-	// and the first fix the feed could actually replay: a restart whose
-	// checkpoint predates the feed's replayable horizon resumes with a
-	// partial replay, and this reports how much of the stream was
+	// Supervision counters (Config.SelfHeal). PanicsRecovered counts
+	// panics converted into quarantines instead of crashes; Quarantined
+	// is how many targets (tracker shards, recognizers, the store) are
+	// currently out of service awaiting repair; Restores counts
+	// completed quarantine→restore→replay→re-admit cycles; Failed is
+	// how many targets the supervisor gave up on.
+	PanicsRecovered int
+	Quarantined     int
+	Restores        int
+	Failed          int
+	// Degradation ladder state (Config.Degrade): the current rung (0 =
+	// full pipeline) and how many transitions the ladder has made.
+	DegradationLevel       int
+	DegradationTransitions int
+	// Late-fix accounting: out-of-order fixes that could still be
+	// sequenced into their vessel's trajectory vs fixes behind their
+	// vessel's clock that had to be discarded.
+	LateFixesAccepted int
+	LateFixesDropped  int
+	// ReplayGapSlides counts window slides lost to replay: slides
+	// between a restored checkpoint and the first fix the feed could
+	// actually replay, plus self-heal journal slides discarded by the
+	// retention cap. Either way it reports how much of the stream was
 	// unrecoverable instead of silently closing the gap.
 	ReplayGapSlides int
 }
@@ -62,6 +82,14 @@ func (h Health) Merge(o Health) Health {
 	out.IngestOverflow += o.IngestOverflow
 	out.WatchdogTrips += o.WatchdogTrips
 	out.WedgedPartitions += o.WedgedPartitions
+	out.PanicsRecovered += o.PanicsRecovered
+	out.Quarantined += o.Quarantined
+	out.Restores += o.Restores
+	out.Failed += o.Failed
+	out.DegradationLevel = max(out.DegradationLevel, o.DegradationLevel)
+	out.DegradationTransitions += o.DegradationTransitions
+	out.LateFixesAccepted += o.LateFixesAccepted
+	out.LateFixesDropped += o.LateFixesDropped
 	out.ReplayGapSlides += o.ReplayGapSlides
 	if len(o.DropsByCause) > 0 {
 		if out.DropsByCause == nil {
@@ -89,11 +117,37 @@ func (h Health) TotalDropped() int {
 	return n
 }
 
+// State classifies the snapshot for operators: "ok"; "degraded" when
+// the system is running but below full fidelity and expected to recover
+// on its own (targets quarantined awaiting repair, or the overload
+// ladder active); "wedged" when a target has failed for good and needs
+// operator action (restart, or a checkpoint restore).
+func (h Health) State() string {
+	switch {
+	case h.Failed > 0:
+		return "wedged"
+	case h.Quarantined > 0 || h.DegradationLevel > 0 || h.WedgedPartitions > 0:
+		return "degraded"
+	}
+	return "ok"
+}
+
 // String renders a compact one-line summary for logs.
 func (h Health) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "reconnects=%d resumes=%d watchdog=%d wedged=%d",
-		h.Reconnects, h.Resumes, h.WatchdogTrips, h.WedgedPartitions)
+	fmt.Fprintf(&b, "state=%s reconnects=%d resumes=%d watchdog=%d wedged=%d",
+		h.State(), h.Reconnects, h.Resumes, h.WatchdogTrips, h.WedgedPartitions)
+	if h.PanicsRecovered > 0 || h.Quarantined > 0 || h.Restores > 0 || h.Failed > 0 {
+		fmt.Fprintf(&b, " panics=%d quarantined=%d restores=%d failed=%d",
+			h.PanicsRecovered, h.Quarantined, h.Restores, h.Failed)
+	}
+	if h.DegradationLevel > 0 || h.DegradationTransitions > 0 {
+		fmt.Fprintf(&b, " degrade=L%d(transitions %d)",
+			h.DegradationLevel, h.DegradationTransitions)
+	}
+	if h.LateFixesAccepted > 0 || h.LateFixesDropped > 0 {
+		fmt.Fprintf(&b, " late=%d(dropped %d)", h.LateFixesAccepted, h.LateFixesDropped)
+	}
 	if h.DialAttempts > 0 || h.Disconnects > 0 {
 		fmt.Fprintf(&b, " dials=%d(fail %d) disconnects=%d",
 			h.DialAttempts, h.DialFailures, h.Disconnects)
@@ -181,9 +235,39 @@ func (s *System) Health() Health {
 	h := Health{
 		WatchdogTrips:    int(s.watchdogTrips.Load()),
 		WedgedPartitions: s.wedgedCount(),
+		PanicsRecovered:  int(s.panicsRecovered.Load()),
+		Restores:         int(s.restores.Load()),
+		ReplayGapSlides:  int(s.journalGaps.Load()),
 	}
+	quar, failed := s.downCounts()
+	ts := s.tracker.FaultStats()
+	h.PanicsRecovered += ts.Panics
+	h.WatchdogTrips += ts.Stalls
+	h.Quarantined = quar + ts.Quarantined
+	h.Failed = failed + ts.Failed
+	h.Restores += ts.Retries + ts.Repairs
+	h.ReplayGapSlides += ts.GapSlides
+	if s.degrader != nil {
+		h.DegradationLevel = s.degrader.Level()
+		h.DegradationTransitions = int(s.degrader.transitions.Load())
+	}
+	acc, drop := s.tracker.LateFixes()
+	h.LateFixesAccepted, h.LateFixesDropped = int(acc), int(drop)
+	drops := make(map[string]int, 4)
 	if lost := s.watchdogLostEvents.Load(); lost > 0 {
-		h.DropsByCause = map[string]int{"watchdog": int(lost)}
+		drops["watchdog"] = int(lost)
+	}
+	if ts.DroppedFixes > 0 {
+		drops["shard-down"] = ts.DroppedFixes
+	}
+	if shed := s.tracker.ShedFixes(); shed > 0 {
+		drops["shed-stationary"] = int(shed)
+	}
+	if dd := s.degradedDrops.Load(); dd > 0 {
+		drops["degraded"] = int(dd)
+	}
+	if len(drops) > 0 {
+		h.DropsByCause = drops
 	}
 	for _, fn := range s.healthSources {
 		h = h.Merge(fn())
@@ -194,12 +278,32 @@ func (s *System) Health() Health {
 func (s *System) wedgedCount() int {
 	n := 0
 	for _, p := range s.partitions {
-		if p.wedged.Load() {
+		if p.down.Load() != partUp {
 			n++
 		}
 	}
-	if s.recognizerWedged.Load() {
+	if s.singleDown.Load() != partUp {
 		n++
 	}
 	return n
+}
+
+// downCounts tallies the recognizers' and store's down-states:
+// quarantined (repairable) vs failed (given up). Safe under concurrent
+// scrapes — it reads only atomics.
+func (s *System) downCounts() (quar, failed int) {
+	tally := func(d int32) {
+		switch d {
+		case partStalled, partPanicked:
+			quar++
+		case partFailed:
+			failed++
+		}
+	}
+	tally(s.singleDown.Load())
+	for _, p := range s.partitions {
+		tally(p.down.Load())
+	}
+	tally(s.storeDown.Load())
+	return quar, failed
 }

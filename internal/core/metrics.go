@@ -56,6 +56,35 @@ func (s *System) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("maritime_wedged_partitions",
 		"Recognizer partitions currently out of service after a watchdog trip.", nil,
 		func() float64 { return float64(s.wedgedCount()) })
+	r.CounterFunc("maritime_panics_recovered_total",
+		"Panics in the recognizer fan-out or archival path converted into quarantines instead of crashes.", nil,
+		func() float64 { return float64(s.panicsRecovered.Load()) })
+	r.GaugeFunc("maritime_quarantined_targets",
+		"Recognizers and store currently quarantined, awaiting restore-then-replay (tracker shards are counted by maritime_tracker_shards_quarantined).", nil,
+		func() float64 { q, _ := s.downCounts(); return float64(q) })
+	r.GaugeFunc("maritime_failed_targets",
+		"Recognizers and store the supervisor gave up on; out of service until a snapshot restore.", nil,
+		func() float64 { _, f := s.downCounts(); return float64(f) })
+	r.CounterFunc("maritime_restores_total",
+		"Completed quarantine-restore-replay-readmit cycles on recognizers and the store.", nil,
+		func() float64 { return float64(s.restores.Load()) })
+	r.CounterFunc("maritime_journal_gap_slides_total",
+		"Self-heal journal slides discarded by the retention cap (lost to replay, accounted in Health.ReplayGapSlides).", nil,
+		func() float64 { return float64(s.journalGaps.Load()) })
+	r.GaugeFunc("maritime_degradation_level",
+		"Current rung of the overload degradation ladder (0 = full pipeline).", nil,
+		func() float64 { return float64(s.DegradationLevel()) })
+	r.CounterFunc("maritime_degradation_transitions_total",
+		"Transitions of the overload degradation ladder, in either direction.", nil,
+		func() float64 {
+			if s.degrader == nil {
+				return 0
+			}
+			return float64(s.degrader.transitions.Load())
+		})
+	r.CounterFunc("maritime_degraded_dropped_events_total",
+		"Durative movement events dropped while recognition ran instantaneous-only.", nil,
+		func() float64 { return float64(s.degradedDrops.Load()) })
 	s.tracker.RegisterMetrics(r)
 }
 

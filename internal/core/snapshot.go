@@ -6,6 +6,8 @@ import (
 	"fmt"
 
 	"repro/internal/maritime"
+	"repro/internal/mod"
+	"repro/internal/supervise"
 	"repro/internal/tracker"
 )
 
@@ -16,10 +18,11 @@ import (
 // serialized: the restoring process builds an identically configured
 // System first, then restores dynamic state into it.
 //
-// Watchdog degradation state (wedged recognizers, trip counters) is
-// deliberately NOT checkpointed: a restart is exactly the recovery
-// action for a wedged recognizer, so the restored process starts with
-// every partition healthy.
+// Watchdog and supervision state (down targets, trip counters,
+// journals) is deliberately NOT checkpointed: a restart — or an
+// in-process RestoreSnapshot — is exactly the recovery action for a
+// wedged target, so the restored system starts with every target
+// healthy and its journals re-based on the restored state.
 
 // Typed restore failures, matched with errors.Is.
 var (
@@ -27,10 +30,14 @@ var (
 	// different recognizer layout (Processors count, or recognition
 	// enabled vs disabled) than the one restoring it.
 	ErrTopologyMismatch = errors.New("core: snapshot recognizer topology does not match this system")
-	// ErrWedged means the system has recognizers abandoned by the
-	// watchdog; their state may still be mutating in abandoned goroutines,
-	// so a consistent snapshot cannot be taken.
-	ErrWedged = errors.New("core: cannot snapshot a system with wedged recognizers")
+	// ErrWedged means the system has targets out of service — recognizers
+	// abandoned by the watchdog, quarantined tracker shards, a
+	// quarantined store — whose state is incomplete or may still be
+	// mutating in abandoned goroutines, so a consistent snapshot cannot
+	// be taken. With Config.SelfHeal the condition is transient: once
+	// Heal re-admits the targets (the supervisor does this
+	// automatically), Snapshot succeeds again.
+	ErrWedged = errors.New("core: cannot snapshot a system with out-of-service targets")
 )
 
 // Snapshot is the serialized dynamic state of a System. Recognizers
@@ -58,13 +65,18 @@ func (s *System) recognizerCount() int {
 // watchdog has abandoned a recognizer, because an abandoned goroutine
 // may still be mutating that recognizer's state.
 func (s *System) Snapshot() (Snapshot, error) {
-	if s.recognizerWedged.Load() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.singleDown.Load() != partUp || s.storeDown.Load() != partUp {
 		return Snapshot{}, ErrWedged
 	}
 	for _, p := range s.partitions {
-		if p.wedged.Load() {
+		if p.down.Load() != partUp {
 			return Snapshot{}, ErrWedged
 		}
+	}
+	if ts := s.tracker.FaultStats(); ts.Quarantined > 0 || ts.Failed > 0 {
+		return Snapshot{}, ErrWedged
 	}
 	snap := Snapshot{Tracker: s.tracker.Snapshot()}
 	if s.recognizer != nil {
@@ -91,9 +103,17 @@ func (s *System) Snapshot() (Snapshot, error) {
 // a failed restore as fatal and fall back to an older checkpoint or a
 // cold start. It must not run concurrently with ProcessBatch.
 func (s *System) RestoreSnapshot(snap Snapshot) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	if len(snap.Recognizers) != s.recognizerCount() {
 		return fmt.Errorf("%w: snapshot has %d recognizers, system has %d",
 			ErrTopologyMismatch, len(snap.Recognizers), s.recognizerCount())
+	}
+	// A restore supersedes any quarantine or failure: down targets are
+	// replaced outright (a wedged goroutine may still be touching the
+	// old objects) and re-admitted with the restored state.
+	if s.selfHeal && s.storeDown.Load() != partUp {
+		s.store = mod.New(s.ports)
 	}
 	if err := s.store.RestoreSnapshot(bytes.NewReader(snap.Store)); err != nil {
 		return err
@@ -102,10 +122,35 @@ func (s *System) RestoreSnapshot(snap Snapshot) error {
 		return err
 	}
 	if s.recognizer != nil {
+		if s.selfHeal && s.singleDown.Load() != partUp {
+			s.recognizer = maritime.NewRecognizer(s.cfg.Recognition, s.vessels, s.areas)
+		}
 		s.recognizer.RestoreSnapshot(snap.Recognizers[0])
 	}
 	for i, p := range s.partitions {
+		if s.selfHeal && p.down.Load() != partUp {
+			p.rec = maritime.NewRecognizer(s.cfg.Recognition, s.vessels, p.areas)
+		}
 		p.rec.RestoreSnapshot(snap.Recognizers[i])
+	}
+	s.storeDown.Store(partUp)
+	s.storeInfo = supervise.Quarantine{}
+	s.singleDown.Store(partUp)
+	s.singleInfo = supervise.Quarantine{}
+	for _, p := range s.partitions {
+		p.down.Store(partUp)
+		p.info = supervise.Quarantine{}
+	}
+	s.recovered = nil
+	// Journals must describe the restored state, not the one it
+	// replaced.
+	if s.selfHeal {
+		for i := range s.recJ {
+			s.recJ[i] = recJournal{base: s.recAt(i).Snapshot(), downFrom: -1}
+		}
+		if s.storeJ != nil {
+			*s.storeJ = storeJournal{base: s.storeBytes()}
+		}
 	}
 	return nil
 }

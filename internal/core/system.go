@@ -12,6 +12,7 @@ import (
 	"cmp"
 	"math"
 	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/mod"
 	"repro/internal/rtec"
 	"repro/internal/stream"
+	"repro/internal/supervise"
 	"repro/internal/tracker"
 )
 
@@ -55,6 +57,21 @@ type Config struct {
 	// DisableArchival turns staging/reconstruction/loading off, for
 	// experiments that time online processing alone.
 	DisableArchival bool
+	// SelfHeal arms the supervision layer: panics in tracker shard
+	// workers, the recognizer fan-out and the archival path are recovered
+	// into quarantined targets instead of crashing the process,
+	// per-target journals are kept, and Heal re-admits a quarantined
+	// target by restore-then-replay. Watchdog-wedged recognizers become
+	// repairable instead of terminally abandoned.
+	SelfHeal bool
+	// JournalSlides is the re-base cadence of the self-heal journals
+	// (default tracker.DefaultJournalSlides). Larger values keep more
+	// replayable history per target at more memory; the retention cap is
+	// eight cadences.
+	JournalSlides int
+	// Degrade configures the overload degradation ladder (see
+	// DegradeSpec); nil disables it.
+	Degrade *DegradeSpec
 }
 
 // Timings breaks one slide's processing cost into the stages of the
@@ -124,7 +141,44 @@ type System struct {
 	healthSources      []func() Health
 	watchdogTrips      atomic.Int64
 	watchdogLostEvents atomic.Int64
-	recognizerWedged   atomic.Bool
+	// singleDown is the unpartitioned recognizer's down-state (partUp /
+	// partStalled / partPanicked / partFailed); singleInfo describes the
+	// quarantine while it is down.
+	singleDown atomic.Int32
+	singleInfo supervise.Quarantine
+
+	// Self-healing supervision (Config.SelfHeal); see heal.go. The
+	// static world knowledge is retained so repairs can build fresh
+	// recognizers/stores; journals keep each target's recent input
+	// slides for restore-then-replay.
+	selfHeal     bool
+	journalEvery int
+	journalCap   int
+	vessels      []maritime.Vessel
+	areas        []maritime.Area
+	ports        []mod.PortArea
+	recJ         []recJournal
+	storeJ       *storeJournal
+	storeDown    atomic.Int32
+	storeInfo    supervise.Quarantine
+	// recovered holds alerts reconstructed by a Heal replay, delivered
+	// (sorted in) with the next slide's report.
+	recovered       []maritime.Alert
+	panicsRecovered atomic.Int64
+	restores        atomic.Int64
+	journalGaps     atomic.Int64
+	degradedDrops   atomic.Int64
+	storeHook       atomic.Pointer[func()]
+
+	// Overload degradation ladder (Config.Degrade); see degrade.go.
+	degrader *degrader
+
+	// runMu serializes the pipeline's state-mutating entry points
+	// (ProcessBatch, Drain, Snapshot, RestoreSnapshot, Heal, Abandon) so
+	// a supervisor may repair targets while the stream keeps sliding.
+	// onSlideEnd callbacks run after each slide OUTSIDE the lock.
+	runMu      sync.Mutex
+	onSlideEnd []func(SlideReport)
 }
 
 // partition is one geographic slice of the monitored region.
@@ -133,11 +187,13 @@ type partition struct {
 	areas []maritime.Area
 	loLon float64 // inclusive lower longitude bound (-Inf for first)
 	hiLon float64 // exclusive upper bound (+Inf for last)
-	// wedged marks a partition abandoned by the watchdog: its goroutine
-	// overran the slide budget and may still be running, so it must
-	// never be advanced again. Atomic for the same reason as the
-	// watchdog counters: concurrent Health scrapes read it.
-	wedged atomic.Bool
+	// down marks a partition out of service (partStalled: abandoned by
+	// the watchdog, its goroutine may still be running; partPanicked:
+	// panic recovered; partFailed: given up). It must never be advanced
+	// while down. Atomic because concurrent Health scrapes read it; info
+	// describes the quarantine and is guarded by runMu.
+	down atomic.Int32
+	info supervise.Quarantine
 }
 
 // NewSystem wires the pipeline over the given static knowledge. vessels
@@ -169,6 +225,12 @@ func NewSystem(cfg Config, vessels []maritime.Vessel, areas []maritime.Area, por
 			s.factGen = maritime.NewFactGenerator(areas, closeMetersOf(cfg.Recognition))
 			s.factGen.SetParallelism(s.tracker.Shards())
 		}
+	}
+	if cfg.Degrade != nil {
+		s.degrader = newDegrader(*cfg.Degrade)
+	}
+	if cfg.SelfHeal {
+		s.initSelfHeal(vessels, areas, ports)
 	}
 	return s
 }
@@ -244,9 +306,30 @@ func (s *System) Recognizer() *maritime.Recognizer { return s.recognizer }
 func (s *System) Store() *mod.MOD { return s.store }
 
 // ProcessBatch runs one window slide through the full pipeline and
-// reports what happened, with per-stage timings.
+// reports what happened, with per-stage timings. Slides are serialized
+// with the other state-mutating entry points (Snapshot, Heal, ...);
+// OnSlideEnd callbacks run after the slide, outside the lock.
 func (s *System) ProcessBatch(b stream.Batch) SlideReport {
+	s.runMu.Lock()
+	rep := s.processLocked(b)
+	cbs := s.onSlideEnd
+	s.runMu.Unlock()
+	for _, fn := range cbs {
+		fn(rep)
+	}
+	return rep
+}
+
+func (s *System) processLocked(b stream.Batch) SlideReport {
 	rep := SlideReport{Query: b.Query, FixesIn: len(b.Fixes)}
+	level := DegradeNone
+	if s.degrader != nil {
+		level = s.degrader.Level()
+	}
+	// Alerts reconstructed by a Heal replay since the last slide are
+	// delivered with this one.
+	recovered := s.recovered
+	s.recovered = nil
 
 	t := time.Now()
 	res := s.tracker.Slide(b)
@@ -254,22 +337,23 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 	rep.CriticalPoints = len(res.Fresh)
 
 	if !s.cfg.DisableArchival {
-		t = time.Now()
-		s.store.Stage(res.Delta)
-		rep.Timings.Staging = time.Since(t)
-
-		t = time.Now()
-		trips := s.store.Reconstruct()
-		rep.Timings.Reconstruction = time.Since(t)
-
-		t = time.Now()
-		s.store.Load(trips)
-		rep.Timings.Loading = time.Since(t)
-		rep.TripsCompleted = len(trips)
+		// At DegradeDeferArchival and above, staging continues (nothing
+		// is lost) but reconstruction+loading are deferred to a healthier
+		// slide or the final drain.
+		doReconstruct := level < DegradeDeferArchival
+		if s.storeJ != nil {
+			s.journalStore(res.Delta, doReconstruct)
+		}
+		if s.storeDown.Load() == partUp {
+			s.runArchival(&rep, res.Delta, doReconstruct)
+		}
 	}
 
 	if s.recognizer != nil || len(s.partitions) > 0 {
 		events := maritime.MEStream(res.Fresh)
+		if level >= DegradeInstantaneousOnly {
+			events = s.filterInstantaneous(events)
+		}
 		var facts []maritime.SpatialFact
 		if s.factGen != nil {
 			facts = s.factGen.Facts(events)
@@ -282,6 +366,17 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 		}
 		rep.Timings.Recognition = time.Since(t)
 	}
+	if len(recovered) > 0 {
+		merged := make([]maritime.Alert, 0, len(recovered)+len(rep.Alerts))
+		merged = append(merged, recovered...)
+		merged = append(merged, rep.Alerts...)
+		slices.SortStableFunc(merged, maritime.CompareAlerts)
+		rep.Alerts = merged
+	}
+	s.rebaseJournals()
+	if s.degrader != nil {
+		s.degradeStep(rep.Timings.Total())
+	}
 	rep.Health = s.Health()
 	if s.metrics != nil {
 		s.metrics.observe(rep)
@@ -290,42 +385,112 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 	return rep
 }
 
+// runArchival stages the slide's delta points and (unless deferred by
+// the degradation ladder) reconstructs and loads trips. With SelfHeal a
+// panic anywhere in the archival path quarantines the store instead of
+// crashing; the journal replays the missed slides on Heal.
+func (s *System) runArchival(rep *SlideReport, delta []tracker.CriticalPoint, doReconstruct bool) {
+	if s.selfHeal {
+		defer func() {
+			if r := recover(); r != nil {
+				s.quarantineStore(newQuarantine("store", r))
+			}
+		}()
+	}
+	if h := s.storeHook.Load(); h != nil {
+		(*h)()
+	}
+	t := time.Now()
+	s.store.Stage(delta)
+	rep.Timings.Staging = time.Since(t)
+	if !doReconstruct {
+		return
+	}
+	t = time.Now()
+	trips := s.store.Reconstruct()
+	rep.Timings.Reconstruction = time.Since(t)
+
+	t = time.Now()
+	s.store.Load(trips)
+	rep.Timings.Loading = time.Since(t)
+	rep.TripsCompleted = len(trips)
+}
+
 // advanceSingle runs the lone recognizer, under the watchdog when one
-// is configured.
+// is configured. With SelfHeal the slide's input is journaled first and
+// a panic inside Advance quarantines the recognizer instead of
+// crashing.
 func (s *System) advanceSingle(q time.Time, events []rtec.Event, facts []maritime.SpatialFact) []maritime.Alert {
-	if s.recognizerWedged.Load() {
+	if s.recJ != nil {
+		s.journalRec(0, q, events, facts)
+	}
+	if s.singleDown.Load() != partUp {
 		s.watchdogLostEvents.Add(int64(len(events)))
 		return nil
 	}
-	if s.cfg.WatchdogTimeout <= 0 {
-		return s.recognizer.Advance(q, events, facts).Alerts
+	// Heal may replace s.recognizer between slides; pin the object this
+	// slide runs against so an abandoned goroutine never reads the field
+	// concurrently with a repair.
+	rec := s.recognizer
+	if s.cfg.WatchdogTimeout <= 0 && !s.selfHeal {
+		return rec.Advance(q, events, facts).Alerts
 	}
-	done := make(chan maritime.Snapshot, 1)
-	go func() {
+	type advResult struct {
+		snap maritime.Snapshot
+		qr   *supervise.Quarantine
+	}
+	done := make(chan advResult, 1)
+	advance := func() (out advResult) {
+		if s.selfHeal {
+			defer func() {
+				if r := recover(); r != nil {
+					qr := newQuarantine("recognizer", r)
+					out = advResult{qr: &qr}
+				}
+			}()
+		}
 		if h := recognizerAdvanceHook.Load(); h != nil {
 			(*h)(-1)
 		}
-		done <- s.recognizer.Advance(q, events, facts)
-	}()
+		return advResult{snap: rec.Advance(q, events, facts)}
+	}
+	if s.cfg.WatchdogTimeout <= 0 {
+		// Self-heal without a watchdog: run in place, recovering panics.
+		r := advance()
+		if r.qr != nil {
+			s.quarantineSingle(partPanicked, *r.qr, len(events))
+			return nil
+		}
+		return r.snap.Alerts
+	}
+	go func() { done <- advance() }()
 	timer := time.NewTimer(s.cfg.WatchdogTimeout)
 	defer timer.Stop()
+	deliver := func(r advResult) []maritime.Alert {
+		if r.qr != nil {
+			s.quarantineSingle(partPanicked, *r.qr, len(events))
+			return nil
+		}
+		return r.snap.Alerts
+	}
 	select {
-	case snap := <-done:
-		return snap.Alerts
+	case r := <-done:
+		return deliver(r)
 	case <-timer.C:
 		// The result can race the deadline into the select; prefer a
 		// delivery that beat the deadline over declaring a wedge.
 		select {
-		case snap := <-done:
-			return snap.Alerts
+		case r := <-done:
+			return deliver(r)
 		default:
 		}
 		// The recognizer overran the slide budget; abandon it (the
 		// goroutine may still be running against its private state, so it
 		// must never be advanced again) and keep the pipeline moving.
-		s.recognizerWedged.Store(true)
+		// With SelfHeal the quarantine is repairable: Heal rebuilds a
+		// fresh recognizer from the journal and re-admits it.
+		s.quarantineSingle(partStalled, stallQuarantine("recognizer"), len(events))
 		s.watchdogTrips.Add(1)
-		s.watchdogLostEvents.Add(int64(len(events)))
 		return nil
 	}
 }
@@ -344,24 +509,36 @@ var recognizerAdvanceHook atomic.Pointer[func(i int)]
 func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []maritime.SpatialFact) []maritime.Alert {
 	n := len(s.partitions)
 	// The routing slots are system-owned scratch reused across slides. A
-	// wedged partition's slot is never appended to again (its events are
-	// dropped below), so an abandoned goroutine that still holds last
-	// slide's slice sees a stable array.
+	// down partition's slot is abandoned to its goroutine at quarantine
+	// time (set to nil, never appended to again), so a goroutine that
+	// still holds an old slice sees a stable array.
 	for i := range s.evByPart {
 		s.evByPart[i] = s.evByPart[i][:0]
 		s.factByPart[i] = s.factByPart[i][:0]
 	}
 	for _, ev := range events {
 		i := s.partitionOf(ev.Lon)
-		if s.partitions[i].wedged.Load() {
+		if s.partitions[i].down.Load() != partUp {
 			s.watchdogLostEvents.Add(1)
-			continue
+			if !s.selfHeal {
+				continue
+			}
+			// The journal still needs the event: a Heal replay delivers
+			// the quarantine window's alerts as recovered.
 		}
 		s.evByPart[i] = append(s.evByPart[i], ev)
 	}
 	for _, f := range facts {
-		if i, ok := s.areaOwner[f.AreaID]; ok && !s.partitions[i].wedged.Load() {
+		if i, ok := s.areaOwner[f.AreaID]; ok {
+			if s.partitions[i].down.Load() != partUp && !s.selfHeal {
+				continue
+			}
 			s.factByPart[i] = append(s.factByPart[i], f)
+		}
+	}
+	if s.recJ != nil {
+		for i := range s.partitions {
+			s.journalRec(i, q, s.evByPart[i], s.factByPart[i])
 		}
 	}
 	// Fan out to the live partitions. Results come back over a buffered
@@ -369,27 +546,37 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 	// the watchdog can still complete without racing a later slide; the
 	// channel itself is per-slide for the same reason. Each goroutine
 	// takes its event/fact slices by value at launch so later slides may
-	// reslice the scratch slots freely.
+	// reslice the scratch slots freely. With SelfHeal a panicking
+	// goroutine reports a quarantine record instead of crashing.
 	type partResult struct {
 		i    int
 		snap maritime.Snapshot
+		qr   *supervise.Quarantine
 	}
 	results := make(chan partResult, n)
 	active := 0
 	for i, p := range s.partitions {
 		s.launched[i] = false
 		s.completed[i] = false
-		if p.wedged.Load() {
+		if p.down.Load() != partUp {
 			continue
 		}
 		s.launched[i] = true
 		active++
-		go func(i int, p *partition, evs []rtec.Event, fs []maritime.SpatialFact) {
+		go func(i int, rec *maritime.Recognizer, evs []rtec.Event, fs []maritime.SpatialFact) {
+			if s.selfHeal {
+				defer func() {
+					if r := recover(); r != nil {
+						qr := newQuarantine(s.recTarget(i), r)
+						results <- partResult{i: i, qr: &qr}
+					}
+				}()
+			}
 			if h := recognizerAdvanceHook.Load(); h != nil {
 				(*h)(i)
 			}
-			results <- partResult{i, p.rec.Advance(q, evs, fs)}
-		}(i, p, s.evByPart[i], s.factByPart[i])
+			results <- partResult{i: i, snap: rec.Advance(q, evs, fs)}
+		}(i, p.rec, s.evByPart[i], s.factByPart[i])
 	}
 	var timeout <-chan time.Time
 	if s.cfg.WatchdogTimeout > 0 {
@@ -397,11 +584,18 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 		defer timer.Stop()
 		timeout = timer.C
 	}
+	collect := func(r partResult) {
+		if r.qr != nil {
+			s.quarantinePartition(r.i, partPanicked, *r.qr)
+			return
+		}
+		s.snaps[r.i] = r.snap
+		s.completed[r.i] = true
+	}
 	for got := 0; got < active; {
 		select {
 		case r := <-results:
-			s.snaps[r.i] = r.snap
-			s.completed[r.i] = true
+			collect(r)
 			got++
 		case <-timeout:
 			// A result can race the deadline into the select: when the
@@ -412,8 +606,7 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 			for draining := true; draining && got < active; {
 				select {
 				case r := <-results:
-					s.snaps[r.i] = r.snap
-					s.completed[r.i] = true
+					collect(r)
 					got++
 				default:
 					draining = false
@@ -423,12 +616,12 @@ func (s *System) advancePartitions(q time.Time, events []rtec.Event, facts []mar
 				break
 			}
 			// The slide budget is spent: flag every straggler as wedged
-			// and move on with the snapshots that did arrive.
+			// and move on with the snapshots that did arrive. With
+			// SelfHeal the quarantine is repairable via Heal.
 			s.watchdogTrips.Add(1)
 			for i, p := range s.partitions {
-				if s.launched[i] && !s.completed[i] {
-					p.wedged.Store(true)
-					s.watchdogLostEvents.Add(int64(len(s.evByPart[i])))
+				if s.launched[i] && !s.completed[i] && p.down.Load() == partUp {
+					s.quarantinePartition(i, partStalled, stallQuarantine(s.recTarget(i)))
 				}
 			}
 			got = active
@@ -459,12 +652,22 @@ func (s *System) partitionOf(lon float64) int {
 // Table 4 "after the input stream was exhausted"). It advances the
 // window far past the last query time so every synopsis expires.
 func (s *System) Drain(last time.Time) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	res := s.tracker.Slide(stream.Batch{Query: last.Add(10 * s.cfg.Window.Range)})
 	if s.cfg.DisableArchival {
 		return
 	}
-	s.store.Stage(res.Delta)
-	s.store.Load(s.store.Reconstruct())
+	// The drain always reconstructs, regardless of the degradation
+	// ladder: end-of-stream statistics must cover the whole stream.
+	if s.storeJ != nil {
+		s.journalStore(res.Delta, true)
+	}
+	if s.storeDown.Load() != partUp {
+		return
+	}
+	var rep SlideReport
+	s.runArchival(&rep, res.Delta, true)
 }
 
 // RunAll replays an entire batched stream through the system, returning

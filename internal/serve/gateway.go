@@ -228,9 +228,14 @@ func (g *Gateway) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, g.hub.Ring().Last(n))
 }
 
-// HealthzPayload is the /healthz response body.
+// HealthzPayload is the /healthz response body. Status is the
+// pipeline's three-state summary: "ok", "degraded" (quarantined
+// targets under repair or the degradation ladder engaged — recovering,
+// no operator action needed yet), or "wedged" (a target was abandoned
+// past the give-up threshold; only a snapshot restore or restart
+// brings it back).
 type HealthzPayload struct {
-	Status    string      `json:"status"` // "ok" or "degraded"
+	Status    string      `json:"status"` // "ok", "degraded", or "wedged"
 	Slides    int         `json:"slides"`
 	LastQuery time.Time   `json:"last_query"`
 	StreamEnd bool        `json:"stream_ended"`
@@ -248,10 +253,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	g.repMu.RUnlock()
 	p.Hub = g.hub.Stats()
-	p.Status = "ok"
-	if p.Health.WedgedPartitions > 0 {
-		p.Status = "degraded"
-	}
+	p.Status = p.Health.State()
 	writeJSON(w, p)
 }
 

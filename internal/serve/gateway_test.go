@@ -360,6 +360,48 @@ func TestGatewaySnapshots(t *testing.T) {
 
 // TestSSEWireFormat checks the raw frames: id/event/data lines and the
 // heartbeat comment.
+// TestHealthzThreeStates drives the /healthz status through the full
+// supervision ladder: healthy, degraded-but-recovering (quarantined
+// target or degradation rung engaged), and wedged (a target abandoned
+// past the give-up threshold).
+func TestHealthzThreeStates(t *testing.T) {
+	g := newTestGateway(t, Options{})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	status := func() string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hz HealthzPayload
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		return hz.Status
+	}
+
+	q := time.Unix(3600, 0).UTC()
+	g.Consume(core.SlideReport{Query: q, Health: core.Health{}})
+	if s := status(); s != "ok" {
+		t.Errorf("healthy pipeline status = %q, want ok", s)
+	}
+	g.Consume(core.SlideReport{Query: q, Health: core.Health{Quarantined: 1}})
+	if s := status(); s != "degraded" {
+		t.Errorf("quarantined target status = %q, want degraded", s)
+	}
+	g.Consume(core.SlideReport{Query: q, Health: core.Health{DegradationLevel: 2}})
+	if s := status(); s != "degraded" {
+		t.Errorf("degradation rung status = %q, want degraded", s)
+	}
+	g.Consume(core.SlideReport{Query: q, Health: core.Health{Failed: 1}})
+	if s := status(); s != "wedged" {
+		t.Errorf("abandoned target status = %q, want wedged", s)
+	}
+}
+
 func TestSSEWireFormat(t *testing.T) {
 	g := newTestGateway(t, Options{Heartbeat: 30 * time.Millisecond})
 	srv := httptest.NewServer(g.Handler())

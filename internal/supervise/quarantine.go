@@ -1,0 +1,43 @@
+// Package supervise closes the fault-recovery loop around the pipeline:
+// partitions that panic or wedge are quarantined by their tier instead
+// of killing the process, and a Supervisor repairs them — restore from
+// the last known-good state, replay the journaled slides, re-admit —
+// with exponential backoff and a give-up threshold.
+//
+// The package deliberately depends only on the standard library and the
+// observability layer, so every tier (tracker shards, recognizer
+// partitions, the MOD store) can share its types without import cycles.
+package supervise
+
+import (
+	"fmt"
+	"time"
+)
+
+// Quarantine describes one out-of-service pipeline partition: who it
+// is, why it was taken out, and what the failure looked like.
+type Quarantine struct {
+	// Target names the partition in the supervisor's namespace:
+	// "tracker/3" for a tracker shard, "recognizer/1" for a recognition
+	// partition, "recognizer" for the unpartitioned recognizer, "store"
+	// for the MOD archival store.
+	Target string
+	// Cause is "panic" for a recovered panic, "stall" for a watchdog
+	// timeout.
+	Cause string
+	// Value is the rendered panic value; empty for stalls.
+	Value string
+	// Stack is the goroutine stack captured at the recovery site; empty
+	// for stalls (the wedged goroutine's stack is not reachable).
+	Stack string
+	// Since is when the partition was quarantined.
+	Since time.Time
+}
+
+// String renders the quarantine record for logs and health output.
+func (q Quarantine) String() string {
+	if q.Cause == "panic" {
+		return fmt.Sprintf("%s: panic: %s", q.Target, q.Value)
+	}
+	return fmt.Sprintf("%s: %s", q.Target, q.Cause)
+}

@@ -1,0 +1,219 @@
+package supervise
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Healer is the surface a supervised system exposes: what is currently
+// quarantined, a repair action, and a give-up action. core.System
+// implements it.
+type Healer interface {
+	// Quarantined lists the targets currently out of service and
+	// repairable. Targets already given up on must not be listed.
+	Quarantined() []Quarantine
+	// Heal repairs one target by restore-then-replay and re-admits it;
+	// an error leaves the target quarantined.
+	Heal(target string) error
+	// Abandon gives up on a target: it stays out of service and stops
+	// appearing in Quarantined.
+	Abandon(target string)
+}
+
+// Policy shapes the supervisor's retry behavior. Zero fields take the
+// documented defaults.
+type Policy struct {
+	// InitialBackoff is the wait after the first failed repair attempt
+	// (the first attempt itself runs as soon as the quarantine is
+	// observed). Default 1s.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 1m.
+	MaxBackoff time.Duration
+	// Multiplier is the backoff growth factor. Default 2.
+	Multiplier float64
+	// GiveUpAfter is how many failed repair attempts a target gets
+	// before the supervisor abandons it. Default 5.
+	GiveUpAfter int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = time.Second
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Minute
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.GiveUpAfter <= 0 {
+		p.GiveUpAfter = 5
+	}
+	return p
+}
+
+// backoff returns the wait after the n-th consecutive failure (n >= 1).
+func (p Policy) backoff(n int) time.Duration {
+	d := p.InitialBackoff
+	for i := 1; i < n; i++ {
+		d = time.Duration(float64(d) * p.Multiplier)
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	return min(d, p.MaxBackoff)
+}
+
+// Stats are the supervisor's lifetime counters.
+type Stats struct {
+	Repairs  int // successful heal cycles
+	Failures int // failed heal attempts
+	GiveUps  int // targets abandoned past the give-up threshold
+}
+
+// Supervisor drives the quarantine→restore→replay→re-admit loop over a
+// Healer: each Poll repairs every due quarantined target, backing off
+// exponentially per target on failure and abandoning a target that
+// keeps failing. It is safe for concurrent use; Heal calls run outside
+// the supervisor's own lock so a slow replay never blocks observation.
+type Supervisor struct {
+	h      Healer
+	policy Policy
+	now    func() time.Time
+	logf   func(format string, args ...any)
+
+	mu    sync.Mutex
+	state map[string]*targetState
+	stats Stats
+}
+
+// targetState is the per-target retry ledger.
+type targetState struct {
+	failures int       // consecutive failed repair attempts
+	nextTry  time.Time // zero: due immediately
+}
+
+// New builds a supervisor over h. Call Poll on whatever cadence suits
+// the driver (the serve/recognize drivers poll after every slide), or
+// Run for a self-ticking loop.
+func New(h Healer, p Policy) *Supervisor {
+	return &Supervisor{
+		h:      h,
+		policy: p.withDefaults(),
+		now:    time.Now,
+		state:  make(map[string]*targetState),
+	}
+}
+
+// SetLogger installs an optional printf-style logger for repair
+// outcomes.
+func (s *Supervisor) SetLogger(fn func(format string, args ...any)) { s.logf = fn }
+
+// SetClock overrides the supervisor's time source (tests).
+func (s *Supervisor) SetClock(now func() time.Time) { s.now = now }
+
+// Stats returns the lifetime counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Poll runs one supervision pass: observe the quarantined set, repair
+// every target whose backoff has elapsed, abandon targets past the
+// give-up threshold. It returns how many targets were re-admitted.
+func (s *Supervisor) Poll() int {
+	quarantined := s.h.Quarantined()
+	now := s.now()
+
+	s.mu.Lock()
+	// Prune ledger entries for targets no longer quarantined (healed by
+	// a restore, or abandoned): their history must not taint a future
+	// quarantine of the same target.
+	live := make(map[string]bool, len(quarantined))
+	for _, q := range quarantined {
+		live[q.Target] = true
+	}
+	for t := range s.state {
+		if !live[t] {
+			delete(s.state, t)
+		}
+	}
+	var due []string
+	var abandon []string
+	for _, q := range quarantined {
+		st := s.state[q.Target]
+		if st == nil {
+			st = &targetState{}
+			s.state[q.Target] = st
+		}
+		if st.failures >= s.policy.GiveUpAfter {
+			abandon = append(abandon, q.Target)
+			continue
+		}
+		if st.nextTry.IsZero() || !now.Before(st.nextTry) {
+			due = append(due, q.Target)
+		}
+	}
+	s.mu.Unlock()
+	// Deterministic repair order, for tests and log readability.
+	sort.Strings(due)
+
+	for _, t := range abandon {
+		s.h.Abandon(t)
+		s.mu.Lock()
+		s.stats.GiveUps++
+		delete(s.state, t)
+		s.mu.Unlock()
+		if s.logf != nil {
+			s.logf("supervise: gave up on %s after %d failed repairs", t, s.policy.GiveUpAfter)
+		}
+	}
+	healed := 0
+	for _, t := range due {
+		err := s.h.Heal(t)
+		s.mu.Lock()
+		st := s.state[t]
+		if err != nil {
+			s.stats.Failures++
+			if st != nil {
+				st.failures++
+				st.nextTry = s.now().Add(s.policy.backoff(st.failures))
+			}
+			s.mu.Unlock()
+			if s.logf != nil {
+				s.logf("supervise: repairing %s failed: %v", t, err)
+			}
+			continue
+		}
+		s.stats.Repairs++
+		delete(s.state, t)
+		s.mu.Unlock()
+		healed++
+		if s.logf != nil {
+			s.logf("supervise: %s restored and re-admitted", t)
+		}
+	}
+	return healed
+}
+
+// Run polls on the given interval until ctx is cancelled. Drivers that
+// poll per slide (OnSlideEnd) don't need it; it backstops systems whose
+// stream can go quiet while a target is quarantined.
+func (s *Supervisor) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.Poll()
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package tracker
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+	"repro/internal/stream"
+)
+
+// TestDelayedStreamLateFixAccounting feeds a Delayer-perturbed stream
+// (the paper's §4.2 delayed-arrival scenario) through the sharded tier
+// and checks the late-fix ledger against an independent replay of the
+// admission rules: a fix older than the last query time but still ahead
+// of its vessel's clock is accepted late; a fix behind its vessel's
+// clock can no longer be sequenced and is dropped.
+func TestDelayedStreamLateFixAccounting(t *testing.T) {
+	const slide = 10 * time.Minute
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Three vessels reporting every 2 minutes for 2 hours, moving
+	// steadily so every fix advances the vessel clock when in order.
+	// A fourth vessel reports sparsely (every 15 min): its delayed fixes
+	// cross slide boundaries while its own clock lags behind, the
+	// late-but-sequenceable case. The dense vessels produce clock-rewind
+	// swaps, the late-dropped case.
+	var fixes []ais.Fix
+	for k := 0; k < 60; k++ {
+		for _, mmsi := range []uint32{100, 200, 300} {
+			fixes = append(fixes, ais.Fix{
+				MMSI: mmsi,
+				Pos:  geo.Point{Lon: 23.0 + float64(mmsi%7)*0.1 + float64(k)*0.002, Lat: 37.0},
+				Time: t0.Add(time.Duration(2*k) * time.Minute),
+			})
+		}
+	}
+	for k := 0; k < 8; k++ {
+		fixes = append(fixes, ais.Fix{
+			MMSI: 400,
+			Pos:  geo.Point{Lon: 24.5 + float64(k)*0.01, Lat: 37.5},
+			Time: t0.Add(time.Duration(15*k) * time.Minute),
+		})
+	}
+	sort.SliceStable(fixes, func(i, j int) bool { return fixes[i].Time.Before(fixes[j].Time) })
+
+	delayed := stream.Delayer{MaxDelay: 25 * time.Minute, Fraction: 0.35, Seed: 3}.Apply(fixes)
+
+	batch := func(perturbed []ais.Fix) []stream.Batch {
+		b := stream.NewBatcher(stream.NewSliceSource(perturbed), slide)
+		var out []stream.Batch
+		for {
+			bt, ok := b.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, bt)
+		}
+	}
+
+	run := func(batches []stream.Batch) *Sharded {
+		s := NewSharded(DefaultParams(), stream.WindowSpec{Range: time.Hour, Slide: slide}, 2)
+		t.Cleanup(s.Close)
+		for _, bt := range batches {
+			s.Slide(bt)
+		}
+		return s
+	}
+
+	// Orderly arrival: nothing is late.
+	orderly := run(batch(fixes))
+	if acc, drop := orderly.LateFixes(); acc != 0 || drop != 0 {
+		t.Errorf("orderly stream counted late fixes: accepted=%d dropped=%d", acc, drop)
+	}
+
+	// Independent oracle over the perturbed batches: per-vessel clock
+	// plus the previous batch's query time (trackers classify against
+	// lastQuery, which updates after each slide's ingestion).
+	batches := batch(delayed)
+	var lastQ time.Time
+	clock := map[uint32]time.Time{}
+	var wantAcc, wantDrop int64
+	for _, bt := range batches {
+		for _, f := range bt.Fixes {
+			if c, ok := clock[f.MMSI]; ok && !f.Time.After(c) {
+				if f.Time.Before(c) {
+					wantDrop++
+				}
+				continue
+			}
+			if !lastQ.IsZero() && f.Time.Before(lastQ) {
+				wantAcc++
+			}
+			clock[f.MMSI] = f.Time
+		}
+		lastQ = bt.Query
+	}
+	if wantAcc == 0 || wantDrop == 0 {
+		t.Fatalf("perturbation too weak to exercise both paths: oracle accepted=%d dropped=%d", wantAcc, wantDrop)
+	}
+
+	shaken := run(batches)
+	acc, drop := shaken.LateFixes()
+	if acc != wantAcc || drop != wantDrop {
+		t.Errorf("late ledger: accepted=%d dropped=%d, oracle wants %d/%d", acc, drop, wantAcc, wantDrop)
+	}
+	st := shaken.Stats()
+	if st.LateAccepted != int(wantAcc) || st.LateDropped != int(wantDrop) {
+		t.Errorf("merged stats: LateAccepted=%d LateDropped=%d, want %d/%d",
+			st.LateAccepted, st.LateDropped, wantAcc, wantDrop)
+	}
+	// Every original fix reached a tracker: the Delayer reorders, never
+	// discards, and dropped-late fixes are counted inside FixesIn.
+	if st.FixesIn != len(fixes) {
+		t.Errorf("FixesIn=%d, want %d (Delayer must be lossless)", st.FixesIn, len(fixes))
+	}
+}

@@ -118,6 +118,21 @@ type Stats struct {
 	Outliers   int // dropped: off-course positions
 	Critical   int // critical points emitted
 	ByType     map[EventType]int
+
+	// Late-fix accounting: AIS messages routinely arrive delayed or
+	// reordered (paper §4.2). A fix older than the last query time but
+	// still advancing its vessel's clock is admitted and counted as
+	// LateAccepted; a fix behind its vessel's last position is dropped
+	// (it cannot be sequenced) and counted as LateDropped — a subset of
+	// Duplicates, split out so operators can tell reordering from
+	// genuine duplicates.
+	LateAccepted int
+	LateDropped  int
+
+	// Shed counts fixes skipped under overload degradation: positions
+	// of long-stopped vessels that only advance the vessel clock while
+	// the pipeline sheds load.
+	Shed int
 }
 
 // CompressionRatio returns the fraction of original positions that were

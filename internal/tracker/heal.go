@@ -1,0 +1,459 @@
+package tracker
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/supervise"
+)
+
+// Self-healing for the sharded tier. With EnableSelfHeal on, a panic in
+// a shard worker no longer kills the process: the shard is rebuilt from
+// a per-shard journal — a base snapshot of its vessels plus the routed
+// fixes of every slide since — and the slide is re-run synchronously,
+// so a transient panic costs nothing but latency and the merged output
+// stays bit-identical. A shard that panics again during the re-run, or
+// that outlives the slide watchdog, is quarantined instead: its fixes
+// are journaled but dropped from the live output (counted in
+// FaultStats.DroppedFixes) until a supervisor calls RepairShard, which
+// replays the journal into a fresh tracker and re-admits it.
+//
+// The journal is re-based every journalEvery healthy slides so replay
+// cost stays bounded. While a shard is quarantined the journal keeps
+// growing up to journalCap slides; beyond that the oldest slides are
+// discarded and counted as replay gaps (FaultStats.GapSlides): repair
+// then restores a state missing those slides' fixes — degraded but
+// deterministic, the same accounting contract checkpoint replay uses.
+
+// DefaultJournalSlides is the re-base cadence used when EnableSelfHeal
+// is given a non-positive value.
+const DefaultJournalSlides = 8
+
+// shardSlide is one journaled slide of one shard: the query time and a
+// copy of the fixes routed to it.
+type shardSlide struct {
+	q     time.Time
+	fixes []idxFix
+}
+
+// shardHeal is the per-shard repair state.
+type shardHeal struct {
+	quarantined bool
+	failed      bool // supervisor gave up; out of service until restart/restore
+	info        supervise.Quarantine
+
+	baseVessels []VesselSnapshot
+	baseStats   Stats
+	slides      []shardSlide
+	gapped      int // journal slides discarded by the cap since the base
+}
+
+// EnableSelfHeal turns on panic isolation, journaling, and repair for
+// the tier. journalEvery is the re-base cadence in slides (<=0 uses
+// DefaultJournalSlides). It must be called before the first Slide and
+// is idempotent.
+func (s *Sharded) EnableSelfHeal(journalEvery int) {
+	if s.heal != nil {
+		return
+	}
+	if journalEvery <= 0 {
+		journalEvery = DefaultJournalSlides
+	}
+	s.journalEvery = journalEvery
+	s.journalCap = journalEvery * 8
+	s.heal = make([]shardHeal, len(s.shards))
+	s.skip = make([]bool, len(s.shards))
+	// All shards run pooled so the caller is free to watchdog them, and
+	// all shards index emissions so the merge path is uniform.
+	for i := range s.shards {
+		s.shards[i].indexing = true
+		s.rebase(i)
+	}
+	if s.pool == nil {
+		s.pool = newShardPool(1)
+		runtime.SetFinalizer(s, (*Sharded).Close)
+	} else {
+		s.pool.addWorker()
+	}
+}
+
+// SelfHealing reports whether EnableSelfHeal was called.
+func (s *Sharded) SelfHealing() bool { return s.heal != nil }
+
+// SetSlideTimeout arms the per-slide stall watchdog: a shard that has
+// not finished its slide within d is quarantined and its pool worker
+// replaced. Zero disables the watchdog. Requires EnableSelfHeal.
+func (s *Sharded) SetSlideTimeout(d time.Duration) { s.timeout = d }
+
+// SetFaultHook installs a chaos-injection hook called at the start of
+// every shard slide with the shard index, the slide ordinal (1-based),
+// and the attempt (0 for the live run, 1 for the in-slide re-run after
+// a panic). The hook may panic — recovered and handled like any shard
+// panic — or block, which the stall watchdog converts into a
+// quarantine. Pass nil to remove. Requires EnableSelfHeal to have any
+// effect.
+func (s *Sharded) SetFaultHook(fn func(shard, slide, attempt int)) {
+	if fn == nil {
+		s.faultHook.Store(nil)
+		return
+	}
+	s.faultHook.Store(&fn)
+}
+
+// FaultStats is the tier's fault-handling counter snapshot. All fields
+// are served from atomics, so it is safe to call from any goroutine.
+type FaultStats struct {
+	Panics       int // shard panics recovered (including re-run panics)
+	Stalls       int // shards quarantined by the slide watchdog
+	Retries      int // in-slide rebuild-and-rerun recoveries (lossless)
+	Repairs      int // quarantine -> replay -> re-admit cycles completed
+	Quarantined  int // shards currently quarantined
+	Failed       int // shards abandoned after repair gave up
+	DroppedFixes int // fixes dropped while their shard was out of service
+	GapSlides    int // journal slides discarded by the cap (lost to replay)
+}
+
+// FaultStats returns the current fault counters.
+func (s *Sharded) FaultStats() FaultStats {
+	return FaultStats{
+		Panics:       int(s.panics.Load()),
+		Stalls:       int(s.stalls.Load()),
+		Retries:      int(s.retries.Load()),
+		Repairs:      int(s.repairs.Load()),
+		Quarantined:  int(s.quarCount.Load()),
+		Failed:       int(s.failedCount.Load()),
+		DroppedFixes: int(s.dropped.Load()),
+		GapSlides:    int(s.gapSlides.Load()),
+	}
+}
+
+// Quarantined returns the quarantine records of every out-of-service
+// shard awaiting repair. It must not run concurrently with Slide.
+func (s *Sharded) Quarantined() []supervise.Quarantine {
+	var out []supervise.Quarantine
+	for i := range s.heal {
+		if s.heal[i].quarantined {
+			out = append(out, s.heal[i].info)
+		}
+	}
+	return out
+}
+
+// slideHealed is the Slide path with self-healing enabled: every shard
+// runs pooled under an optional stall watchdog, panics are recovered
+// and retried from the journal in-slide, and stragglers or doubly
+// panicking shards are quarantined for asynchronous repair.
+func (s *Sharded) slideHealed(b stream.Batch) SlideResult {
+	n := len(s.shards)
+	s.slideSeq++
+
+	for i := range s.byShard {
+		s.byShard[i] = s.byShard[i][:0]
+	}
+	for i, f := range b.Fixes {
+		sh := ShardOf(f.MMSI, n)
+		s.byShard[sh] = append(s.byShard[sh], idxFix{fix: f, idx: int32(i)})
+	}
+	// Journal every shard — quarantined ones too, so repair replays the
+	// fixes their live run is dropping.
+	for i := 0; i < n; i++ {
+		s.journalAppend(i, b.Query)
+	}
+
+	// Per-slide output slots and completion channel: a goroutine wedged
+	// past the watchdog may publish long after this slide (or never),
+	// so it must not share slots with future slides.
+	outs := make([]shardOut, n)
+	s.outs = outs
+	done := make(chan int, n)
+	hook := s.faultHook.Load()
+	live := 0
+	for i := 0; i < n; i++ {
+		if s.outOfService(i) {
+			s.skip[i] = true
+			s.dropped.Add(int64(len(s.byShard[i])))
+			continue
+		}
+		s.skip[i] = false
+		live++
+		s.pool.jobs <- shardJob{
+			tr: s.shards[i], fixes: s.byShard[i], q: b.Query,
+			out: &outs[i], done: done, i: i,
+			hook: hook, slide: s.slideSeq, attempt: 0, recoverable: true,
+		}
+	}
+
+	// Collect, with the optional stall watchdog. Shards that beat the
+	// deadline but raced the timer are drained before stragglers are
+	// declared wedged.
+	var expire <-chan time.Time
+	var timer *time.Timer
+	if s.timeout > 0 {
+		timer = time.NewTimer(s.timeout)
+		expire = timer.C
+	}
+	completed := make([]bool, n)
+	got := 0
+collect:
+	for got < live {
+		select {
+		case i := <-done:
+			completed[i] = true
+			got++
+		case <-expire:
+			for {
+				select {
+				case i := <-done:
+					completed[i] = true
+					got++
+					if got == live {
+						break collect
+					}
+				default:
+					break collect
+				}
+			}
+		}
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+
+	// Stragglers: quarantine and replace their pool workers, which are
+	// stuck inside runShard on the now-abandoned tracker.
+	for i := 0; i < n; i++ {
+		if s.skip[i] || completed[i] {
+			continue
+		}
+		s.stalls.Add(1)
+		s.quarantineShard(i, supervise.Quarantine{
+			Target: fmt.Sprintf("tracker/%d", i),
+			Cause:  "stall",
+			Since:  time.Now(),
+		})
+		s.pool.addWorker()
+	}
+
+	// Panicked shards: rebuild from the journal and re-run this slide
+	// synchronously. The re-run's output is exactly what a panic-free
+	// slide would have produced, so the merge below stays bit-identical.
+	// A second panic during the re-run quarantines the shard instead.
+	for i := 0; i < n; i++ {
+		if s.skip[i] || !completed[i] || outs[i].panic == nil {
+			continue
+		}
+		s.panics.Add(1)
+		tr, out, qr := s.replayShard(i, hook, true)
+		if qr == nil {
+			s.shards[i] = tr
+			outs[i] = out
+			s.retries.Add(1)
+		} else {
+			s.panics.Add(1)
+			s.quarantineShard(i, *qr)
+		}
+	}
+
+	mergeStart := time.Now()
+	s.merge(n, nil)
+	if s.metrics != nil {
+		for i := range outs {
+			if s.skip[i] {
+				continue
+			}
+			s.metrics.shardDur[i].ObserveDuration(outs[i].dur)
+			s.metrics.shardFixes[i].Add(uint64(len(s.byShard[i])))
+		}
+		s.metrics.mergeDur.ObserveDuration(time.Since(mergeStart))
+	}
+
+	// Re-base healthy journals so replay cost stays bounded.
+	for i := 0; i < n; i++ {
+		if !s.outOfService(i) && len(s.heal[i].slides) >= s.journalEvery {
+			s.rebase(i)
+		}
+	}
+	return SlideResult{Query: b.Query, Fresh: s.fresh, Delta: s.delta}
+}
+
+// journalAppend records one shard's routed fixes for the current slide,
+// discarding the oldest journal slide when the cap is hit (counted as a
+// replay gap — only reachable while the shard is quarantined, since
+// healthy journals re-base well below the cap).
+func (s *Sharded) journalAppend(i int, q time.Time) {
+	h := &s.heal[i]
+	if h.failed {
+		return
+	}
+	if len(h.slides) >= s.journalCap {
+		h.slides = slices.Delete(h.slides, 0, 1)
+		h.gapped++
+		s.gapSlides.Add(1)
+	}
+	h.slides = append(h.slides, shardSlide{q: q, fixes: slices.Clone(s.byShard[i])})
+}
+
+// quarantineShard takes a shard out of service: its fixes for this
+// slide are counted dropped, and its routing buffer is leaked to any
+// goroutine still holding it (a fresh one is allocated on next use).
+func (s *Sharded) quarantineShard(i int, q supervise.Quarantine) {
+	h := &s.heal[i]
+	h.quarantined = true
+	h.info = q
+	s.quarCount.Add(1)
+	s.skip[i] = true
+	s.dropped.Add(int64(len(s.byShard[i])))
+	s.byShard[i] = nil
+}
+
+// rebase captures the shard's current state as the journal base and
+// clears the journaled slides.
+func (s *Sharded) rebase(i int) {
+	h := &s.heal[i]
+	tr := s.shards[i]
+	h.baseVessels = h.baseVessels[:0]
+	for mmsi, st := range tr.vessels {
+		h.baseVessels = append(h.baseVessels, snapshotVessel(mmsi, st))
+	}
+	h.baseStats = tr.Stats()
+	h.slides = h.slides[:0]
+	h.gapped = 0
+}
+
+// replayShard rebuilds a shard from its journal base and replays every
+// journaled slide into a fresh tracker. With rerunCurrent, the last
+// journal entry is the in-flight slide: the chaos hook fires for it
+// (attempt 1) and its output is returned for the merge. A panic during
+// replay is recovered and returned as a quarantine record.
+func (s *Sharded) replayShard(i int, hook *func(shard, slide, attempt int), rerunCurrent bool) (tr *Tracker, out shardOut, qr *supervise.Quarantine) {
+	defer func() {
+		if r := recover(); r != nil {
+			tr, out = nil, shardOut{}
+			qr = &supervise.Quarantine{
+				Target: fmt.Sprintf("tracker/%d", i),
+				Cause:  "panic",
+				Value:  fmt.Sprint(r),
+				Stack:  string(debug.Stack()),
+				Since:  time.Now(),
+			}
+		}
+	}()
+	h := &s.heal[i]
+	tr = New(s.shards[0].params, s.shards[0].window)
+	tr.indexing = true
+	tr.stats = cloneStats(h.baseStats)
+	for _, vs := range h.baseVessels {
+		tr.vessels[vs.MMSI] = restoreVessel(vs)
+	}
+	last := len(h.slides) - 1
+	for k := range h.slides {
+		sl := &h.slides[k]
+		start := time.Now()
+		if rerunCurrent && k == last && hook != nil {
+			(*hook)(i, s.slideSeq, 1)
+		}
+		tr.beginSlide()
+		for _, xf := range sl.fixes {
+			tr.ingestIndexed(xf.fix, xf.idx)
+		}
+		gapStart, delta := tr.finishSlide(sl.q)
+		if k == last {
+			out = shardOut{gapStart: gapStart, delta: delta, dur: time.Since(start)}
+		}
+	}
+	// Tier-wide atomics are wired only now, so the replay itself did not
+	// double-count late or shed fixes.
+	s.wireShared(tr)
+	return tr, out, nil
+}
+
+// RepairShard rebuilds a quarantined shard from its journal and
+// re-admits it. It must not run concurrently with Slide (the supervisor
+// serializes through core's run lock). An error leaves the shard
+// quarantined: either the target is not quarantined, or the replay
+// panicked again (a persistent fault the supervisor will back off on).
+func (s *Sharded) RepairShard(i int) error {
+	if s.heal == nil {
+		return fmt.Errorf("tracker: self-heal not enabled")
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("tracker: no shard %d", i)
+	}
+	h := &s.heal[i]
+	if !h.quarantined {
+		return fmt.Errorf("tracker: shard %d is not quarantined", i)
+	}
+	tr, _, qr := s.replayShard(i, nil, false)
+	if qr != nil {
+		return fmt.Errorf("tracker: shard %d replay panicked again: %s", i, qr.Value)
+	}
+	s.shards[i] = tr
+	h.quarantined = false
+	h.info = supervise.Quarantine{}
+	s.quarCount.Add(-1)
+	s.repairs.Add(1)
+	s.rebase(i)
+	return nil
+}
+
+// AbandonShard marks a quarantined shard as permanently failed: its
+// journal is freed and its fixes keep being dropped (and counted) until
+// a process restart or snapshot restore. Called by the supervisor when
+// repairs exhaust the give-up threshold.
+func (s *Sharded) AbandonShard(i int) {
+	if s.heal == nil || i < 0 || i >= len(s.shards) {
+		return
+	}
+	h := &s.heal[i]
+	if !h.quarantined {
+		return
+	}
+	h.quarantined = false
+	h.failed = true
+	s.quarCount.Add(-1)
+	s.failedCount.Add(1)
+	h.slides = nil
+	h.baseVessels = nil
+	h.gapped = 0
+}
+
+// resetHeal re-admits every shard ahead of a snapshot restore,
+// replacing quarantined/failed trackers outright (a wedged goroutine
+// may still be mutating them).
+func (s *Sharded) resetHeal() {
+	params, window := s.shards[0].params, s.shards[0].window
+	for i := range s.heal {
+		h := &s.heal[i]
+		if h.quarantined || h.failed {
+			if h.quarantined {
+				s.quarCount.Add(-1)
+			} else {
+				s.failedCount.Add(-1)
+			}
+			tr := New(params, window)
+			tr.indexing = true
+			s.wireShared(tr)
+			s.shards[i] = tr
+			s.byShard[i] = nil
+		}
+		h.quarantined, h.failed = false, false
+		h.info = supervise.Quarantine{}
+		h.slides = nil
+		h.gapped = 0
+	}
+}
+
+// cloneStats deep-copies a Stats value (the ByType map is shared
+// otherwise).
+func cloneStats(in Stats) Stats {
+	out := in
+	out.ByType = make(map[EventType]int, len(in.ByType))
+	for k, v := range in.ByType {
+		out.ByType[k] = v
+	}
+	return out
+}

@@ -1,15 +1,19 @@
 package tracker
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ais"
 	"repro/internal/obs"
 	"repro/internal/stream"
+	"repro/internal/supervise"
 )
 
 // ShardOf returns the shard owning the given MMSI out of n shards. The
@@ -59,6 +63,34 @@ type Sharded struct {
 
 	metrics *shardMetrics
 
+	// Self-healing state (nil unless EnableSelfHeal was called); see
+	// heal.go. skip marks shards excluded from the current slide's merge
+	// because they are quarantined or failed.
+	heal         []shardHeal
+	skip         []bool
+	journalEvery int
+	journalCap   int
+	slideSeq     int
+	timeout      time.Duration
+	faultHook    atomic.Pointer[func(shard, slide, attempt int)]
+
+	// Fault counters, atomics so Health and metric scrapes may read
+	// them from other goroutines mid-slide.
+	panics      atomic.Int64
+	stalls      atomic.Int64
+	repairs     atomic.Int64
+	retries     atomic.Int64
+	quarCount   atomic.Int64
+	failedCount atomic.Int64
+	dropped     atomic.Int64
+	gapSlides   atomic.Int64
+
+	// Tier-wide ingest accounting shared by all shards (see Tracker).
+	lateAcc  atomic.Int64
+	lateDrop atomic.Int64
+	shedCnt  atomic.Int64
+	shedOn   atomic.Bool
+
 	closeOnce sync.Once
 }
 
@@ -74,6 +106,7 @@ type shardOut struct {
 	gapStart int // offset in the shard's fresh where gap-sweep points begin
 	delta    []CriticalPoint
 	dur      time.Duration
+	panic    *supervise.Quarantine // set when a recoverable job panicked
 }
 
 // shardJob is one unit of work for the pool. It carries everything the
@@ -87,6 +120,14 @@ type shardJob struct {
 	done    chan<- int
 	i       int
 	pending *obs.Gauge // merged-queue depth; nil without metrics
+
+	// Self-heal extras: chaos injection hook, slide ordinal, retry
+	// attempt, and whether a panic is contained (quarantined) rather
+	// than propagated (legacy crash-the-process behavior).
+	hook        *func(shard, slide, attempt int)
+	slide       int
+	attempt     int
+	recoverable bool
 }
 
 // shardPool is a fixed set of long-lived workers fed over one shared
@@ -118,9 +159,37 @@ func (p *shardPool) worker() {
 	}
 }
 
+// addWorker grows the pool by one worker: used when self-healing is
+// enabled (so every shard runs pooled and the caller is free to
+// watchdog) and to replace a worker lost inside a wedged shard.
+func (p *shardPool) addWorker() { go p.worker() }
+
 // runShard advances one shard through a slide and publishes its result.
+// Recoverable jobs convert a panic — the shard's own state machine or an
+// injected fault — into a quarantine record on the job's out slot
+// instead of unwinding the worker; non-recoverable jobs keep the legacy
+// crash-the-process behavior.
 func runShard(j shardJob) {
+	if j.recoverable {
+		defer func() {
+			if r := recover(); r != nil {
+				j.out.panic = &supervise.Quarantine{
+					Target: fmt.Sprintf("tracker/%d", j.i),
+					Cause:  "panic",
+					Value:  fmt.Sprint(r),
+					Stack:  string(debug.Stack()),
+					Since:  time.Now(),
+				}
+				if j.done != nil {
+					j.done <- j.i
+				}
+			}
+		}()
+	}
 	start := time.Now()
+	if j.hook != nil {
+		(*j.hook)(j.i, j.slide, j.attempt)
+	}
 	j.tr.beginSlide()
 	for _, xf := range j.fixes {
 		j.tr.ingestIndexed(xf.fix, xf.idx)
@@ -151,6 +220,7 @@ func NewSharded(params Params, window stream.WindowSpec, shards int) *Sharded {
 	for i := range s.shards {
 		s.shards[i] = New(params, window)
 		s.shards[i].indexing = shards > 1
+		s.wireShared(s.shards[i])
 	}
 	if shards > 1 {
 		s.pool = newShardPool(shards - 1)
@@ -189,10 +259,37 @@ func (s *Sharded) shardFor(mmsi uint32) *Tracker {
 	return s.shards[ShardOf(mmsi, len(s.shards))]
 }
 
+// wireShared points a shard at the tier-wide accounting atomics.
+func (s *Sharded) wireShared(tr *Tracker) {
+	tr.lateAcc = &s.lateAcc
+	tr.lateDrop = &s.lateDrop
+	tr.shedCnt = &s.shedCnt
+	tr.shed = &s.shedOn
+}
+
+// SetShedStationary toggles overload shedding: while on, fixes from
+// long-stopped vessels only advance the vessel clock (see Tracker
+// ingest). Safe to call from any goroutine.
+func (s *Sharded) SetShedStationary(on bool) { s.shedOn.Store(on) }
+
+// LateFixes returns the tier-wide count of late fixes accepted
+// (timestamp behind the last query but still sequenced) and dropped
+// (behind their vessel's clock). Safe to call from any goroutine.
+func (s *Sharded) LateFixes() (accepted, dropped int64) {
+	return s.lateAcc.Load(), s.lateDrop.Load()
+}
+
+// ShedFixes returns the tier-wide count of fixes shed under overload
+// degradation. Safe to call from any goroutine.
+func (s *Sharded) ShedFixes() int64 { return s.shedCnt.Load() }
+
 // Slide processes one batch across all shards and merges the results.
 // The returned Fresh and Delta slices are tier-owned scratch, valid
 // until the next Slide.
 func (s *Sharded) Slide(b stream.Batch) SlideResult {
+	if s.heal != nil {
+		return s.slideHealed(b)
+	}
 	n := len(s.shards)
 	if n == 1 {
 		tr := s.shards[0]
@@ -274,6 +371,9 @@ func (s *Sharded) merge(n int, pending *obs.Gauge) {
 		best := -1
 		var bestIdx int32
 		for i := 0; i < n; i++ {
+			if s.skip != nil && s.skip[i] {
+				continue
+			}
 			h := s.heads[i]
 			if h >= s.outs[i].gapStart {
 				continue
@@ -294,6 +394,9 @@ func (s *Sharded) merge(n int, pending *obs.Gauge) {
 		best := -1
 		var bestMMSI uint32
 		for i := 0; i < n; i++ {
+			if s.skip != nil && s.skip[i] {
+				continue
+			}
 			h := s.heads[i]
 			if h >= len(s.shards[i].fresh) {
 				continue
@@ -316,6 +419,9 @@ func (s *Sharded) merge(n int, pending *obs.Gauge) {
 	for {
 		best := -1
 		for i := 0; i < n; i++ {
+			if s.skip != nil && s.skip[i] {
+				continue
+			}
 			h := s.heads[i]
 			if h >= len(s.outs[i].delta) {
 				continue
@@ -335,14 +441,29 @@ func (s *Sharded) merge(n int, pending *obs.Gauge) {
 	}
 }
 
+// outOfService reports whether a shard is quarantined or failed. Such a
+// shard's Tracker may still be mutated by a wedged goroutine, so every
+// read path must skip it until a repair swaps in a rebuilt tracker.
+func (s *Sharded) outOfService(i int) bool {
+	return s.heal != nil && (s.heal[i].quarantined || s.heal[i].failed)
+}
+
 // Stats returns the merged counter snapshot across all shards.
+// Quarantined shards are excluded (their trackers are unsafe to read);
+// their counters reappear once a repair rebuilds them from the journal.
 func (s *Sharded) Stats() Stats {
 	out := Stats{ByType: make(map[EventType]int)}
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		if s.outOfService(i) {
+			continue
+		}
 		out.FixesIn += sh.stats.FixesIn
 		out.Duplicates += sh.stats.Duplicates
 		out.Outliers += sh.stats.Outliers
 		out.Critical += sh.stats.Critical
+		out.LateAccepted += sh.stats.LateAccepted
+		out.LateDropped += sh.stats.LateDropped
+		out.Shed += sh.stats.Shed
 		for k, v := range sh.stats.ByType {
 			out.ByType[k] += v
 		}
@@ -354,7 +475,10 @@ func (s *Sharded) Stats() Stats {
 // shards.
 func (s *Sharded) VesselCount() int {
 	n := 0
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		if s.outOfService(i) {
+			continue
+		}
 		n += sh.VesselCount()
 	}
 	return n
@@ -362,27 +486,39 @@ func (s *Sharded) VesselCount() int {
 
 // Odometer returns a vessel's traveled distance; see Tracker.Odometer.
 func (s *Sharded) Odometer(mmsi uint32) (totalM, sinceDepartureM float64, ok bool) {
+	if s.outOfService(ShardOf(mmsi, len(s.shards))) {
+		return 0, 0, false
+	}
 	return s.shardFor(mmsi).Odometer(mmsi)
 }
 
 // Synopsis returns the retained critical points of one vessel; see
 // Tracker.Synopsis.
 func (s *Sharded) Synopsis(mmsi uint32) []CriticalPoint {
+	if s.outOfService(ShardOf(mmsi, len(s.shards))) {
+		return nil
+	}
 	return s.shardFor(mmsi).Synopsis(mmsi)
 }
 
 // Info returns the public summary of one vessel; see Tracker.Info.
 func (s *Sharded) Info(mmsi uint32) (VesselInfo, bool) {
+	if s.outOfService(ShardOf(mmsi, len(s.shards))) {
+		return VesselInfo{}, false
+	}
 	return s.shardFor(mmsi).Info(mmsi)
 }
 
 // Infos returns the summary of every tracked vessel, ordered by MMSI.
 func (s *Sharded) Infos() []VesselInfo {
-	if len(s.shards) == 1 {
+	if len(s.shards) == 1 && s.heal == nil {
 		return s.shards[0].Infos()
 	}
 	var out []VesselInfo
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		if s.outOfService(i) {
+			continue
+		}
 		out = append(out, sh.Infos()...)
 	}
 	slices.SortFunc(out, func(a, b VesselInfo) int {
@@ -428,5 +564,31 @@ func (s *Sharded) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("maritime_tracker_shards",
 		"Number of parallel mobility-tracker shards.", nil,
 		func() float64 { return float64(len(s.shards)) })
+	r.CounterFunc("maritime_tracker_late_fixes_total",
+		"Out-of-order fixes, split by outcome: accepted (older than the last query but still sequenced) or dropped (behind their vessel's clock).",
+		obs.Labels{"result": "accepted"},
+		func() float64 { return float64(s.lateAcc.Load()) })
+	r.CounterFunc("maritime_tracker_late_fixes_total",
+		"Out-of-order fixes, split by outcome: accepted (older than the last query but still sequenced) or dropped (behind their vessel's clock).",
+		obs.Labels{"result": "dropped"},
+		func() float64 { return float64(s.lateDrop.Load()) })
+	r.CounterFunc("maritime_tracker_shed_fixes_total",
+		"Fixes of long-stopped vessels skipped under overload degradation.",
+		nil, func() float64 { return float64(s.shedCnt.Load()) })
+	r.CounterFunc("maritime_tracker_shard_panics_total",
+		"Shard-worker panics recovered by the self-healing tier.",
+		nil, func() float64 { return float64(s.panics.Load()) })
+	r.CounterFunc("maritime_tracker_shard_stalls_total",
+		"Shards quarantined by the per-slide stall watchdog.",
+		nil, func() float64 { return float64(s.stalls.Load()) })
+	r.CounterFunc("maritime_tracker_shard_repairs_total",
+		"Shard recoveries: in-slide journal re-runs plus quarantine repairs.",
+		nil, func() float64 { return float64(s.retries.Load() + s.repairs.Load()) })
+	r.GaugeFunc("maritime_tracker_shards_quarantined",
+		"Shards currently quarantined and awaiting repair.",
+		nil, func() float64 { return float64(s.quarCount.Load()) })
+	r.CounterFunc("maritime_tracker_shard_dropped_fixes_total",
+		"Fixes dropped because their shard was out of service.",
+		nil, func() float64 { return float64(s.dropped.Load()) })
 	s.metrics = m
 }

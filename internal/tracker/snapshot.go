@@ -111,10 +111,15 @@ func restoreVessel(vs VesselSnapshot) *vesselState {
 }
 
 // Snapshot captures the tier's complete state. It must not run
-// concurrently with Slide.
+// concurrently with Slide. Quarantined shards are excluded: callers
+// that need a complete snapshot must repair them first (core.Snapshot
+// refuses with ErrWedged until then).
 func (s *Sharded) Snapshot() Snapshot {
 	var snap Snapshot
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
+		if s.outOfService(i) {
+			continue
+		}
 		for mmsi, st := range sh.vessels {
 			snap.Vessels = append(snap.Vessels, snapshotVessel(mmsi, st))
 		}
@@ -139,6 +144,13 @@ func (s *Sharded) Snapshot() Snapshot {
 // merged totals are). It must not run concurrently with Slide.
 func (s *Sharded) RestoreSnapshot(snap Snapshot) error {
 	n := len(s.shards)
+	// Quarantined shards' trackers may still be touched by a wedged
+	// goroutine: replace them outright rather than mutating them, which
+	// also re-admits every shard (a restore supersedes any pending
+	// repair).
+	if s.heal != nil {
+		s.resetHeal()
+	}
 	for _, sh := range s.shards {
 		sh.vessels = make(map[uint32]*vesselState)
 		sh.stats = Stats{ByType: make(map[EventType]int)}
@@ -155,8 +167,18 @@ func (s *Sharded) RestoreSnapshot(snap Snapshot) error {
 	s0.stats.Duplicates = snap.Stats.Duplicates
 	s0.stats.Outliers = snap.Stats.Outliers
 	s0.stats.Critical = snap.Stats.Critical
+	s0.stats.LateAccepted = snap.Stats.LateAccepted
+	s0.stats.LateDropped = snap.Stats.LateDropped
+	s0.stats.Shed = snap.Stats.Shed
 	for k, v := range snap.Stats.ByType {
 		s0.stats.ByType[k] = v
+	}
+	// Repair journals must describe the restored state, not the one it
+	// replaced.
+	if s.heal != nil {
+		for i := range s.heal {
+			s.rebase(i)
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ais"
@@ -39,6 +40,19 @@ type Tracker struct {
 	indexing bool
 	curIdx   int32
 	freshIdx []int32
+
+	// lastQuery is the query time that closed the previous slide: the
+	// boundary against which accepted fixes are classified as late.
+	lastQuery time.Time
+
+	// Tier-shared accounting, wired by NewSharded (nil on a standalone
+	// tracker, and nil while a journal replay rebuilds a shard so the
+	// replay does not double-count). Atomics because core.Health and
+	// metric scrapes read them from other goroutines mid-slide.
+	lateAcc  *atomic.Int64
+	lateDrop *atomic.Int64
+	shedCnt  *atomic.Int64
+	shed     *atomic.Bool
 }
 
 // gapSentinel tags emissions not attributable to a fix: the slide-time
@@ -170,7 +184,9 @@ func (tr *Tracker) finishSlide(q time.Time) (gapStart int, delta []CriticalPoint
 	tr.curIdx = gapSentinel
 	gapStart = len(tr.fresh)
 	tr.detectGaps(q)
-	return gapStart, tr.evict(q)
+	delta = tr.evict(q)
+	tr.lastQuery = q
+	return gapStart, delta
 }
 
 // emit records a critical point.
@@ -182,6 +198,18 @@ func (tr *Tracker) emit(st *vesselState, cp CriticalPoint) {
 		tr.freshIdx = append(tr.freshIdx, tr.curIdx)
 	}
 	st.synopsis.Append(cp.Time, cp)
+}
+
+// noteLateAccepted counts an admitted fix whose timestamp precedes the
+// last query time: it belongs to an already-closed slide but still
+// advances its vessel's clock, so it is processed rather than dropped.
+func (tr *Tracker) noteLateAccepted(t time.Time) {
+	if !tr.lastQuery.IsZero() && t.Before(tr.lastQuery) {
+		tr.stats.LateAccepted++
+		if tr.lateAcc != nil {
+			tr.lateAcc.Add(1)
+		}
+	}
 }
 
 // ingest processes one fix.
@@ -196,16 +224,42 @@ func (tr *Tracker) ingest(f ais.Fix) {
 		st.last = f
 		st.haveLast = true
 		st.lastSeen = f.Time
+		tr.noteLateAccepted(f.Time)
 		tr.emit(st, CriticalPoint{MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventFirst})
 		return
 	}
 	if !f.Time.After(st.last.Time) {
 		tr.stats.Duplicates++
+		if f.Time.Before(st.last.Time) {
+			// Behind the vessel's own clock: a reordered fix that cannot
+			// be sequenced any more.
+			tr.stats.LateDropped++
+			if tr.lateDrop != nil {
+				tr.lateDrop.Add(1)
+			}
+		}
 		return
 	}
+	tr.noteLateAccepted(f.Time)
 
 	p := tr.params
 	dt := f.Time.Sub(st.last.Time)
+
+	// Overload shedding (degradation ladder L3): while the pipeline is
+	// shedding, positions of long-stopped vessels only advance the
+	// vessel clock — no event detection, no synopsis growth. A fix that
+	// leaves the stop circle (or a communication gap) re-enters the full
+	// path so departures are still caught.
+	if st.stopped && tr.shed != nil && tr.shed.Load() &&
+		dt < p.GapPeriod && geo.Haversine(st.last.Pos, f.Pos) <= p.StopRadiusMeters {
+		tr.stats.Shed++
+		if tr.shedCnt != nil {
+			tr.shedCnt.Add(1)
+		}
+		st.last = f
+		st.lastSeen = f.Time
+		return
+	}
 
 	// Communication gap closed by this fix (it may also have been opened
 	// at a slide boundary while the vessel was silent).
