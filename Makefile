@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos bench bench-serve bench-pipe experiments examples
+.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster bench bench-serve bench-pipe experiments examples
 
 all: fmt-check build vet test
 
@@ -37,6 +37,14 @@ test-recovery:
 test-chaos:
 	go test -race -v -run 'TestChaos|TestSelfHeal|TestHealErrors|TestDegradation|TestSupervisor|TestDelayedStream' \
 		./internal/faults/ ./internal/core/ ./internal/tracker/ ./internal/supervise/
+
+# Distributed-cluster equivalence suite: byte-identical output across
+# 1-process / cluster(1) / cluster(3), kill-one-worker exactly-once
+# restore, whole-cluster manifest restore, and the stalled-worker
+# degradation path — all over real loopback TCP, under the race
+# detector.
+test-cluster:
+	go test -race -v -run 'TestCluster' ./internal/cluster/
 
 # One testing.B benchmark per table/figure of the paper's evaluation.
 bench: bench-serve bench-pipe

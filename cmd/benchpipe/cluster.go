@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fleetsim"
+	"repro/internal/maritime"
+	"repro/internal/stream"
+	"repro/internal/tracker"
+)
+
+// ClusterRow is one cluster-topology measurement: the whole distributed
+// pipeline — router partitioning, worker tracking, wire shipping, k-way
+// merge, recognition over the merged stream — timed end to end over the
+// same fix stream as the single-process reference.
+type ClusterRow struct {
+	Workers     int     `json:"workers"`
+	WallMs      float64 `json:"wall_ms"`
+	FixesPerSec float64 `json:"fixes_per_sec"`
+	Slides      int     `json:"slides"`
+	Alerts      int     `json:"alerts"`
+	// OverheadVsSingle is this topology's wall clock over the
+	// single-process in-memory run of the same stream: the price of the
+	// wire hops and the merge barrier. Below 1.0 means the worker
+	// parallelism outweighed that price on this machine.
+	OverheadVsSingle float64 `json:"overhead_vs_single,omitempty"`
+}
+
+// benchClusterAll measures the single-process reference and each
+// requested cluster width over the same stream, and cross-checks that
+// every topology produced the identical alert count — the equivalence
+// contract, enforced even in the benchmark.
+func benchClusterAll(simCfg fleetsim.Config, fixes []ais.Fix, widths []int) []ClusterRow {
+	slide := 5 * time.Minute
+	refWall, refSlides, refAlerts := benchSingle(simCfg, fixes, slide)
+	rows := []ClusterRow{{
+		Workers:     0, // 0 = single process, no cluster tiers
+		WallMs:      float64(refWall.Microseconds()) / 1e3,
+		FixesPerSec: float64(len(fixes)) / refWall.Seconds(),
+		Slides:      refSlides,
+		Alerts:      refAlerts,
+	}}
+	for _, n := range widths {
+		row := benchCluster(simCfg, fixes, slide, n)
+		row.OverheadVsSingle = row.WallMs / rows[0].WallMs
+		if row.Alerts != refAlerts {
+			log.Printf("WARNING: cluster(%d) recognized %d alerts, single process %d — equivalence broken",
+				n, row.Alerts, refAlerts)
+		}
+		log.Printf("cluster workers=%d: %.0f ms wall, %.0f fixes/s, %.2fx single-process wall",
+			n, row.WallMs, row.FixesPerSec, row.OverheadVsSingle)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// benchSingle runs the full in-memory pipeline (tracking + recognition
+// in one process, no wire) over the stream once.
+func benchSingle(simCfg fleetsim.Config, fixes []ais.Fix, slide time.Duration) (time.Duration, int, int) {
+	world := fleetsim.NewSimulator(simCfg)
+	world.Run()
+	vessels, areas, ports := core.AdaptWorld(world)
+	sys := core.NewSystem(core.Config{
+		Window:      stream.WindowSpec{Range: time.Hour, Slide: slide},
+		Tracker:     tracker.DefaultParams(),
+		Recognition: maritime.Config{Window: time.Hour},
+	}, vessels, areas, ports)
+	defer sys.Close()
+
+	start := time.Now()
+	batcher := stream.NewBatcher(stream.NewSliceSource(fixes), slide)
+	slides, alerts := 0, 0
+	var last time.Time
+	for {
+		b, ok := batcher.Next()
+		if !ok {
+			break
+		}
+		rep := sys.ProcessBatch(b)
+		slides++
+		alerts += len(rep.Alerts)
+		last = rep.Query
+	}
+	if !last.IsZero() {
+		sys.Drain(last)
+	}
+	return time.Since(start), slides, alerts
+}
+
+// benchCluster stands up the full cluster in-process — router and
+// coordinator plus n workers as goroutines, all talking over loopback
+// TCP with the real wire protocols — and times dispatch-to-Done.
+func benchCluster(simCfg fleetsim.Config, fixes []ais.Fix, slide time.Duration, n int) ClusterRow {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	world := fleetsim.NewSimulator(simCfg)
+	world.Run()
+	vessels, areas, ports := core.AdaptWorld(world)
+
+	router := cluster.NewRouter(cluster.RouterOptions{Workers: n, RetainFixes: len(fixes) + 1})
+	addrs, err := router.ListenSlices(ctx, nil)
+	if err != nil {
+		log.Fatalf("cluster bench: %v", err)
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Workers:     n,
+		Slide:       slide,
+		WindowRange: time.Hour,
+		Recognition: maritime.Config{Window: time.Hour},
+		Vessels:     vessels,
+		Areas:       areas,
+		QueueCap:    1 << 16, // benchmark all-healthy: never force a merge
+	})
+	if err != nil {
+		log.Fatalf("cluster bench: %v", err)
+	}
+	coordAddr, err := coord.ListenAndServe(ctx, "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("cluster bench: %v", err)
+	}
+
+	gridStart := fixes[0].Time.Truncate(slide)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			ID:          i,
+			Workers:     n,
+			Router:      addrs[i].String(),
+			Coordinator: coordAddr.String(),
+			System: core.Config{
+				Window:      stream.WindowSpec{Range: time.Hour, Slide: slide},
+				Tracker:     tracker.DefaultParams(),
+				Recognition: maritime.Config{Window: time.Hour},
+			},
+			Vessels:   vessels,
+			Areas:     areas,
+			Ports:     ports,
+			GridStart: gridStart,
+		})
+		if err != nil {
+			log.Fatalf("cluster bench: worker %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("cluster bench: worker: %v", err)
+			}
+		}()
+	}
+
+	start := time.Now()
+	for _, f := range fixes {
+		router.Dispatch(f)
+	}
+	router.Finish()
+	select {
+	case <-coord.Done():
+	case <-time.After(5 * time.Minute):
+		log.Fatalf("cluster bench: %d-worker run did not finish", n)
+	}
+	wall := time.Since(start)
+	wg.Wait()
+
+	f := coord.Final()
+	return ClusterRow{
+		Workers:     n,
+		WallMs:      float64(wall.Microseconds()) / 1e3,
+		FixesPerSec: float64(len(fixes)) / wall.Seconds(),
+		Slides:      f.Slides,
+		Alerts:      f.Alerts,
+	}
+}
+
+// parseWidths parses the -cluster flag (comma-separated worker counts).
+func parseWidths(csv string) []int {
+	if csv == "" {
+		return nil
+	}
+	var widths []int
+	for _, s := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -cluster entry %q", s)
+		}
+		widths = append(widths, n)
+	}
+	return widths
+}

@@ -88,9 +88,10 @@ type Artifact struct {
 	Fixes   int     `json:"fixes"`
 	Slides  int     `json:"slides"`
 
-	Baseline TrackRow   `json:"baseline_serial_presharding"`
-	Tracking []TrackRow `json:"tracking"`
-	Pipeline []PipeRow  `json:"pipeline"`
+	Baseline TrackRow     `json:"baseline_serial_presharding"`
+	Tracking []TrackRow   `json:"tracking"`
+	Pipeline []PipeRow    `json:"pipeline"`
+	Cluster  []ClusterRow `json:"cluster,omitempty"`
 
 	Notes string `json:"notes"`
 }
@@ -100,12 +101,16 @@ func main() {
 	hours := flag.Float64("hours", baselineHours, "simulated duration in hours")
 	shardsCSV := flag.String("shards", "", "comma-separated shard counts (default 1,2,4 and GOMAXPROCS)")
 	reps := flag.Int("reps", 20, "tracking-tier repetitions per shard count")
+	clusterCSV := flag.String("cluster", "1,3", "comma-separated cluster widths for the distributed-tier rows (empty = skip)")
 	quick := flag.Bool("quick", false, "small CI smoke run (overrides vessels/hours/reps)")
 	out := flag.String("out", "BENCH_pipeline.json", "artifact path")
 	flag.Parse()
 
 	if *quick {
 		*vessels, *hours, *reps = 120, 1, 3
+		if *clusterCSV == "1,3" {
+			*clusterCSV = "2"
+		}
 	}
 	shardCounts := parseShards(*shardsCSV, *quick)
 
@@ -167,6 +172,16 @@ func main() {
 		log.Printf("pipeline shards=%d: tracking p95 %.0f µs, recognition p95 %.0f µs, %d alerts",
 			n, row.Stages["tracking"].P95Us, row.Stages["recognition"].P95Us, row.Alerts)
 		art.Pipeline = append(art.Pipeline, row)
+	}
+
+	// Distributed tiers: router + workers + coordinator over loopback
+	// TCP, against the single-process reference on the same stream. On a
+	// one-box run this prices the wire hops and the merge barrier; real
+	// scaling needs the workers on their own machines/CPUs.
+	if widths := parseWidths(*clusterCSV); len(widths) > 0 {
+		art.Cluster = benchClusterAll(simCfg, fixes, widths)
+		art.Notes += " Cluster rows run every tier in one process over loopback; " +
+			"workers=0 is the single-process reference, overhead_vs_single prices the wire + merge barrier on this box."
 	}
 
 	if err := writeArtifact(*out, art); err != nil {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// healthzPayload is the cluster's /healthz shape: the folded worker
+// health plus the coordinator's merge accounting.
+type healthzPayload struct {
+	Status       string              `json:"status"`
+	Health       core.Health         `json:"health"`
+	SlidesMerged int                 `json:"slides_merged"`
+	ForcedMerges int                 `json:"forced_merges"`
+	Dropped      map[string]int      `json:"dropped_slides,omitempty"`
+	Alerts       int                 `json:"alerts"`
+	Manifests    int                 `json:"manifests"`
+	Hub          serve.HubStats      `json:"hub"`
+	Router       cluster.RouterStats `json:"router"`
+}
+
+// mux wires the cluster's HTTP surface: SSE alerts with Last-Event-ID
+// replay from the hub ring, the alert-history tail, cluster health, and
+// the metrics exposition.
+func mux(coord *cluster.Coordinator, router *cluster.Router, hub *serve.Hub, reg *obs.Registry) http.Handler {
+	m := http.NewServeMux()
+	m.Handle("/metrics", reg.Handler())
+	m.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := coord.Stats()
+		h := coord.Health()
+		p := healthzPayload{
+			Status:       h.State(),
+			Health:       h,
+			SlidesMerged: st.SlidesMerged,
+			ForcedMerges: st.ForcedMerges,
+			Dropped:      st.DropsByCause,
+			Alerts:       st.Alerts,
+			Manifests:    st.Manifests,
+			Hub:          hub.Stats(),
+			Router:       router.Stats(),
+		}
+		writeJSON(w, p)
+	})
+	m.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+				n = v
+			}
+		}
+		writeJSON(w, hub.Ring().Last(n))
+	})
+	m.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, r, hub)
+	})
+	return m
+}
+
+// serveEvents streams merged alerts as Server-Sent Events. The envelope
+// sequence is the event id, so a reconnecting client resumes from
+// Last-Event-ID and sees every alert exactly once — including across a
+// coordinator restart, because a manifest restore continues the hub's
+// sequence.
+func serveEvents(w http.ResponseWriter, r *http.Request, hub *serve.Hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	filter, err := serve.ParseFilter(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var sub *serve.Subscriber
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw != "" {
+		if after, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			sub = hub.SubscribeFrom(filter, 256, after)
+		}
+	}
+	if sub == nil {
+		sub = hub.Subscribe(filter, 256)
+	}
+	defer sub.Close()
+	stop := context.AfterFunc(r.Context(), sub.Close)
+	defer stop()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		env, ok, timedOut := sub.NextTimeout(15 * time.Second)
+		switch {
+		case timedOut:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+		case !ok:
+			return
+		default:
+			data, err := json.Marshal(env)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", env.Seq, data); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -287,6 +287,21 @@ func (m *Manager) RestoreNewest() (*State, error) {
 	return nil, errors.Join(failures...)
 }
 
+// PathFor returns the canonical path of checkpoint sequence seq inside
+// dir. A cluster manifest references worker checkpoints by sequence
+// number; the coordinator resolves them through this.
+func PathFor(dir string, seq uint64) string {
+	return filepath.Join(dir, fileName(seq))
+}
+
+// LoadAt loads the checkpoint with exactly the given sequence number —
+// not the newest. A cluster restore pins every worker to the sequence
+// its manifest generation recorded, so the whole cluster restores one
+// coherent cut even when some workers have newer checkpoints.
+func (m *Manager) LoadAt(seq uint64) (*State, error) {
+	return Load(PathFor(m.opt.Dir, seq))
+}
+
 // Dir returns the checkpoint directory.
 func (m *Manager) Dir() string { return m.opt.Dir }
 

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/durable"
+	"repro/internal/feed"
+	"repro/internal/maritime"
+	"repro/internal/serve"
+)
+
+const (
+	manifestMagic   = "MARMANI"
+	manifestVersion = 1
+	manifestPrefix  = "manifest-"
+	manifestSuffix  = ".mft"
+)
+
+// Manifest binds one atomic cluster snapshot: the checkpoint sequence
+// number of every worker at a common query time, the merged resume
+// cursor the router would honor, and the coordinator's own state
+// (recognizer working memory, alert hub sequence/history). Restoring
+// every worker to its recorded sequence and the coordinator to the
+// recorded snapshots puts the whole cluster on one coherent cut — no
+// worker ahead of or behind the merge frontier.
+type Manifest struct {
+	// Query is the slide query time the cut was taken at; every worker
+	// checkpointed at exactly this query.
+	Query time.Time
+	// Workers is the cluster width; WorkerSeqs[i] is worker i's
+	// checkpoint sequence number.
+	Workers    int
+	WorkerSeqs []uint64
+	// Cursor is the merged upstream resume cursor: Sec is the max of
+	// the workers' cursor seconds, SeenAtSec the union of their
+	// per-vessel counts at that second (vessel slices are disjoint).
+	Cursor feed.Cursor
+	// Recognizer is the coordinator's CE working memory as of Query.
+	Recognizer maritime.RecognizerSnapshot
+	// Hub is the alert gateway's sequence/history; nil without one.
+	Hub *serve.HubSnapshot
+	// Slides is how many slides the coordinator had merged.
+	Slides int
+}
+
+// ManifestStore owns one manifest directory, mirroring the checkpoint
+// manager's contract: atomic durable-framed saves, keep-last-K
+// pruning, and newest-valid restore with fallback.
+type ManifestStore struct {
+	dir  string
+	keep int
+
+	mu       sync.Mutex
+	seq      uint64
+	lastSave time.Time
+}
+
+// NewManifestStore opens (creating if needed) the manifest directory.
+// keep ≤ 0 retains 3.
+func NewManifestStore(dir string, keep int) (*ManifestStore, error) {
+	if dir == "" {
+		return nil, errors.New("cluster: manifest dir is required")
+	}
+	if keep <= 0 {
+		keep = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating %s: %w", dir, err)
+	}
+	s := &ManifestStore{dir: dir, keep: keep}
+	files, err := s.list()
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 0 {
+		s.seq = files[len(files)-1].seq
+	}
+	return s, nil
+}
+
+type manifestFile struct {
+	seq  uint64
+	path string
+}
+
+func (s *ManifestStore) list() ([]manifestFile, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading %s: %w", s.dir, err)
+	}
+	var out []manifestFile
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		if _, err := fmt.Sscanf(name, manifestPrefix+"%d"+manifestSuffix, &seq); err != nil {
+			continue
+		}
+		if name != manifestName(seq) {
+			continue
+		}
+		out = append(out, manifestFile{seq: seq, path: filepath.Join(s.dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+func manifestName(seq uint64) string {
+	return fmt.Sprintf("%s%012d%s", manifestPrefix, seq, manifestSuffix)
+}
+
+// Save persists one manifest atomically and prunes beyond keep.
+func (s *ManifestStore) Save(m *Manifest) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return fmt.Errorf("cluster: encoding manifest: %w", err)
+	}
+	s.mu.Lock()
+	seq := s.seq + 1
+	s.mu.Unlock()
+	path := filepath.Join(s.dir, manifestName(seq))
+	err := durable.WriteFileAtomic(path, func(w io.Writer) error {
+		return durable.WriteFrame(w, manifestMagic, manifestVersion, payload.Bytes())
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: writing %s: %w", path, err)
+	}
+	s.mu.Lock()
+	s.seq = seq
+	s.lastSave = time.Now()
+	s.mu.Unlock()
+	return s.prune()
+}
+
+func (s *ManifestStore) prune() error {
+	files, err := s.list()
+	if err != nil {
+		return err
+	}
+	for len(files) > s.keep {
+		if err := os.Remove(files[0].path); err != nil {
+			return fmt.Errorf("cluster: pruning %s: %w", files[0].path, err)
+		}
+		files = files[1:]
+	}
+	return nil
+}
+
+// LastSave returns when the newest manifest was written (zero before
+// any save this session).
+func (s *ManifestStore) LastSave() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSave
+}
+
+// Seq returns the newest manifest sequence (0 before any).
+func (s *ManifestStore) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// LoadManifest reads and verifies one manifest file; truncated,
+// corrupt, wrong-magic and future-version files fail with the
+// corresponding typed durable error.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	payload, _, err := durable.ReadFrame(f, manifestMagic, manifestVersion)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	var m Manifest
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("cluster: decoding %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// RestoreCluster finds the newest manifest whose entire generation is
+// restorable: the manifest itself loads, it matches the cluster width,
+// and EVERY worker's recorded checkpoint sequence loads from that
+// worker's directory. A generation with any unreadable member is
+// skipped whole — the cluster never restores a mixed cut where one
+// worker is on a different generation than the rest. Returns nil with
+// a nil error when the directory holds no manifests at all (cold
+// start); when every candidate was rejected, the joined rejection
+// reasons come back with the nil manifest.
+func RestoreCluster(s *ManifestStore, workerDirs []string) (*Manifest, error) {
+	files, err := s.list()
+	if err != nil {
+		return nil, err
+	}
+	var failures []error
+	for i := len(files) - 1; i >= 0; i-- {
+		m, err := LoadManifest(files[i].path)
+		if err != nil {
+			failures = append(failures, err)
+			continue
+		}
+		if m.Workers != len(workerDirs) || len(m.WorkerSeqs) != m.Workers {
+			failures = append(failures, fmt.Errorf(
+				"cluster: %s: manifest for %d workers, cluster has %d",
+				files[i].path, m.Workers, len(workerDirs)))
+			continue
+		}
+		ok := true
+		for w, seq := range m.WorkerSeqs {
+			if _, err := checkpoint.Load(checkpoint.PathFor(workerDirs[w], seq)); err != nil {
+				failures = append(failures, fmt.Errorf(
+					"cluster: generation %d: worker %d: %w", m.Slides, w, err))
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m, errors.Join(failures...)
+		}
+	}
+	return nil, errors.Join(failures...)
+}
+
+// mergeCursors folds per-worker checkpoint cursors into the cluster
+// cursor: the frontier second is the max across workers, and the
+// per-vessel same-second counts are the union of the workers at that
+// second — vessel slices are disjoint, so the union is a disjoint
+// merge.
+func mergeCursors(curs []*feed.Cursor) feed.Cursor {
+	var out feed.Cursor
+	for _, c := range curs {
+		if c != nil && c.Sec > out.Sec {
+			out.Sec = c.Sec
+		}
+	}
+	for _, c := range curs {
+		if c == nil || c.Sec != out.Sec {
+			continue
+		}
+		for mmsi, n := range c.SeenAtSec {
+			if out.SeenAtSec == nil {
+				out.SeenAtSec = make(map[uint32]int)
+			}
+			out.SeenAtSec[mmsi] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/feed"
+)
+
+// seedGenerations writes two complete cluster generations — every
+// worker checkpointed at seq 1 and 2, one manifest binding each — and
+// returns the manifest store and worker directories.
+func seedGenerations(t *testing.T, workers int) (*ManifestStore, []string) {
+	t.Helper()
+	dirs := make([]string, workers)
+	base := time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+	for w := range dirs {
+		dirs[w] = t.TempDir()
+		mgr, err := checkpoint.NewManager(checkpoint.Options{Dir: dirs[w]})
+		if err != nil {
+			t.Fatalf("worker %d manager: %v", w, err)
+		}
+		for gen := 1; gen <= 2; gen++ {
+			st := &checkpoint.State{
+				Query:  base.Add(time.Duration(gen) * 40 * time.Minute),
+				Cursor: feed.Cursor{Sec: int64(gen)},
+				Slides: gen * 4,
+			}
+			if err := mgr.Save(st); err != nil {
+				t.Fatalf("worker %d gen %d: %v", w, gen, err)
+			}
+		}
+	}
+	store, err := NewManifestStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatalf("manifest store: %v", err)
+	}
+	for gen := 1; gen <= 2; gen++ {
+		seqs := make([]uint64, workers)
+		for w := range seqs {
+			seqs[w] = uint64(gen)
+		}
+		m := &Manifest{
+			Query:      base.Add(time.Duration(gen) * 40 * time.Minute),
+			Workers:    workers,
+			WorkerSeqs: seqs,
+			Slides:     gen * 4,
+		}
+		if err := store.Save(m); err != nil {
+			t.Fatalf("manifest gen %d: %v", gen, err)
+		}
+	}
+	return store, dirs
+}
+
+// corrupt truncates the tail off a durable file so its CRC fails.
+func corrupt(t *testing.T, path string) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	if err := os.Truncate(path, info.Size()-4); err != nil {
+		t.Fatalf("truncate %s: %v", path, err)
+	}
+}
+
+func TestRestoreClusterPicksNewestGeneration(t *testing.T) {
+	store, dirs := seedGenerations(t, 3)
+	m, err := RestoreCluster(store, dirs)
+	if err != nil {
+		t.Fatalf("RestoreCluster: %v", err)
+	}
+	if m == nil || m.Slides != 8 {
+		t.Fatalf("want generation 2 (8 slides), got %+v", m)
+	}
+}
+
+// A corrupt newest manifest falls back to the previous generation.
+func TestRestoreClusterFallsBackPastCorruptManifest(t *testing.T) {
+	store, dirs := seedGenerations(t, 3)
+	files, err := store.list()
+	if err != nil || len(files) != 2 {
+		t.Fatalf("want 2 manifests, got %d (err=%v)", len(files), err)
+	}
+	corrupt(t, files[1].path)
+	m, err := RestoreCluster(store, dirs)
+	if m == nil || m.Slides != 4 {
+		t.Fatalf("want fallback to generation 1 (4 slides), got %+v (err=%v)", m, err)
+	}
+	if err == nil {
+		t.Error("the rejected newest manifest should surface in the joined error")
+	}
+}
+
+// One unreadable worker checkpoint disqualifies the WHOLE generation:
+// the cluster never restores a mixed cut where one worker is on an
+// older generation than the rest.
+func TestRestoreClusterNeverMixesGenerations(t *testing.T) {
+	store, dirs := seedGenerations(t, 3)
+	corrupt(t, checkpoint.PathFor(dirs[1], 2))
+	m, err := RestoreCluster(store, dirs)
+	if m == nil || m.Slides != 4 {
+		t.Fatalf("want whole-generation fallback to generation 1, got %+v (err=%v)", m, err)
+	}
+	for w, seq := range m.WorkerSeqs {
+		if seq != 1 {
+			t.Errorf("worker %d pinned to seq %d; a coherent fallback pins every worker to 1", w, seq)
+		}
+		if _, err := checkpoint.Load(checkpoint.PathFor(dirs[w], seq)); err != nil {
+			t.Errorf("worker %d's pinned checkpoint does not load: %v", w, err)
+		}
+	}
+}
+
+// Every generation unreadable: no manifest, and the reasons surface.
+func TestRestoreClusterAllGenerationsBroken(t *testing.T) {
+	store, dirs := seedGenerations(t, 3)
+	corrupt(t, checkpoint.PathFor(dirs[0], 2))
+	corrupt(t, checkpoint.PathFor(dirs[2], 1))
+	m, err := RestoreCluster(store, dirs)
+	if m != nil {
+		t.Fatalf("restored %+v from a fully broken store", m)
+	}
+	if err == nil {
+		t.Fatal("want the joined rejection reasons, got nil")
+	}
+}
+
+// An empty manifest directory is a cold start, not an error.
+func TestRestoreClusterColdStart(t *testing.T) {
+	store, err := NewManifestStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatalf("manifest store: %v", err)
+	}
+	m, err := RestoreCluster(store, []string{t.TempDir(), t.TempDir()})
+	if m != nil || err != nil {
+		t.Fatalf("cold start: want nil/nil, got %+v / %v", m, err)
+	}
+}
+
+// A manifest written for a different cluster width never restores.
+func TestRestoreClusterRejectsWidthMismatch(t *testing.T) {
+	store, dirs := seedGenerations(t, 3)
+	wrong := append(dirs, t.TempDir())
+	m, err := RestoreCluster(store, wrong)
+	if m != nil {
+		t.Fatalf("restored a 3-worker manifest into a %d-worker cluster", len(wrong))
+	}
+	if err == nil {
+		t.Fatal("want width-mismatch rejections, got nil")
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+func testFix(mmsi uint32, sec int64) ais.Fix {
+	return ais.Fix{MMSI: mmsi, Pos: geo.Point{Lon: 23.5, Lat: 37.9}, Time: time.Unix(sec, 0).UTC()}
+}
+
+// The replay ring trims its oldest fixes past the bound, and the loss
+// is counted, never silent.
+func TestSliceFeedTrimAccounting(t *testing.T) {
+	s := newSliceFeed(4)
+	for i := int64(0); i < 10; i++ {
+		s.append(testFix(1, 1000+i))
+	}
+	st := s.stats()
+	if st.Dispatched != 10 || st.Trimmed != 6 {
+		t.Fatalf("want 10 dispatched / 6 trimmed, got %d / %d", st.Dispatched, st.Trimmed)
+	}
+	fixes, next, done, _ := s.window(0)
+	if len(fixes) != 4 || fixes[0].Time.Unix() != 1006 {
+		t.Fatalf("window after trim: %d fixes from %v", len(fixes), fixes[0].Time)
+	}
+	if next != 10 || done {
+		t.Fatalf("want next=10 done=false, got next=%d done=%v", next, done)
+	}
+}
+
+// A resume cursor skips everything at or before its second.
+func TestSliceFeedResumePos(t *testing.T) {
+	s := newSliceFeed(100)
+	for i := int64(0); i < 5; i++ {
+		s.append(testFix(1, 1000+i))
+	}
+	cursor := int64(1002)
+	pos, skipped := s.resumePos(&cursor)
+	if pos != 3 || skipped != 3 {
+		t.Fatalf("resume after 1002: want pos=3 skipped=3, got %d/%d", pos, skipped)
+	}
+	if pos, skipped := s.resumePos(nil); pos != 0 || skipped != 0 {
+		t.Fatalf("full replay: want 0/0, got %d/%d", pos, skipped)
+	}
+}
+
+// A slice connection speaks the feed wire protocol: RESUME handshake,
+// CSV fixes, keepalive comments while idle, clean close on Finish.
+func TestRouterSliceServesResumeAndHeartbeats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRouter(RouterOptions{Workers: 1, KeepaliveEvery: 30 * time.Millisecond})
+	addrs, err := r.ListenSlices(ctx, nil)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	for i := int64(0); i < 4; i++ {
+		r.Dispatch(testFix(7, 2000+i))
+	}
+
+	conn, err := net.DialTimeout("tcp", addrs[0].String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "RESUME %d\n", 2001)
+	sc := bufio.NewScanner(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+
+	var fixes, heartbeats int
+	for fixes < 2 || heartbeats < 1 {
+		if !sc.Scan() {
+			t.Fatalf("stream ended early (fixes=%d heartbeats=%d): %v", fixes, heartbeats, sc.Err())
+		}
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HB "):
+			heartbeats++
+		case strings.HasPrefix(line, "7,"):
+			fixes++
+		default:
+			t.Fatalf("unexpected line %q", line)
+		}
+	}
+
+	// Finish drains the connection cleanly: EOF, no torn line.
+	r.Finish()
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "# HB ") {
+			t.Fatalf("unexpected line after finish: %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream did not close cleanly: %v", err)
+	}
+
+	st := r.Stats().Slices[0]
+	if st.Resumes != 1 || st.ResumeSkipped != 2 {
+		t.Errorf("want 1 resume skipping 2 fixes, got %d/%d", st.Resumes, st.ResumeSkipped)
+	}
+	if st.Heartbeats == 0 {
+		t.Error("no heartbeats counted")
+	}
+	if st.ClientsServed != 1 {
+		t.Errorf("want 1 client served, got %d", st.ClientsServed)
+	}
+}
+
+// Vessels are partitioned by the same hash boundary the in-process
+// tracker shards use, and the upstream cursor covers every dispatch.
+func TestRouterPartitionsAndCursor(t *testing.T) {
+	r := NewRouter(RouterOptions{Workers: 4})
+	for i := int64(0); i < 100; i++ {
+		r.Dispatch(testFix(uint32(100+i), 3000+i/10))
+	}
+	st := r.Stats()
+	if st.Dispatched != 100 {
+		t.Fatalf("dispatched %d of 100", st.Dispatched)
+	}
+	nonEmpty := 0
+	for _, s := range st.Slices {
+		if s.Dispatched > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("hash partitioning degenerated: %d of 4 slices used", nonEmpty)
+	}
+	if cur := r.Cursor(); cur.Sec != 3009 {
+		t.Errorf("upstream cursor at %d, want 3009", cur.Sec)
+	}
+}

@@ -1,0 +1,217 @@
+// Package cluster scales the surveillance pipeline across processes:
+// a router tier partitions the live AIS stream by MMSI hash (the same
+// fmix32 boundary the in-process tracker shards use) and serves each
+// vessel slice over the feed wire protocol; worker processes run
+// tracking and archival for their slice and ship per-slide outputs
+// upstream; a coordinator k-way-merges the slide outputs
+// deterministically under the (time, MMSI) contract, runs complex
+// event recognition over the merged event stream, publishes into the
+// serve hub, and binds per-worker checkpoints plus the router cursor
+// into one atomic cluster manifest.
+//
+// Recognition runs at the coordinator, not in the workers, because
+// several maritime CEs aggregate across vessels (suspicious counts the
+// stopped vessels near an area; illegalFishing termination requires
+// zero fishing activity near the area): a vessel-sliced recognizer
+// cannot see them. Trajectory detection and trip archival are
+// per-vessel and stay in the workers — they carry the bulk of the
+// per-fix cost.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/feed"
+	"repro/internal/tracker"
+)
+
+const (
+	// wireMagic/wireVersion frame every worker→coordinator message: the
+	// durable framing layer's CRC turns a torn TCP stream into a typed
+	// error instead of a misparsed message.
+	wireMagic   = "MARSLIDE"
+	wireVersion = 1
+)
+
+// Message is the worker→coordinator uplink envelope. Exactly one of
+// Hello, Slide, EOS is set, selected by Kind.
+type Message struct {
+	Kind  Kind
+	Hello *Hello
+	Slide *SlideOutput
+	EOS   *EOS
+}
+
+// Kind discriminates uplink messages.
+type Kind int
+
+const (
+	// KindHello introduces a worker connection (first message).
+	KindHello Kind = iota + 1
+	// KindSlide carries one processed slide's output.
+	KindSlide
+	// KindEOS announces that the worker's slice stream ended cleanly.
+	KindEOS
+)
+
+// Hello is the first message on every worker connection — both a fresh
+// start and a reconnect after a worker restart.
+type Hello struct {
+	// Worker is the slice index in [0, Workers).
+	Worker int
+	// Workers is the cluster width the worker was configured with; the
+	// coordinator rejects a mismatch instead of merging a mis-sliced
+	// stream.
+	Workers int
+	// Slides is how many slides the worker's restored checkpoint covers
+	// (0 on cold start).
+	Slides int
+	// Query is the restored checkpoint's query time (zero on cold
+	// start).
+	Query time.Time
+	// Restarted marks a worker that came back from a checkpoint; the
+	// coordinator counts it as a worker restart.
+	Restarted bool
+}
+
+// SlideOutput is one window slide processed by one worker: the slice's
+// share of the slide's fixes and the fresh critical points trajectory
+// detection emitted — the input of the coordinator's merged
+// recognition.
+type SlideOutput struct {
+	Worker         int
+	Query          time.Time
+	FixesIn        int
+	TripsCompleted int
+	// Fresh holds the slide's critical points in the worker's emission
+	// order (per-vessel chronological).
+	Fresh []tracker.CriticalPoint
+	// Timings carries the worker-side stage costs for observability.
+	Timings core.Timings
+	// Health is the worker's cumulative health snapshot as of this
+	// slide; the coordinator merges it into the cluster's.
+	Health core.Health
+
+	// Checkpoint bookkeeping, set on slides where the worker saved a
+	// checkpoint: the sequence number, and the resume cursor covering
+	// exactly the fixes folded into it. The coordinator binds the
+	// per-worker sequences of one checkpoint query time into a cluster
+	// manifest.
+	CkptSeq    uint64
+	CkptCursor *feed.Cursor
+}
+
+// EOS closes a worker's stream: its slice replay finished and the
+// worker drained its archival state.
+type EOS struct {
+	Worker int
+	// Final is the worker's end-of-stream archival digest, summed by
+	// the coordinator into the cluster total.
+	Final WorkerFinal
+}
+
+// WorkerFinal mirrors the end-of-run archival statistics the recovery
+// harness compares (store Table 4 plus tracker totals).
+type WorkerFinal struct {
+	Trips        int
+	TrajPoints   int
+	Staged       int
+	FixesIn      int
+	Critical     int
+	LateAccepted int
+	LateDropped  int
+}
+
+// Add returns the element-wise sum.
+func (f WorkerFinal) Add(o WorkerFinal) WorkerFinal {
+	return WorkerFinal{
+		Trips:        f.Trips + o.Trips,
+		TrajPoints:   f.TrajPoints + o.TrajPoints,
+		Staged:       f.Staged + o.Staged,
+		FixesIn:      f.FixesIn + o.FixesIn,
+		Critical:     f.Critical + o.Critical,
+		LateAccepted: f.LateAccepted + o.LateAccepted,
+		LateDropped:  f.LateDropped + o.LateDropped,
+	}
+}
+
+// wireWriter frames gob-encoded messages onto one connection. Writes
+// are serialized so a worker's pipeline goroutine and its shutdown path
+// never interleave frames.
+type wireWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf bytes.Buffer
+}
+
+func newWireWriter(conn io.Writer) *wireWriter {
+	return &wireWriter{w: bufio.NewWriterSize(conn, 64*1024)}
+}
+
+// send encodes and frames one message, flushing it to the wire.
+func (w *wireWriter) send(m *Message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Reset()
+	if err := gob.NewEncoder(&w.buf).Encode(m); err != nil {
+		return fmt.Errorf("cluster: encoding %v message: %w", m.Kind, err)
+	}
+	if err := durable.WriteFrame(w.w, wireMagic, wireVersion, w.buf.Bytes()); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// wireReader decodes framed messages off one connection.
+type wireReader struct {
+	r *bufio.Reader
+}
+
+func newWireReader(conn io.Reader) *wireReader {
+	return &wireReader{r: bufio.NewReaderSize(conn, 64*1024)}
+}
+
+// next reads one message; io.EOF on a cleanly closed connection. The
+// durable framing layer reports a stream that ends exactly on a frame
+// boundary as ErrTruncated (it never gets a header to judge), so the
+// reader peeks first: end-of-stream before any frame byte is a clean
+// close, while a cut mid-frame keeps its truncation error.
+func (r *wireReader) next() (*Message, error) {
+	if _, err := r.r.Peek(1); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	payload, _, err := durable.ReadFrame(r.r, wireMagic, wireVersion)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("cluster: decoding message: %w", err)
+	}
+	return &m, nil
+}
+
+// dialCoordinator connects a worker's uplink.
+func dialCoordinator(addr string, timeout time.Duration) (net.Conn, *wireWriter, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, err)
+	}
+	return conn, newWireWriter(conn), nil
+}

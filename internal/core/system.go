@@ -129,6 +129,12 @@ type System struct {
 	// Registered alert consumers, notified after every slide.
 	sinks []AlertSink
 
+	// freshObs, when set, receives every slide's fresh critical points
+	// before recognition — the tap a cluster worker uses to ship its
+	// slice's trajectory events upstream. The slice is only valid for
+	// the duration of the call; observers must copy what they keep.
+	freshObs func(q time.Time, fresh []tracker.CriticalPoint)
+
 	// Optional metrics wiring (RegisterMetrics); nil leaves the hot path
 	// untouched.
 	metrics *pipelineMetrics
@@ -296,6 +302,16 @@ func closeMetersOf(cfg maritime.Config) float64 {
 	return 3000
 }
 
+// SetFreshObserver installs a tap receiving each slide's fresh critical
+// points right after trajectory detection, before recognition. A
+// cluster worker uses it to stream its vessel slice's events to the
+// coordinator. The slice passed to fn is tracker-owned scratch, valid
+// only for the duration of the call. Must be set before processing
+// starts; it is not guarded by runMu.
+func (s *System) SetFreshObserver(fn func(q time.Time, fresh []tracker.CriticalPoint)) {
+	s.freshObs = fn
+}
+
 // Tracker exposes the trajectory detection component.
 func (s *System) Tracker() *tracker.Sharded { return s.tracker }
 
@@ -335,6 +351,9 @@ func (s *System) processLocked(b stream.Batch) SlideReport {
 	res := s.tracker.Slide(b)
 	rep.Timings.Tracking = time.Since(t)
 	rep.CriticalPoints = len(res.Fresh)
+	if s.freshObs != nil {
+		s.freshObs(b.Query, res.Fresh)
+	}
 
 	if !s.cfg.DisableArchival {
 		// At DegradeDeferArchival and above, staging continues (nothing

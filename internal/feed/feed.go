@@ -31,6 +31,7 @@ type ServerStats struct {
 	ResumeSkipped int // fixes skipped because they were ≤ a resume cursor
 	EncodeErrors  int // fixes dropped because NMEA encoding failed
 	WriteErrors   int // client connections dropped on a write error
+	Heartbeats    int // keepalive comment lines emitted during idle stretches
 }
 
 // Server replays a fix stream to every connected client, paced by the
@@ -47,6 +48,13 @@ type Server struct {
 	// timestamp strictly greater than the cursor; clients that send
 	// nothing get the full stream after the wait elapses.
 	HandshakeWait time.Duration
+	// KeepaliveEvery, when positive, emits a "# HB <stream-unix>"
+	// comment line whenever a paced replay would otherwise stay silent
+	// for that long. The scanner on the other end skips comment lines
+	// (counted as Blank), so heartbeats cost nothing semantically but
+	// let a client with a read timeout distinguish an idle stream from
+	// a dead peer.
+	KeepaliveEvery time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -146,11 +154,24 @@ func (s *Server) stream(ctx context.Context, conn net.Conn) {
 				paced = true
 			} else {
 				due := wallStart.Add(time.Duration(float64(f.Time.Sub(streamStart)) / s.Speedup))
-				if d := time.Until(due); d > 0 {
+				for {
+					d := time.Until(due)
+					if d <= 0 {
+						break
+					}
+					if s.KeepaliveEvery > 0 && d > s.KeepaliveEvery {
+						d = s.KeepaliveEvery
+					}
 					select {
 					case <-ctx.Done():
 						return
 					case <-time.After(d):
+					}
+					if s.KeepaliveEvery > 0 && time.Until(due) > 0 {
+						// Still waiting: reassure the client we are alive.
+						if !s.heartbeat(w, conn) {
+							return
+						}
 					}
 				}
 			}
@@ -180,6 +201,19 @@ func (s *Server) stream(ctx context.Context, conn net.Conn) {
 		}
 	}
 	s.logf("client %s finished (%d fixes)", conn.RemoteAddr(), len(s.Fixes))
+}
+
+// heartbeat writes one keepalive comment line, reporting success.
+func (s *Server) heartbeat(w *bufio.Writer, conn net.Conn) bool {
+	if _, err := fmt.Fprintf(w, "# HB %d\n", time.Now().Unix()); err == nil {
+		if err = w.Flush(); err == nil {
+			s.count(func(st *ServerStats) { st.Heartbeats++ })
+			return true
+		}
+	}
+	s.count(func(st *ServerStats) { st.WriteErrors++ })
+	s.logf("client %s dropped on heartbeat", conn.RemoteAddr())
+	return false
 }
 
 // handshake waits up to HandshakeWait for an optional "RESUME <unix>"

@@ -31,6 +31,9 @@ func (c *ReconnectingClient) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("maritime_feed_resume_dupes_total",
 		"Duplicate fixes discarded during resume catch-up.",
 		nil, net(func(n NetStats) int { return n.ResumeSkipped }))
+	r.CounterFunc("maritime_feed_dead_peers_total",
+		"Connections abandoned because the peer sent nothing — not even a heartbeat — within the dead-peer timeout.",
+		nil, net(func(n NetStats) int { return n.DeadPeers }))
 
 	scan := func(f func(s ais.ScannerStats) int) func() float64 {
 		return func() float64 { return float64(f(c.Stats())) }

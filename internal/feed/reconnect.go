@@ -63,6 +63,13 @@ type NetStats struct {
 	Reconnects    int // connections re-established after a loss
 	Resumes       int // RESUME handshake lines sent
 	ResumeSkipped int // duplicate fixes discarded during resume catch-up
+	// DeadPeers counts connections abandoned because the peer sent
+	// nothing — not even a keepalive heartbeat — for DeadPeerTimeout.
+	// It distinguishes a hung peer from an idle stream: a healthy but
+	// quiet server keeps the connection alive with "# HB" lines, so a
+	// read timeout means the peer is gone, not just silent. Dead-peer
+	// drops are also counted in Disconnects.
+	DeadPeers int
 }
 
 // ReconnectingClient is a FixSource over a live feed that survives
@@ -79,6 +86,12 @@ type ReconnectingClient struct {
 	dial   func() (net.Conn, error)
 	// Logf receives lifecycle messages; nil silences them.
 	Logf func(format string, args ...any)
+	// DeadPeerTimeout, when positive, bounds how long a read may go
+	// without any bytes from the peer before the connection is declared
+	// dead and re-dialed (counted in NetStats.DeadPeers). Pair it with
+	// a server that emits keepalive heartbeats more often than this, so
+	// only a truly hung peer trips it. Set before the first Scan.
+	DeadPeerTimeout time.Duration
 
 	mu      sync.Mutex // guards conn, closed, net (Close races Scan)
 	conn    net.Conn
@@ -184,6 +197,13 @@ func (c *ReconnectingClient) Scan() bool {
 		if c.isClosed() {
 			return false
 		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			// No bytes — not even a heartbeat — within DeadPeerTimeout:
+			// the peer is hung, not idle.
+			c.count(func(n *NetStats) { n.DeadPeers++ })
+			c.logf("peer silent past %s: declared dead", c.DeadPeerTimeout)
+		}
 		c.count(func(n *NetStats) { n.Disconnects++ })
 		c.logf("connection lost after %s: %v", time.Unix(c.curSec, 0).UTC().Format(time.RFC3339), err)
 		if !c.connect(true) {
@@ -218,7 +238,11 @@ func (c *ReconnectingClient) connect(reconnected bool) bool {
 				c.backoff = c.policy.InitialBackoff
 				c.consecFail = 0
 			}
-			c.scanner = ais.NewScanner(conn)
+			var rd io.Reader = conn
+			if c.DeadPeerTimeout > 0 {
+				rd = &timeoutReader{conn: conn, timeout: c.DeadPeerTimeout}
+			}
+			c.scanner = ais.NewScanner(rd)
 			if reconnected {
 				c.count(func(n *NetStats) { n.Reconnects++ })
 			}
@@ -255,6 +279,21 @@ func (c *ReconnectingClient) connect(reconnected bool) bool {
 			c.backoff = c.policy.MaxBackoff
 		}
 	}
+}
+
+// timeoutReader arms a read deadline before every Read, so a peer that
+// stops sending (data or heartbeats) surfaces as a timeout error
+// instead of blocking the scanner forever.
+type timeoutReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r *timeoutReader) Read(p []byte) (int, error) {
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return 0, err
+	}
+	return r.conn.Read(p)
 }
 
 // jittered spreads d by ±Jitter·d.
