@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster bench bench-serve bench-pipe experiments examples
+.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster test-analytics bench bench-serve bench-pipe experiments examples
 
 all: fmt-check build vet test
 
@@ -45,6 +45,16 @@ test-chaos:
 # detector.
 test-cluster:
 	go test -race -v -run 'TestCluster' ./internal/cluster/
+
+# Cross-vessel analytics suite: fleetsim ground-truth precision/recall
+# for rendezvous and dark-rendezvous, index-vs-brute-force collision
+# screening, and cluster-vs-single-process pairwise byte equivalence
+# (including a mid-run manifest restore) — under the race detector.
+test-analytics:
+	go test -race -v -run 'TestPairwiseAnalyticsGroundTruth|TestAnalyticsDisabledByDefault' ./internal/core/
+	go test -race -v -run 'TestIndexMatchesBruteForce|TestEncountersInvariantToArrivalOrder' ./internal/collision/
+	go test -race -v ./internal/analytics/
+	go test -race -v -run 'TestClusterPairwiseAnalyticsEquivalence|TestClusterManifestRestoreWithAnalytics' ./internal/cluster/
 
 # One testing.B benchmark per table/figure of the paper's evaluation.
 bench: bench-serve bench-pipe

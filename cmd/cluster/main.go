@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/feed"
@@ -73,6 +74,7 @@ func main() {
 		manifestDir = flag.String("manifest-dir", "", "record cluster manifests here (empty = off)")
 		restoreCSV  = flag.String("restore-dirs", "", "comma-separated worker checkpoint dirs; restore the newest coherent generation")
 		keep        = flag.Int("manifest-keep", 3, "manifest generations to retain")
+		pairwise    = flag.Bool("pairwise", true, "run the cross-vessel analytics tier on the coordinator (rendezvous, dark gap linking, collision screening)")
 	)
 	flag.Parse()
 
@@ -84,7 +86,7 @@ func main() {
 	cfg.NumAreas = *areas
 	cfg.Duration = time.Duration(*hours * float64(time.Hour))
 	sim := fleetsim.NewSimulator(cfg)
-	vesselsReg, areasReg, _ := core.AdaptWorld(sim)
+	vesselsReg, areasReg, ports := core.AdaptWorld(sim)
 
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
@@ -121,7 +123,7 @@ func main() {
 
 	hub := serve.NewHub(*ring)
 	hub.RegisterMetrics(reg)
-	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+	coordCfg := cluster.CoordinatorConfig{
 		Workers:     *workers,
 		Slide:       *slide,
 		WindowRange: *window,
@@ -133,7 +135,12 @@ func main() {
 		Manifests:   store,
 		Restore:     restored,
 		Logf:        log.Printf,
-	})
+	}
+	if *pairwise {
+		coordCfg.Analytics = &analytics.Config{EnableCollision: true}
+		coordCfg.Ports = ports
+	}
+	coord, err := cluster.NewCoordinator(coordCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

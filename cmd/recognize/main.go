@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/ais"
+	"repro/internal/analytics"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/feed"
@@ -73,6 +74,7 @@ func main() {
 		debug     = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while the run lasts (empty = off)")
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe restart (empty = off)")
 		ckptEvery = flag.Int("checkpoint-every", 6, "slides between checkpoints")
+		pairwise  = flag.Bool("pairwise", false, "run the cross-vessel analytics tier (rendezvous, dark gap linking, collision screening)")
 	)
 	flag.Parse()
 
@@ -100,6 +102,9 @@ func main() {
 		TrackerShards:   *shards,
 		WatchdogTimeout: *watchdog,
 		SelfHeal:        *selfHeal,
+	}
+	if *pairwise {
+		sysCfg.Analytics = &analytics.Config{EnableCollision: true}
 	}
 	if *degrade {
 		spec := &core.DegradeSpec{SlideHigh: *degSlide, DepthHigh: *degDepth}

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/feed"
@@ -79,6 +80,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "log subscriber connects/disconnects")
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe restart (empty = off)")
 		ckptEvery = flag.Int("checkpoint-every", 6, "slides between checkpoints")
+		pairwise  = flag.Bool("pairwise", true, "run the cross-vessel analytics tier (rendezvous, dark gap linking, collision screening)")
 	)
 	flag.Parse()
 
@@ -103,6 +105,9 @@ func main() {
 		TrackerShards:   *shards,
 		WatchdogTimeout: *watchdog,
 		SelfHeal:        *selfHeal,
+	}
+	if *pairwise {
+		sysCfg.Analytics = &analytics.Config{EnableCollision: true}
 	}
 	if *degrade {
 		spec := &core.DegradeSpec{SlideHigh: *degSlide, DepthHigh: *degDepth}

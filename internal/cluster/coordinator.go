@@ -10,9 +10,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/feed"
 	"repro/internal/maritime"
+	"repro/internal/mod"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/tracker"
@@ -48,6 +50,13 @@ type CoordinatorConfig struct {
 	// working memory, hub state, and the merge frontier. The workers
 	// must be restored to the same generation (Worker.PinSeq).
 	Restore *Manifest
+	// Analytics arms the cross-vessel analytics tier over the merged
+	// critical-point stream, the same tier a single-process system runs
+	// — workers disable recognition, so pairwise events exist only here,
+	// byte-identical with the single-process run. Ports feed its
+	// in-harbor rendezvous suppression.
+	Analytics *analytics.Config
+	Ports     []mod.PortArea
 	// Logf receives lifecycle messages; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -101,9 +110,10 @@ type workerState struct {
 // merge + recognition + publication, so the alert stream is totally
 // ordered no matter which connection's message completed a barrier.
 type Coordinator struct {
-	cfg     CoordinatorConfig
-	rec     *maritime.Recognizer
-	factGen *maritime.FactGenerator
+	cfg       CoordinatorConfig
+	rec       *maritime.Recognizer
+	factGen   *maritime.FactGenerator
+	analytics *analytics.Tier
 
 	mu         sync.Mutex
 	workers    []*workerState
@@ -145,6 +155,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.factGen = maritime.NewFactGenerator(cfg.Areas, closeM)
 	}
+	if cfg.Analytics != nil {
+		c.analytics = analytics.New(*cfg.Analytics, core.PortPolys(cfg.Ports))
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		c.workers = append(c.workers, &workerState{pending: make(map[time.Time]*SlideOutput)})
 	}
@@ -158,6 +171,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.slides = cfg.Restore.Slides
 		if cfg.Hub != nil && cfg.Restore.Hub != nil {
 			cfg.Hub.Restore(*cfg.Restore.Hub)
+		}
+		if c.analytics != nil {
+			// Lenient like core: a manifest from before the tier existed
+			// restores it empty.
+			c.analytics.Restore(cfg.Restore.Analytics)
 		}
 		c.logf("coordinator: restored manifest at %s (%d slides)",
 			cfg.Restore.Query.Format(time.RFC3339), cfg.Restore.Slides)
@@ -431,18 +449,7 @@ func (c *Coordinator) mergeOneLocked(q time.Time, forced bool) {
 			ckptCurs[i] = s.CkptCursor
 		}
 	}
-	slices.SortStableFunc(fresh, func(a, b tracker.CriticalPoint) int {
-		if d := a.Time.Compare(b.Time); d != 0 {
-			return d
-		}
-		if a.MMSI != b.MMSI {
-			if a.MMSI < b.MMSI {
-				return -1
-			}
-			return 1
-		}
-		return 0
-	})
+	tracker.SortCriticalPoints(fresh)
 	rep.CriticalPoints = len(fresh)
 
 	events := maritime.MEStream(fresh)
@@ -454,6 +461,17 @@ func (c *Coordinator) mergeOneLocked(q time.Time, forced bool) {
 	rep.Alerts = c.rec.Advance(q, events, facts).Alerts
 	rep.Timings.Recognition = time.Since(t)
 	slices.SortStableFunc(rep.Alerts, maritime.CompareAlerts)
+	if c.analytics != nil {
+		t = time.Now()
+		pair := c.analytics.Slide(q, fresh)
+		rep.Timings.Analytics = time.Since(t)
+		if len(pair) > 0 {
+			// Same append-then-stable-resort the single-process path uses,
+			// so tie order matches byte for byte.
+			rep.Alerts = append(rep.Alerts, pair...)
+			slices.SortStableFunc(rep.Alerts, maritime.CompareAlerts)
+		}
+	}
 
 	c.lastMerged = q
 	c.slides++
@@ -508,6 +526,9 @@ func (c *Coordinator) writeManifestLocked(q time.Time, seqs []uint64, curs []*fe
 	if c.cfg.Hub != nil {
 		snap := c.cfg.Hub.Snapshot()
 		m.Hub = &snap
+	}
+	if c.analytics != nil {
+		m.Analytics = c.analytics.Snapshot()
 	}
 	if err := c.cfg.Manifests.Save(m); err != nil {
 		// The previous manifest generation survives; the cluster just

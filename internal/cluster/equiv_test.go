@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ais"
+	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/fleetsim"
 	"repro/internal/maritime"
@@ -65,13 +66,16 @@ func canonFixes(t *testing.T, fixes []ais.Fix) []ais.Fix {
 }
 
 // orderAlerts is a full total order: CompareAlerts (time, CE, area)
-// broken by vessel, so digests are insensitive to the emission order of
-// same-instant alerts from different vessels.
+// broken by vessel pair, so digests are insensitive to the emission
+// order of same-instant alerts from different vessels.
 func orderAlerts(a, b maritime.Alert) int {
 	if d := maritime.CompareAlerts(a, b); d != 0 {
 		return d
 	}
-	return cmp.Compare(a.Vessel, b.Vessel)
+	if d := cmp.Compare(a.Vessel, b.Vessel); d != 0 {
+		return d
+	}
+	return cmp.Compare(a.Vessel2, b.Vessel2)
 }
 
 // renderSlide canonicalizes one slide's observable output.
@@ -86,6 +90,9 @@ func renderSlide(rep core.SlideReport) string {
 			b.WriteByte(' ')
 		}
 		fmt.Fprintf(&b, "%s@%s@%s@%d", a.CE, a.AreaID, a.Time.UTC().Format(time.RFC3339), a.Vessel)
+		if a.Vessel2 != 0 {
+			fmt.Fprintf(&b, "+%d", a.Vessel2)
+		}
 	}
 	b.WriteByte(']')
 	return b.String()
@@ -163,9 +170,10 @@ func (s *reportSink) rendered() []string {
 
 // clusterOpts parameterizes one cluster run.
 type clusterOpts struct {
-	workers  int
-	queueCap int // 0: large (1024) so equivalence runs never force a merge
-	hub      *serve.Hub
+	workers   int
+	queueCap  int // 0: large (1024) so equivalence runs never force a merge
+	hub       *serve.Hub
+	analytics bool // enable the coordinator's pairwise analytics tier
 
 	ckptDirs  []string // per-worker; enables checkpointing when set
 	ckptEvery int
@@ -214,7 +222,7 @@ func runCluster(t *testing.T, sim *fleetsim.Simulator, fixes []ais.Fix, o cluste
 	if queueCap == 0 {
 		queueCap = 1024
 	}
-	coord, err := NewCoordinator(CoordinatorConfig{
+	coordCfg := CoordinatorConfig{
 		Workers:     o.workers,
 		Slide:       testSlide,
 		WindowRange: time.Hour,
@@ -226,7 +234,12 @@ func runCluster(t *testing.T, sim *fleetsim.Simulator, fixes []ais.Fix, o cluste
 		Manifests:   o.manifests,
 		Restore:     o.restore,
 		Logf:        t.Logf,
-	})
+	}
+	if o.analytics {
+		coordCfg.Analytics = &analytics.Config{EnableCollision: true}
+		coordCfg.Ports = ports
+	}
+	coord, err := NewCoordinator(coordCfg)
 	if err != nil {
 		t.Fatalf("coordinator: %v", err)
 	}

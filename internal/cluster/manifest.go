@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/checkpoint"
 	"repro/internal/durable"
 	"repro/internal/feed"
@@ -51,6 +52,9 @@ type Manifest struct {
 	Hub *serve.HubSnapshot
 	// Slides is how many slides the coordinator had merged.
 	Slides int
+	// Analytics is the cross-vessel tier's state as of Query; nil when
+	// the tier is off or the manifest predates it.
+	Analytics *analytics.Snapshot
 }
 
 // ManifestStore owns one manifest directory, mirroring the checkpoint

@@ -5,12 +5,20 @@
 // avoidance"). The detector keeps one kinematic state per vessel and,
 // on demand, finds pairs on conflicting courses via closest point of
 // approach (CPA): time-to-CPA and distance-at-CPA computed from the
-// current velocity vectors, with a spatial hash so only plausibly
-// reachable pairs are examined.
+// current velocity vectors, with the shared geo.PointIndex proximity
+// grid so only plausibly reachable pairs are examined.
+//
+// The detector can be fed either raw AIS fixes (Observe) or the
+// tracker's compressed critical-point state (ObservePoint) — the
+// latter is the paper's motivating use: screening the whole fleet from
+// the synopsis instead of the full stream. Queries are deterministic:
+// given the same observation sequence, Encounters returns byte-equal
+// results regardless of map iteration or fix arrival order.
 package collision
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -30,7 +38,10 @@ type Params struct {
 	// pruning radius (default 40 knots).
 	MaxSpeedKnots float64
 	// Stale drops vessels not heard from for this long (default 15
-	// minutes): their projected positions are meaningless.
+	// minutes): their projected positions are meaningless. Stale state
+	// is evicted (not merely skipped) on Encounters, so a long-running
+	// detector's memory tracks the live fleet, not every vessel ever
+	// seen.
 	Stale time.Duration
 	// MinSpeedKnots: at least one vessel of a pair must move this fast
 	// (default 3 knots) — moored neighbors sharing a quay are not
@@ -73,10 +84,31 @@ type Encounter struct {
 	Where geo.Point     // midpoint of the two projected CPA positions
 }
 
+// Stats counts the detector's state management for health accounting.
+type Stats struct {
+	// Vessels is the current kinematic-state population.
+	Vessels int
+	// LateRejected counts observations that arrived out of order —
+	// behind their vessel's clock — and were discarded instead of
+	// rewinding the vessel to a stale position.
+	LateRejected int
+	// Evicted counts vessels whose state was dropped after going silent
+	// beyond Stale.
+	Evicted int
+}
+
 // Detector tracks vessel kinematics and answers encounter queries.
 type Detector struct {
 	params  Params
 	vessels map[uint32]*kinematics
+
+	lateRejected int
+	evicted      int
+
+	// Query scratch, reused across Encounters calls.
+	idx    *geo.PointIndex
+	states []planar
+	cand   []int32
 }
 
 type kinematics struct {
@@ -96,14 +128,22 @@ func New(params Params) *Detector {
 	}
 }
 
-// Observe updates a vessel's kinematics with a cleaned fix.
+// Observe updates a vessel's kinematics with a cleaned fix. Fixes that
+// do not advance their vessel's clock — late, reordered, or duplicated
+// arrivals — are rejected and counted, never applied: overwriting with
+// a stale position would rewind the vessel and poison the next
+// velocity estimate.
 func (d *Detector) Observe(f ais.Fix) {
 	k := d.vessels[f.MMSI]
 	if k == nil {
 		k = &kinematics{}
 		d.vessels[f.MMSI] = k
 	}
-	if k.havePrev && f.Time.After(k.prev.Time) {
+	if k.havePrev {
+		if !f.Time.After(k.prev.Time) {
+			d.lateRejected++
+			return
+		}
 		if v, ok := geo.VelocityBetween(k.prev.Pos, k.prev.Time, f.Pos, f.Time); ok {
 			k.vel = v
 			k.haveVel = true
@@ -115,13 +155,47 @@ func (d *Detector) Observe(f ais.Fix) {
 	k.at = f.Time
 }
 
+// ObservePoint updates a vessel's kinematics directly from tracker
+// state: a critical point already carries the instantaneous speed and
+// heading at detection, so no two-fix velocity estimation is needed.
+// This is how the per-slide analytics tier feeds the detector from the
+// compressed synopsis. Out-of-order points are rejected like Observe's
+// late fixes.
+func (d *Detector) ObservePoint(mmsi uint32, pos geo.Point, at time.Time, speedKn, headingDeg float64) {
+	k := d.vessels[mmsi]
+	if k == nil {
+		k = &kinematics{}
+		d.vessels[mmsi] = k
+	}
+	if k.havePrev && !at.After(k.prev.Time) {
+		d.lateRejected++
+		return
+	}
+	k.prev = ais.Fix{MMSI: mmsi, Pos: pos, Time: at}
+	k.havePrev = true
+	k.pos = pos
+	k.at = at
+	k.vel = geo.Velocity{SpeedKnots: speedKn, HeadingDeg: headingDeg}
+	k.haveVel = true
+}
+
 // VesselCount returns the number of vessels with kinematic state.
 func (d *Detector) VesselCount() int { return len(d.vessels) }
+
+// Stats snapshots the detector's state accounting.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Vessels:      len(d.vessels),
+		LateRejected: d.lateRejected,
+		Evicted:      d.evicted,
+	}
+}
 
 // planar is a vessel state projected onto a local plane: meters east/
 // north of a reference point, with velocity in meters/second.
 type planar struct {
 	mmsi    uint32
+	geo     geo.Point // dead-reckoned position at query time
 	x, y    float64
 	vx, vy  float64
 	speedKn float64
@@ -129,21 +203,40 @@ type planar struct {
 
 // Encounters returns every pair predicted to pass within the DCPA
 // threshold inside the horizon, as of query time now, ordered by TCPA.
-// Vessels silent beyond Stale are excluded.
+// Vessels silent beyond Stale are evicted. The result is a pure
+// function of the accepted observation history and now: vessels are
+// processed in MMSI order and pair candidates come from the shared
+// proximity index's deterministic scan, so arrival order, map layout
+// and prior queries never change the output.
 func (d *Detector) Encounters(now time.Time) []Encounter {
 	p := d.params
-	// Project live vessels to a shared local plane; dead-reckon each to
-	// the query time so projections start from a common instant.
-	var ref geo.Point
-	var states []planar
-	first := true
+	// Evict vessels silent beyond Stale instead of skipping them: in a
+	// long-running server the map would otherwise grow with every vessel
+	// ever heard, live or gone.
 	for mmsi, k := range d.vessels {
-		if !k.haveVel || now.Sub(k.at) > p.Stale {
-			continue
+		if now.Sub(k.at) > p.Stale {
+			delete(d.vessels, mmsi)
+			d.evicted++
 		}
-		if first {
+	}
+	// Project live vessels to a shared local plane in MMSI order; the
+	// reference point (the lowest live MMSI's position) and every
+	// floating-point rounding after it are then arrival-order
+	// independent. Dead-reckon each vessel to the query time so
+	// projections start from a common instant.
+	mmsis := make([]uint32, 0, len(d.vessels))
+	for mmsi, k := range d.vessels {
+		if k.haveVel {
+			mmsis = append(mmsis, mmsi)
+		}
+	}
+	slices.Sort(mmsis)
+	var ref geo.Point
+	states := d.states[:0]
+	for i, mmsi := range mmsis {
+		k := d.vessels[mmsi]
+		if i == 0 {
 			ref = k.pos
-			first = false
 		}
 		ms := geo.KnotsToMetersPerSecond(k.vel.SpeedKnots)
 		brng := k.vel.HeadingDeg * math.Pi / 180
@@ -151,49 +244,51 @@ func (d *Detector) Encounters(now time.Time) []Encounter {
 		x, y := planarOffset(ref, pos)
 		states = append(states, planar{
 			mmsi: mmsi,
+			geo:  pos,
 			x:    x, y: y,
 			vx: ms * math.Sin(brng), vy: ms * math.Cos(brng),
 			speedKn: k.vel.SpeedKnots,
 		})
 	}
-	// Spatial hash: two vessels can only meet within the horizon if they
-	// are currently within reach = 2·maxSpeed·horizon + threshold.
+	d.states = states
+	// Two vessels can only meet within the horizon if they are currently
+	// within reach = 2·maxSpeed·horizon + threshold. Publish the
+	// dead-reckoned positions into the shared proximity index and pull
+	// each vessel's candidates from it — the same index machinery the
+	// area lookups and the rendezvous screen use, instead of a private
+	// spatial hash.
 	reach := 2*geo.KnotsToMetersPerSecond(p.MaxSpeedKnots)*p.Horizon.Seconds() + p.DistanceMeters
-	cells := make(map[[2]int][]int)
-	cellOf := func(x, y float64) [2]int {
-		return [2]int{int(math.Floor(x / reach)), int(math.Floor(y / reach))}
+	if d.idx == nil {
+		d.idx = geo.NewPointIndex(reach / 111_000)
 	}
+	d.idx.Reset()
 	for i, s := range states {
-		c := cellOf(s.x, s.y)
-		cells[c] = append(cells[c], i)
+		d.idx.Add(int32(i), s.geo)
 	}
 
 	var out []Encounter
-	seen := make(map[[2]uint32]bool)
-	for i, s := range states {
-		c := cellOf(s.x, s.y)
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for _, j := range cells[[2]int{c[0] + dx, c[1] + dy}] {
-					if j == i {
-						continue
-					}
-					o := states[j]
-					a, b := s.mmsi, o.mmsi
-					if a > b {
-						a, b = b, a
-					}
-					key := [2]uint32{a, b}
-					if seen[key] {
-						continue
-					}
-					seen[key] = true
-					if enc, ok := cpa(s, o, p); ok {
-						enc.A, enc.B = a, b
-						enc.Where = planarToGeo(ref, enc.Where.Lon, enc.Where.Lat)
-						out = append(out, enc)
-					}
+	for i := range states {
+		s := &states[i]
+		d.cand = d.idx.CandidatesAppend(d.cand[:0], s.geo, reach)
+		for _, jj := range d.cand {
+			j := int(jj)
+			if j == i {
+				continue
+			}
+			if j < i {
+				// Canonically the pair is handled by the lower index's
+				// query. The per-row longitude pad makes the scan slightly
+				// asymmetric at the reach boundary, so re-handle the pair
+				// here only if j's own query could not see i.
+				if pairSeenFrom(d.idx, d.states, j, i, reach) {
+					continue
 				}
+			}
+			a, b := states[min(i, j)], states[max(i, j)]
+			if enc, ok := cpa(a, b, p); ok {
+				enc.A, enc.B = a.mmsi, b.mmsi
+				enc.Where = planarToGeo(ref, enc.Where.Lon, enc.Where.Lat)
+				out = append(out, enc)
 			}
 		}
 	}
@@ -204,6 +299,17 @@ func (d *Detector) Encounters(now time.Time) []Encounter {
 		return out[i].A < out[j].A
 	})
 	return out
+}
+
+// pairSeenFrom reports whether querying the index from states[from]
+// yields states[to] as a candidate.
+func pairSeenFrom(idx *geo.PointIndex, states []planar, from, to int, reach float64) bool {
+	for _, c := range idx.CandidatesAppend(nil, states[from].geo, reach) {
+		if int(c) == to {
+			return true
+		}
+	}
+	return false
 }
 
 // cpa computes the closest point of approach of two planar states. The

@@ -1,0 +1,66 @@
+package collision
+
+import (
+	"slices"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/geo"
+)
+
+// VesselSnapshot is one vessel's kinematic state in serializable form.
+type VesselSnapshot struct {
+	MMSI     uint32
+	Pos      geo.Point
+	At       time.Time
+	Vel      geo.Velocity
+	HaveVel  bool
+	Prev     ais.Fix
+	HavePrev bool
+}
+
+// DetectorSnapshot captures the detector for checkpointing. Vessels are
+// sorted by MMSI so the encoding is deterministic.
+type DetectorSnapshot struct {
+	Vessels      []VesselSnapshot
+	LateRejected int
+	Evicted      int
+}
+
+// Snapshot serializes the detector state.
+func (d *Detector) Snapshot() DetectorSnapshot {
+	s := DetectorSnapshot{
+		Vessels:      make([]VesselSnapshot, 0, len(d.vessels)),
+		LateRejected: d.lateRejected,
+		Evicted:      d.evicted,
+	}
+	for mmsi, k := range d.vessels {
+		s.Vessels = append(s.Vessels, VesselSnapshot{
+			MMSI: mmsi, Pos: k.pos, At: k.at, Vel: k.vel,
+			HaveVel: k.haveVel, Prev: k.prev, HavePrev: k.havePrev,
+		})
+	}
+	slices.SortFunc(s.Vessels, func(a, b VesselSnapshot) int {
+		if a.MMSI < b.MMSI {
+			return -1
+		}
+		if a.MMSI > b.MMSI {
+			return 1
+		}
+		return 0
+	})
+	return s
+}
+
+// Restore replaces the detector state with a snapshot's.
+func (d *Detector) Restore(s DetectorSnapshot) {
+	d.vessels = make(map[uint32]*kinematics, len(s.Vessels))
+	for _, v := range s.Vessels {
+		d.vessels[v.MMSI] = &kinematics{
+			pos: v.Pos, at: v.At, vel: v.Vel,
+			haveVel: v.HaveVel, prev: v.Prev, havePrev: v.HavePrev,
+		}
+	}
+	d.lateRejected = s.LateRejected
+	d.evicted = s.Evicted
+}

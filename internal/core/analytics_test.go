@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/fleetsim"
+	"repro/internal/maritime"
+)
+
+// pairOf normalizes an alert's vessel pair to (low, high).
+func pairOf(a, b uint32) [2]uint32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint32{a, b}
+}
+
+// scorePairwise matches pairwise alerts of one CE against scripted
+// truth episodes of one kind: an episode is recalled when some alert
+// names its vessel pair within the padded episode window; an alert is
+// a true positive when it matches some episode the same way.
+func scorePairwise(alerts []maritime.Alert, truth []fleetsim.TruthEvent,
+	kind fleetsim.TruthKind, pad time.Duration) (recalled, episodes, truePos int) {
+	var eps []fleetsim.TruthEvent
+	for _, ev := range truth {
+		if ev.Kind == kind {
+			eps = append(eps, ev)
+		}
+	}
+	matches := func(a maritime.Alert, ev fleetsim.TruthEvent) bool {
+		return pairOf(a.Vessel, a.Vessel2) == pairOf(ev.MMSI, ev.MMSI2) &&
+			a.Time.After(ev.Start.Add(-pad)) && a.Time.Before(ev.End.Add(pad))
+	}
+	for _, ev := range eps {
+		for _, a := range alerts {
+			if matches(a, ev) {
+				recalled++
+				break
+			}
+		}
+	}
+	for _, a := range alerts {
+		for _, ev := range eps {
+			if matches(a, ev) {
+				truePos++
+				break
+			}
+		}
+	}
+	return recalled, len(eps), truePos
+}
+
+// TestPairwiseAnalyticsGroundTruth runs the full pipeline with the
+// cross-vessel tier enabled over a fleet seeded with scripted
+// rendezvous and dark-rendezvous pairs, and checks the tier finds the
+// scripted episodes (recall) without drowning them in fabrications
+// (precision). Incidental rendezvous between scripted loiterers —
+// vessels genuinely stopped together in open water — are counted as
+// correct detections, not false positives.
+func TestPairwiseAnalyticsGroundTruth(t *testing.T) {
+	simCfg := simConfig(150, 6)
+	simCfg.RendezvousPairs = 3
+	simCfg.DarkPairs = 3
+	sysCfg := defaultSystemConfig()
+	sysCfg.Analytics = &analytics.Config{}
+	sys, sim, reports := buildSystem(t, simCfg, sysCfg)
+
+	byCE := make(map[string][]maritime.Alert)
+	for _, r := range reports {
+		for _, a := range r.Alerts {
+			if a.Vessel2 != 0 {
+				byCE[a.CE] = append(byCE[a.CE], a)
+			}
+		}
+	}
+
+	loiterish := make(map[uint32]bool)
+	for _, spec := range sim.Fleet() {
+		if spec.Behavior == fleetsim.BehaviorLoiterer {
+			loiterish[spec.MMSI] = true
+		}
+	}
+
+	// Rendezvous: all scripted episodes recalled; every alert explained
+	// by a scripted pair or a loiterer group.
+	rv := byCE[maritime.CERendezvous]
+	recalled, episodes, truePos := scorePairwise(rv, sim.Truth(), fleetsim.TruthRendezvous, 30*time.Minute)
+	t.Logf("rendezvous: %d alerts, recall %d/%d, scripted-pair TP %d", len(rv), recalled, episodes, truePos)
+	if episodes != 3 {
+		t.Fatalf("expected 3 scripted rendezvous episodes, got %d", episodes)
+	}
+	if recalled < episodes {
+		t.Errorf("rendezvous recall %d/%d", recalled, episodes)
+	}
+	for _, a := range rv {
+		if loiterish[a.Vessel] && loiterish[a.Vessel2] {
+			truePos++ // genuine open-water group stop, scripted as loitering
+		}
+	}
+	if truePos < len(rv) {
+		t.Errorf("rendezvous precision %d/%d: unexplained pairs", truePos, len(rv))
+	}
+
+	// Dark rendezvous: the gap-linking screen must recover the scripted
+	// dark meetings from gap endpoints alone.
+	dk := byCE[maritime.CEDarkRendezvous]
+	recalled, episodes, truePos = scorePairwise(dk, sim.Truth(), fleetsim.TruthDarkRendezvous, time.Hour)
+	t.Logf("darkRendezvous: %d alerts, recall %d/%d, scripted-pair TP %d", len(dk), recalled, episodes, truePos)
+	if episodes != 3 {
+		t.Fatalf("expected 3 scripted dark episodes, got %d", episodes)
+	}
+	if recalled < episodes {
+		t.Errorf("darkRendezvous recall %d/%d", recalled, episodes)
+	}
+	if truePos < len(dk) {
+		t.Errorf("darkRendezvous precision %d/%d: unexplained links", truePos, len(dk))
+	}
+
+	if st := sys.Analytics().Stats(); st.PairAlerts == 0 {
+		t.Error("tier stats report no pair alerts despite emitted alerts")
+	}
+
+	// The base stream must be untouched when no pairs are scripted: the
+	// pair actors ride on fresh MMSIs appended after the base fleet.
+	baseSim := fleetsim.NewSimulator(simConfig(150, 6))
+	if n, m := len(baseSim.Fleet()), len(sim.Fleet()); m != n+12 {
+		t.Errorf("pair actors: fleet grew %d -> %d, want +12", n, m)
+	}
+}
+
+// TestAnalyticsDisabledByDefault pins the opt-in contract: without
+// Config.Analytics the pipeline emits no pairwise alerts and the
+// existing recognition output is untouched.
+func TestAnalyticsDisabledByDefault(t *testing.T) {
+	simCfg := simConfig(80, 3)
+	simCfg.RendezvousPairs = 1
+	sys, _, reports := buildSystem(t, simCfg, defaultSystemConfig())
+	if sys.Analytics() != nil {
+		t.Fatal("analytics tier built without opt-in")
+	}
+	for _, r := range reports {
+		for _, a := range r.Alerts {
+			if a.Vessel2 != 0 {
+				t.Fatalf("pairwise alert %v without the tier enabled", a)
+			}
+		}
+	}
+}

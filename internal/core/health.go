@@ -68,6 +68,12 @@ type Health struct {
 	// retention cap. Either way it reports how much of the stream was
 	// unrecoverable instead of silently closing the gap.
 	ReplayGapSlides int
+	// Cross-vessel analytics tier accounting (Config.Analytics):
+	// vessel states evicted after going stale, out-of-order points the
+	// collision feed rejected, and pairwise alerts emitted.
+	AnalyticsEvicted      int
+	AnalyticsLateRejected int
+	AnalyticsPairAlerts   int
 }
 
 // Merge returns the element-wise combination of two snapshots.
@@ -91,6 +97,9 @@ func (h Health) Merge(o Health) Health {
 	out.LateFixesAccepted += o.LateFixesAccepted
 	out.LateFixesDropped += o.LateFixesDropped
 	out.ReplayGapSlides += o.ReplayGapSlides
+	out.AnalyticsEvicted += o.AnalyticsEvicted
+	out.AnalyticsLateRejected += o.AnalyticsLateRejected
+	out.AnalyticsPairAlerts += o.AnalyticsPairAlerts
 	if len(o.DropsByCause) > 0 {
 		if out.DropsByCause == nil {
 			out.DropsByCause = make(map[string]int, len(o.DropsByCause))
@@ -157,6 +166,10 @@ func (h Health) String() string {
 	}
 	if h.ReplayGapSlides > 0 {
 		fmt.Fprintf(&b, " replay-gap-slides=%d", h.ReplayGapSlides)
+	}
+	if h.AnalyticsPairAlerts > 0 || h.AnalyticsEvicted > 0 || h.AnalyticsLateRejected > 0 {
+		fmt.Fprintf(&b, " analytics=pairs:%d(evicted %d late %d)",
+			h.AnalyticsPairAlerts, h.AnalyticsEvicted, h.AnalyticsLateRejected)
 	}
 	if len(h.DropsByCause) > 0 {
 		causes := make([]string, 0, len(h.DropsByCause))
@@ -253,6 +266,12 @@ func (s *System) Health() Health {
 	}
 	acc, drop := s.tracker.LateFixes()
 	h.LateFixesAccepted, h.LateFixesDropped = int(acc), int(drop)
+	if s.analytics != nil {
+		as := s.analytics.Stats()
+		h.AnalyticsEvicted = int(as.Evicted)
+		h.AnalyticsLateRejected = int(as.LateRejected)
+		h.AnalyticsPairAlerts = int(as.PairAlerts)
+	}
 	drops := make(map[string]int, 4)
 	if lost := s.watchdogLostEvents.Load(); lost > 0 {
 		drops["watchdog"] = int(lost)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/analytics"
 	"repro/internal/maritime"
 	"repro/internal/mod"
 	"repro/internal/supervise"
@@ -49,6 +50,10 @@ type Snapshot struct {
 	Tracker     tracker.Snapshot
 	Recognizers []maritime.RecognizerSnapshot
 	Store       []byte
+	// Analytics is the cross-vessel tier's state; nil when the tier is
+	// disabled or the snapshot predates it (gob leaves absent fields
+	// zero, so old checkpoints restore cleanly with the tier reset).
+	Analytics *analytics.Snapshot
 }
 
 // recognizerCount is the structural recognizer layout Snapshot/Restore
@@ -90,6 +95,9 @@ func (s *System) Snapshot() (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("core: snapshotting store: %w", err)
 	}
 	snap.Store = store.Bytes()
+	if s.analytics != nil {
+		snap.Analytics = s.analytics.Snapshot()
+	}
 	return snap, nil
 }
 
@@ -142,6 +150,13 @@ func (s *System) RestoreSnapshot(snap Snapshot) error {
 		p.info = supervise.Quarantine{}
 	}
 	s.recovered = nil
+	// Lenient on both sides: a snapshot without analytics state resets
+	// the tier, and analytics state restored into a system without the
+	// tier is ignored — checkpoints stay portable across the tier being
+	// toggled.
+	if s.analytics != nil {
+		s.analytics.Restore(snap.Analytics)
+	}
 	// Journals must describe the restored state, not the one it
 	// replaced.
 	if s.selfHeal {

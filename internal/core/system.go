@@ -16,6 +16,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytics"
+	"repro/internal/geo"
 	"repro/internal/maritime"
 	"repro/internal/mod"
 	"repro/internal/rtec"
@@ -72,6 +74,13 @@ type Config struct {
 	// Degrade configures the overload degradation ladder (see
 	// DegradeSpec); nil disables it.
 	Degrade *DegradeSpec
+	// Analytics arms the cross-vessel analytics tier (rendezvous, dark
+	// gap linking, CPA collision screening) over each slide's merged
+	// critical points; nil disables it. Ignored when DisableRecognition
+	// is set — in a cluster the workers disable recognition and the
+	// coordinator runs the tier post-merge, so pairwise events stay
+	// byte-identical with a single-process run.
+	Analytics *analytics.Config
 }
 
 // Timings breaks one slide's processing cost into the stages of the
@@ -82,11 +91,12 @@ type Timings struct {
 	Reconstruction time.Duration // trip segmentation
 	Loading        time.Duration // inserting trips into the store
 	Recognition    time.Duration // RTEC query step
+	Analytics      time.Duration // cross-vessel pairwise screening
 }
 
 // Total returns the summed stage costs.
 func (t Timings) Total() time.Duration {
-	return t.Tracking + t.Staging + t.Reconstruction + t.Loading + t.Recognition
+	return t.Tracking + t.Staging + t.Reconstruction + t.Loading + t.Recognition + t.Analytics
 }
 
 // SlideReport is the outcome of processing one window slide.
@@ -109,6 +119,7 @@ type System struct {
 	recognizer *maritime.Recognizer
 	factGen    *maritime.FactGenerator
 	store      *mod.MOD
+	analytics  *analytics.Tier
 
 	// Partitioned recognition (Processors > 1): one recognizer per
 	// longitude band, fed the events of vessels inside its band.
@@ -232,6 +243,9 @@ func NewSystem(cfg Config, vessels []maritime.Vessel, areas []maritime.Area, por
 			s.factGen.SetParallelism(s.tracker.Shards())
 		}
 	}
+	if cfg.Analytics != nil && !cfg.DisableRecognition {
+		s.analytics = analytics.New(*cfg.Analytics, PortPolys(ports))
+	}
 	if cfg.Degrade != nil {
 		s.degrader = newDegrader(*cfg.Degrade)
 	}
@@ -321,6 +335,19 @@ func (s *System) Recognizer() *maritime.Recognizer { return s.recognizer }
 // Store exposes the moving-object store.
 func (s *System) Store() *mod.MOD { return s.store }
 
+// Analytics exposes the cross-vessel analytics tier (nil when disabled).
+func (s *System) Analytics() *analytics.Tier { return s.analytics }
+
+// PortPolys extracts the port polygons the analytics tier uses to
+// suppress in-harbor rendezvous pairs.
+func PortPolys(ports []mod.PortArea) []*geo.Polygon {
+	out := make([]*geo.Polygon, 0, len(ports))
+	for _, p := range ports {
+		out = append(out, p.Poly)
+	}
+	return out
+}
+
 // ProcessBatch runs one window slide through the full pipeline and
 // reports what happened, with per-stage timings. Slides are serialized
 // with the other state-mutating entry points (Snapshot, Heal, ...);
@@ -384,6 +411,18 @@ func (s *System) processLocked(b stream.Batch) SlideReport {
 			rep.Alerts = s.advancePartitions(b.Query, events, facts)
 		}
 		rep.Timings.Recognition = time.Since(t)
+	}
+	if s.analytics != nil {
+		t = time.Now()
+		pair := s.analytics.Slide(b.Query, res.Fresh)
+		rep.Timings.Analytics = time.Since(t)
+		if len(pair) > 0 {
+			// Recognition alerts are already in canonical order; append
+			// the pairwise ones and stable re-sort so ties keep their
+			// emission order on both the single-process and cluster paths.
+			rep.Alerts = append(rep.Alerts, pair...)
+			slices.SortStableFunc(rep.Alerts, maritime.CompareAlerts)
+		}
 	}
 	if len(recovered) > 0 {
 		merged := make([]maritime.Alert, 0, len(recovered)+len(rep.Alerts))

@@ -1,6 +1,7 @@
 package fleetsim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -43,6 +44,13 @@ type Config struct {
 	Start    time.Time
 	Duration time.Duration
 	Noise    NoiseConfig
+	// RendezvousPairs and DarkPairs script additional vessel pairs (on
+	// top of Vessels) acting out the pairwise analytics ground truth:
+	// offshore rendezvous and dark gap-linked meetings. Zero (the
+	// default) adds nothing, keeping the simulated stream byte-identical
+	// to earlier configurations.
+	RendezvousPairs int
+	DarkPairs       int
 }
 
 // DefaultConfig returns a small but representative configuration:
@@ -67,11 +75,14 @@ const (
 	TruthGapInProtected
 	TruthFishingInForbidden
 	TruthShallowPass
+	TruthRendezvous     // scripted pair holding station together offshore
+	TruthDarkRendezvous // scripted pair meeting under overlapping AIS gaps
 )
 
 // String names the truth kind.
 func (k TruthKind) String() string {
-	return []string{"loiter", "gap-in-protected", "fishing-in-forbidden", "shallow-pass"}[k]
+	return []string{"loiter", "gap-in-protected", "fishing-in-forbidden",
+		"shallow-pass", "rendezvous", "dark-rendezvous"}[k]
 }
 
 // TruthEvent records one scripted episode so tests and the experiment
@@ -79,6 +90,7 @@ func (k TruthKind) String() string {
 type TruthEvent struct {
 	Kind       TruthKind
 	MMSI       uint32
+	MMSI2      uint32 // second vessel of a scripted pair episode; else 0
 	AreaID     string // empty for open-water loitering
 	Near       geo.Point
 	Start, End time.Time
@@ -146,7 +158,142 @@ func NewSimulator(cfg Config) *Simulator {
 			s.itins[i] = s.buildShoalRunner(vrng, spec, shallow)
 		}
 	}
+	s.buildPairs()
 	return s
+}
+
+// buildPairs appends the scripted pairwise-analytics actors — the
+// rendezvous and dark pairs of Config — after the base fleet, driven by
+// their own RNG so enabling them never perturbs the base stream.
+func (s *Simulator) buildPairs() {
+	if s.cfg.RendezvousPairs <= 0 && s.cfg.DarkPairs <= 0 {
+		return
+	}
+	prng := rand.New(rand.NewSource(s.cfg.Seed + 9000))
+	addSpec := func(beh Behavior) int {
+		i := len(s.fleet)
+		s.fleet = append(s.fleet, VesselSpec{
+			MMSI:     mmsiBase + uint32(i),
+			Name:     fmt.Sprintf("%s-%04d", beh, i),
+			Type:     TypeOther,
+			Behavior: beh,
+			DraftM:   3 + prng.Float64()*3, CruiseKn: 10 + prng.Float64()*3,
+			ReportEvery: 80,
+		})
+		s.itins = append(s.itins, nil)
+		return i
+	}
+	for p := 0; p < s.cfg.RendezvousPairs; p++ {
+		spot := s.world.randomOffshorePoint(prng)
+		a, b := addSpec(BehaviorRendezvous), addSpec(BehaviorRendezvous)
+		s.buildRendezvousPair(prng, a, b, spot)
+	}
+	for p := 0; p < s.cfg.DarkPairs; p++ {
+		spot := s.world.randomOffshorePoint(prng)
+		a, b := addSpec(BehaviorDarkPair), addSpec(BehaviorDarkPair)
+		s.buildDarkPair(prng, a, b, spot)
+	}
+}
+
+// buildRendezvousPair scripts two vessels approaching a shared offshore
+// spot from opposite sides, holding station within a couple hundred
+// meters of each other for about an hour, and parting.
+func (s *Simulator) buildRendezvousPair(rng *rand.Rand, ia, ib int, spot geo.Point) {
+	bearing := rng.Float64() * 360
+	approach := func(i int, brg float64) *itinBuilder {
+		spec := &s.fleet[i]
+		from := geo.Destination(spot, brg, 15000+rng.Float64()*5000)
+		dst := geo.Destination(spot, rng.Float64()*360, 40+rng.Float64()*110)
+		b := newItinBuilder(s.cfg.Start.Add(time.Duration(rng.Intn(8))*time.Minute), from)
+		b.cruiseTo(dst, spec.CruiseKn, 1, rng)
+		return b
+	}
+	ba := approach(ia, bearing)
+	bb := approach(ib, bearing+180)
+	meet := ba.t
+	if bb.t.After(meet) {
+		meet = bb.t
+	}
+	leave := meet.Add(time.Hour + time.Duration(rng.Intn(20))*time.Minute)
+	part := func(i int, b *itinBuilder, brg float64) {
+		b.dwell(leave.Sub(b.t))
+		b.cruiseTo(geo.Destination(spot, brg, 25000), s.fleet[i].CruiseKn, 1, rng)
+		b.dwell(s.cfg.Duration)
+		s.itins[i] = b.build()
+	}
+	part(ia, ba, bearing+30)
+	part(ib, bb, bearing+210)
+	s.truth = append(s.truth, TruthEvent{
+		Kind: TruthRendezvous,
+		MMSI: s.fleet[ia].MMSI, MMSI2: s.fleet[ib].MMSI,
+		Near: spot, Start: meet, End: leave,
+	})
+}
+
+// buildDarkPair scripts two vessels that go silent a few km short of a
+// shared spot, meet and hold station entirely inside the gap, then
+// resume reporting shortly after parting — so their gaps overlap, each
+// gap is crossable at plausible speed, and the gap end points sit far
+// closer together than the start points.
+func (s *Simulator) buildDarkPair(rng *rand.Rand, ia, ib int, spot geo.Point) {
+	bearing := rng.Float64() * 360
+	type half struct {
+		b       *itinBuilder
+		gapFrom time.Time
+		exitBrg float64
+	}
+	// Each vessel's own gap must stay well inside the analysis window
+	// (1 h in the experiments): beyond it the tracker evicts the silent
+	// vessel and its reappearance is a fresh "first" point, not the
+	// gapEnd the linking screen needs. Short final approaches and a
+	// tight dwell keep the worst-case gap near 50 minutes.
+	approach := func(i int, brg, exitBrg float64) *half {
+		spec := &s.fleet[i]
+		from := geo.Destination(spot, brg, 14000+rng.Float64()*2000)
+		cut := geo.Destination(spot, brg, 3000)
+		dst := geo.Destination(spot, rng.Float64()*360, 40+rng.Float64()*110)
+		b := newItinBuilder(s.cfg.Start.Add(time.Duration(rng.Intn(4))*time.Minute), from)
+		b.cruiseTo(cut, spec.CruiseKn, 1, rng)
+		gapFrom := b.t.Add(45 * time.Second)
+		b.sailTo(dst, spec.CruiseKn)
+		return &half{b: b, gapFrom: gapFrom, exitBrg: exitBrg}
+	}
+	ha := approach(ia, bearing, bearing+90)
+	hb := approach(ib, bearing+180, bearing+135)
+	meet := ha.b.t
+	if hb.b.t.After(meet) {
+		meet = hb.b.t
+	}
+	leave := meet.Add(20*time.Minute + time.Duration(rng.Intn(8))*time.Minute)
+	part := func(i int, h *half) time.Time {
+		h.b.dwell(leave.Sub(h.b.t))
+		resume := geo.Destination(spot, h.exitBrg, 1100+rng.Float64()*200)
+		h.b.sailTo(resume, s.fleet[i].CruiseKn)
+		gapTo := h.b.t.Add(45 * time.Second)
+		h.b.cruiseTo(geo.Destination(spot, h.exitBrg, 28000), s.fleet[i].CruiseKn, 1, rng)
+		h.b.dwell(s.cfg.Duration)
+		it := h.b.build()
+		it.silences = append(it.silences, timespan{Start: h.gapFrom, End: gapTo})
+		s.itins[i] = it
+		return gapTo
+	}
+	toA := part(ia, ha)
+	toB := part(ib, hb)
+	// The truth window is the gap overlap: the interval both vessels were
+	// dark simultaneously.
+	from := ha.gapFrom
+	if hb.gapFrom.After(from) {
+		from = hb.gapFrom
+	}
+	to := toA
+	if toB.Before(to) {
+		to = toB
+	}
+	s.truth = append(s.truth, TruthEvent{
+		Kind: TruthDarkRendezvous,
+		MMSI: s.fleet[ia].MMSI, MMSI2: s.fleet[ib].MMSI,
+		Near: spot, Start: from, End: to,
+	})
 }
 
 // World exposes the static geography.

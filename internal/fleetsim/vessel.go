@@ -68,12 +68,20 @@ const (
 	// BehaviorShoalRunner vessels cut across a shallow area at low speed —
 	// ground truth for dangerousShipping.
 	BehaviorShoalRunner
+	// BehaviorRendezvous vessels sail in pairs to a shared offshore spot,
+	// hold station together well away from any port, and part — ground
+	// truth for the pairwise rendezvous CE.
+	BehaviorRendezvous
+	// BehaviorDarkPair vessels approach a shared spot in pairs with
+	// transmitters off from a few km out until after parting — ground
+	// truth for darkRendezvous gap linking.
+	BehaviorDarkPair
 )
 
 // String names the behavior.
 func (b Behavior) String() string {
 	names := []string{"docked", "ferry", "voyager", "passing", "fisher",
-		"loiterer", "smuggler", "shoal-runner"}
+		"loiterer", "smuggler", "shoal-runner", "rendezvous", "dark-pair"}
 	if int(b) < len(names) {
 		return names[b]
 	}

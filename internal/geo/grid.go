@@ -4,6 +4,39 @@ import (
 	"math"
 )
 
+// This file holds the two halves of the system's shared proximity
+// index. Both are uniform grids over geographic coordinates and share
+// the same padding arithmetic (metersPerDegLat, worstCaseLonPad):
+//
+//   - AreaIndex: the static half — polygons of the monitored region,
+//     built once, queried with point-to-area proximity lookups by the
+//     complex event recognition module.
+//   - PointIndex: the dynamic half — the per-slide spatio-temporal
+//     index the pairwise analytics tier rebuilds from the tracker's
+//     merged critical-point state each slide, queried with
+//     point-to-point radius lookups (collision screening, rendezvous
+//     pairing).
+
+// metersPerDegLat is the meridional meter length of one degree of
+// latitude on the sphere.
+const metersPerDegLat = math.Pi * EarthRadiusMeters / 180
+
+// minLonCos floors the latitude cosine used to convert a meter pad
+// into longitude degrees, so grids near the poles degrade to wide
+// (over-approximate) cells instead of dividing by zero.
+const minLonCos = 0.05
+
+// worstCaseLonPad converts a latitude pad in degrees into the
+// longitude pad that over-approximates it anywhere in a latitude band
+// reaching at most maxAbsLat degrees from the equator. Longitude
+// degrees shrink with the cosine of the latitude, so the band's
+// highest |latitude| needs the widest pad; using any smaller cosine
+// (for example the band center's) under-pads the high-latitude edge
+// and can make an index miss a neighbor within threshold.
+func worstCaseLonPad(padDeg, maxAbsLat float64) float64 {
+	return padDeg / math.Max(minLonCos, cosDeg(maxAbsLat))
+}
+
 // AreaIndex accelerates point-to-area proximity lookups with a uniform
 // grid over the monitored region. The complex event recognition module
 // evaluates close(Lon, Lat, Area) for every critical movement event
@@ -28,9 +61,8 @@ type AreaIndex struct {
 // resolution; a value around the typical area diameter works well. If
 // the polygon set is empty the index degenerates gracefully.
 func NewAreaIndex(polys []*Polygon, thresholdMeters, cellDeg float64) *AreaIndex {
-	// Meters per degree of latitude on the sphere, shrunk by 1% so the
-	// padded boxes strictly over-approximate the proximity ring.
-	const metersPerDegLat = math.Pi * EarthRadiusMeters / 180
+	// The threshold in degrees of latitude, inflated by 1% so the padded
+	// boxes strictly over-approximate the proximity ring.
 	idx := &AreaIndex{
 		polys:   polys,
 		padDeg:  thresholdMeters / metersPerDegLat * 1.01,
@@ -57,10 +89,14 @@ func NewAreaIndex(polys []*Polygon, thresholdMeters, cellDeg float64) *AreaIndex
 			idx.bounds.MaxLat = b.MaxLat
 		}
 	}
-	// Pad the grid so that points merely close to an area still fall on it.
-	// Longitude degrees shrink with latitude, so pad longitudes more.
+	// Pad the grid so that points merely close to an area still fall on
+	// it. Longitude degrees shrink with latitude, so the pad must assume
+	// the worst-case (highest-|latitude|) edge of the region — the center
+	// latitude's cosine would under-pad the poleward edge of a region
+	// spanning a wide latitude range.
 	latPad := idx.padDeg
-	lonPad := idx.padDeg / math.Max(0.2, cosDeg(idx.bounds.Center().Lat))
+	maxAbsLat := math.Max(math.Abs(idx.bounds.MinLat-latPad), math.Abs(idx.bounds.MaxLat+latPad))
+	lonPad := worstCaseLonPad(idx.padDeg, maxAbsLat)
 	idx.bounds = BBox{
 		MinLon: idx.bounds.MinLon - lonPad, MaxLon: idx.bounds.MaxLon + lonPad,
 		MinLat: idx.bounds.MinLat - latPad, MaxLat: idx.bounds.MaxLat + latPad,
@@ -168,3 +204,118 @@ func (idx *AreaIndex) Len() int { return len(idx.polys) }
 // Fallback reports whether the index degenerated to a linear scan; it is
 // exposed for the ablation benchmarks comparing grid vs scan.
 func (idx *AreaIndex) Fallback() bool { return idx.fallback }
+
+// PointIndex is the dynamic half of the shared proximity index: a
+// uniform hash grid over point positions, rebuilt per window slide from
+// the tracker's merged per-vessel state and queried by the pairwise
+// analytics consumers (collision screening, rendezvous pairing, dark
+// correlation). Unlike AreaIndex it has no fixed bounds — cells exist
+// only where points do — so one index serves any monitored region.
+//
+// Determinism contract: Near/NearAppend scan cells in ascending
+// (row, col) order and report each cell's members in insertion order,
+// so identical Add sequences produce identical candidate orders. The
+// index is not safe for concurrent mutation; rebuild-then-query within
+// one slide is the intended use.
+type PointIndex struct {
+	cellDeg float64
+	pts     []Point
+	ids     []int32
+	cells   map[pointCell][]int32 // values index pts/ids
+}
+
+type pointCell struct{ col, row int32 }
+
+// NewPointIndex returns an empty index with the given cell size in
+// degrees. A cell around the typical query radius works well; cellDeg
+// must be positive.
+func NewPointIndex(cellDeg float64) *PointIndex {
+	if cellDeg <= 0 {
+		cellDeg = 0.05
+	}
+	return &PointIndex{
+		cellDeg: cellDeg,
+		cells:   make(map[pointCell][]int32),
+	}
+}
+
+// Reset empties the index for the next slide, retaining the allocated
+// cell slices for reuse.
+func (x *PointIndex) Reset() {
+	x.pts = x.pts[:0]
+	x.ids = x.ids[:0]
+	for k, members := range x.cells {
+		x.cells[k] = members[:0]
+	}
+}
+
+// Add inserts a point under the caller's handle id.
+func (x *PointIndex) Add(id int32, p Point) {
+	c := x.cellAt(p)
+	slot := int32(len(x.pts))
+	x.pts = append(x.pts, p)
+	x.ids = append(x.ids, id)
+	x.cells[c] = append(x.cells[c], slot)
+}
+
+// Len returns the number of indexed points.
+func (x *PointIndex) Len() int { return len(x.pts) }
+
+func (x *PointIndex) cellAt(p Point) pointCell {
+	return pointCell{
+		col: int32(math.Floor(p.Lon / x.cellDeg)),
+		row: int32(math.Floor(p.Lat / x.cellDeg)),
+	}
+}
+
+// Near returns the ids of every point within radiusMeters of p
+// (Haversine-exact), in insertion order. The query point itself is
+// reported if it was added; callers exclude their own handle.
+func (x *PointIndex) Near(p Point, radiusMeters float64) []int32 {
+	return x.NearAppend(nil, p, radiusMeters)
+}
+
+// NearAppend is Near writing into buf (grown as needed) so per-slide
+// loops can reuse one buffer across queries.
+func (x *PointIndex) NearAppend(buf []int32, p Point, radiusMeters float64) []int32 {
+	return x.scan(buf, p, radiusMeters, true)
+}
+
+// CandidatesAppend appends the ids of every point whose cell intersects
+// the padded radius box around p, without the exact Haversine filter —
+// the over-approximating form for callers that apply their own pair
+// predicate (the collision detector's CPA test).
+func (x *PointIndex) CandidatesAppend(buf []int32, p Point, radiusMeters float64) []int32 {
+	return x.scan(buf, p, radiusMeters, false)
+}
+
+func (x *PointIndex) scan(buf []int32, p Point, radiusMeters float64, exact bool) []int32 {
+	if len(x.pts) == 0 {
+		return buf
+	}
+	// The radius in degrees of latitude, inflated by 1% so the scanned
+	// cell box strictly over-approximates the proximity ring.
+	radDeg := radiusMeters / metersPerDegLat * 1.01
+	rowLo := int32(math.Floor((p.Lat - radDeg) / x.cellDeg))
+	rowHi := int32(math.Floor((p.Lat + radDeg) / x.cellDeg))
+	for row := rowLo; row <= rowHi; row++ {
+		// The longitude span a radius covers widens with the row's
+		// latitude; pad with the row band's worst-case (highest-|lat|)
+		// edge, exactly like the area index's region pad.
+		loLat := float64(row) * x.cellDeg
+		hiLat := loLat + x.cellDeg
+		maxAbsLat := math.Max(math.Abs(loLat), math.Abs(hiLat))
+		lonSpan := worstCaseLonPad(radDeg, maxAbsLat)
+		colLo := int32(math.Floor((p.Lon - lonSpan) / x.cellDeg))
+		colHi := int32(math.Floor((p.Lon + lonSpan) / x.cellDeg))
+		for col := colLo; col <= colHi; col++ {
+			for _, slot := range x.cells[pointCell{col: col, row: row}] {
+				if exact && Haversine(p, x.pts[slot]) > radiusMeters {
+					continue
+				}
+				buf = append(buf, x.ids[slot])
+			}
+		}
+	}
+	return buf
+}

@@ -97,6 +97,30 @@ func TestAreaIndexNeverMissesWithinThreshold(t *testing.T) {
 	if got := idx.CloseTo(far, 2000); got != nil {
 		t.Errorf("point 5 km away reported close: %v", got)
 	}
+
+	// Wide-latitude regression: a region spanning the equator to ~69°N.
+	// Longitude degrees at 69°N are 2.8× shorter than at the equator, so
+	// padding with the region-center latitude's cosine (the old bug)
+	// leaves the poleward polygon's east/west approaches under-padded
+	// and the probe below lands outside the grid bounds — a miss.
+	wide := []*Polygon{
+		squareAt(Point{24, 0.5}, 0.05),
+		squareAt(Point{24, 69}, 0.05),
+	}
+	widx := NewAreaIndex(wide, 2000, 0.5)
+	if widx.Fallback() {
+		t.Fatal("wide-latitude index unexpectedly degenerated to linear scan")
+	}
+	westEdge := Point{Lon: 24 - 0.05, Lat: 69} // midpoint of the west edge
+	for _, d := range []float64{100, 1000, 1900} {
+		p := Destination(westEdge, 270, d) // due west of the polygon
+		if got := widx.CloseTo(p, 2000); !equalInt32(got, []int32{1}) {
+			t.Errorf("high-latitude point %.0f m west not found (got %v)", d, got)
+		}
+	}
+	if got := widx.CloseTo(Destination(westEdge, 270, 6000), 2000); got != nil {
+		t.Errorf("high-latitude point 6 km west reported close: %v", got)
+	}
 }
 
 func equalInt32(a, b []int32) bool {
@@ -138,5 +162,115 @@ func BenchmarkHaversine(b *testing.B) {
 	}
 	if math.IsNaN(sink) {
 		b.Fatal("NaN")
+	}
+}
+
+func TestPointIndexMatchesLinearScan(t *testing.T) {
+	// Random points across a band reaching high latitude, where the
+	// per-row longitude span matters; Near must agree with a brute-force
+	// Haversine sweep at every radius.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		idx := NewPointIndex(0.05)
+		var pts []Point
+		for i := 0; i < 300; i++ {
+			p := Point{Lon: 20 + rng.Float64()*6, Lat: 62 + rng.Float64()*6}
+			pts = append(pts, p)
+			idx.Add(int32(i), p)
+		}
+		for q := 0; q < 200; q++ {
+			p := Point{Lon: 20 + rng.Float64()*6, Lat: 62 + rng.Float64()*6}
+			radius := 500 + rng.Float64()*20000
+			got := append([]int32(nil), idx.Near(p, radius)...)
+			var want []int32
+			for i, pt := range pts {
+				if Haversine(p, pt) <= radius {
+					want = append(want, int32(i))
+				}
+			}
+			sortInt32(got)
+			if !equalInt32(got, want) {
+				t.Fatalf("Near(%v, %.0f) = %v, linear scan = %v", p, radius, got, want)
+			}
+		}
+	}
+}
+
+func TestPointIndexDeterministicOrder(t *testing.T) {
+	// Identical Add sequences must give byte-identical candidate orders
+	// — the analytics tier's determinism contract rests on this.
+	build := func() *PointIndex {
+		idx := NewPointIndex(0.1)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 200; i++ {
+			idx.Add(int32(i), Point{Lon: 23 + rng.Float64(), Lat: 37 + rng.Float64()})
+		}
+		return idx
+	}
+	a, b := build(), build()
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		p := Point{Lon: 23 + rng.Float64(), Lat: 37 + rng.Float64()}
+		ga := a.Near(p, 15000)
+		gb := b.Near(p, 15000)
+		if !equalInt32(ga, gb) {
+			t.Fatalf("identical builds disagree at %v: %v vs %v", p, ga, gb)
+		}
+	}
+}
+
+func TestPointIndexCandidatesSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	idx := NewPointIndex(0.05)
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		p := Point{Lon: 24 + rng.Float64()*2, Lat: 37 + rng.Float64()*2}
+		pts = append(pts, p)
+		idx.Add(int32(i), p)
+	}
+	for q := 0; q < 100; q++ {
+		p := Point{Lon: 24 + rng.Float64()*2, Lat: 37 + rng.Float64()*2}
+		const radius = 4000
+		cand := make(map[int32]bool)
+		for _, id := range idx.CandidatesAppend(nil, p, radius) {
+			cand[id] = true
+		}
+		for i, pt := range pts {
+			if Haversine(p, pt) <= radius && !cand[int32(i)] {
+				t.Fatalf("candidates missed point %d (%.0f m away)", i, Haversine(p, pt))
+			}
+		}
+	}
+}
+
+func TestPointIndexResetReuse(t *testing.T) {
+	idx := NewPointIndex(0.1)
+	p1 := Point{Lon: 24, Lat: 37}
+	idx.Add(1, p1)
+	if got := idx.Near(p1, 100); !equalInt32(got, []int32{1}) {
+		t.Fatalf("Near before reset = %v, want [1]", got)
+	}
+	idx.Reset()
+	if idx.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", idx.Len())
+	}
+	if got := idx.Near(p1, 100); got != nil {
+		t.Errorf("stale member survived Reset: %v", got)
+	}
+	p2 := Point{Lon: 25, Lat: 38}
+	idx.Add(2, p2)
+	if got := idx.Near(p2, 100); !equalInt32(got, []int32{2}) {
+		t.Errorf("Near after reuse = %v, want [2]", got)
+	}
+	if got := idx.Near(p1, 100); got != nil {
+		t.Errorf("old point leaked into reused index: %v", got)
+	}
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
 	}
 }

@@ -90,6 +90,22 @@ const (
 	CEDangerousShipping = "dangerousShipping"
 )
 
+// Pairwise complex event names, recognized by the cross-vessel
+// analytics tier over the shared proximity index rather than by RTEC
+// rules: the rendezvous/dark-activity patterns of Pitsikalis et al.
+const (
+	// CERendezvous: two vessels slow/stopped within a distance threshold,
+	// sustained over several slides, away from port areas.
+	CERendezvous = "rendezvous"
+	// CEDarkRendezvous: two vessels with overlapping AIS gaps whose gap
+	// endpoints converge at plausible implied speeds — a candidate
+	// ship-to-ship transfer carried out dark.
+	CEDarkRendezvous = "darkRendezvous"
+	// CECollisionCourse: a pair predicted by CPA screening to pass
+	// dangerously close within the look-ahead horizon.
+	CECollisionCourse = "collisionCourse"
+)
+
 // MEStream converts tracker critical points into the RTEC movement
 // event stream. Every event carries the vessel coordinates at detection
 // time (the paper's coord fluent). EventFirst anchors contribute no ME.
@@ -149,10 +165,19 @@ type Alert struct {
 	// Vessel is the triggering vessel for instantaneous CEs, 0 for
 	// durative area-level CEs.
 	Vessel uint32
+	// Vessel2 is the second vessel of a pairwise CE (rendezvous,
+	// darkRendezvous, collisionCourse), with Vessel < Vessel2; 0 for
+	// single-vessel and area-level CEs. omitempty keeps the JSON of
+	// every existing alert kind byte-identical.
+	Vessel2 uint32 `json:"Vessel2,omitempty"`
 }
 
 // String renders the alert.
 func (a Alert) String() string {
+	if a.Vessel2 != 0 {
+		return fmt.Sprintf("%s between vessels %d and %d (%s)", a.CE,
+			a.Vessel, a.Vessel2, a.Time.UTC().Format(time.RFC3339))
+	}
 	if a.Vessel != 0 {
 		return fmt.Sprintf("%s at %s by vessel %d (%s)", a.CE, a.AreaID, a.Vessel,
 			a.Time.UTC().Format(time.RFC3339))

@@ -20,10 +20,16 @@ type Filter struct {
 	Areas map[string]struct{}
 }
 
-// Match reports whether the alert passes the filter.
+// Match reports whether the alert passes the filter. A pairwise alert
+// (rendezvous, darkRendezvous, collisionCourse) matches an MMSI filter
+// through either of its two vessels.
 func (f Filter) Match(a maritime.Alert) bool {
 	if f.MMSI != nil {
-		if _, ok := f.MMSI[a.Vessel]; !ok {
+		_, ok := f.MMSI[a.Vessel]
+		if !ok && a.Vessel2 != 0 {
+			_, ok = f.MMSI[a.Vessel2]
+		}
+		if !ok {
 			return false
 		}
 	}
@@ -63,7 +69,9 @@ func ParseFilter(q url.Values) (Filter, error) {
 		for ce := range set {
 			switch ce {
 			case maritime.CESuspicious, maritime.CEIllegalFishing,
-				maritime.CEIllegalShipping, maritime.CEDangerousShipping:
+				maritime.CEIllegalShipping, maritime.CEDangerousShipping,
+				maritime.CERendezvous, maritime.CEDarkRendezvous,
+				maritime.CECollisionCourse:
 			default:
 				return Filter{}, fmt.Errorf("serve: unknown ce %q", ce)
 			}

@@ -10,6 +10,7 @@ package tracker
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/geo"
@@ -108,6 +109,26 @@ func marginConfidence(value, threshold float64) float64 {
 // String renders the critical point for logs.
 func (c CriticalPoint) String() string {
 	return fmt.Sprintf("%s %d %s @%s", c.Type, c.MMSI, c.Pos, c.Time.UTC().Format("15:04:05"))
+}
+
+// SortCriticalPoints stable-sorts points into the canonical (time,
+// MMSI) order. Both the cluster coordinator's k-way merge and the
+// single-process analytics tier normalize slide output through this
+// one comparator: per-vessel order is preserved by either path, so the
+// stable sort makes the two streams byte-identical.
+func SortCriticalPoints(points []CriticalPoint) {
+	slices.SortStableFunc(points, func(a, b CriticalPoint) int {
+		if d := a.Time.Compare(b.Time); d != 0 {
+			return d
+		}
+		if a.MMSI != b.MMSI {
+			if a.MMSI < b.MMSI {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
 }
 
 // Stats aggregates tracker activity for the compression and performance
