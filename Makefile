@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster test-analytics bench bench-serve bench-pipe experiments examples
+.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster test-analytics bench bench-serve bench-pipe bench-decode check-allocs experiments examples
 
 all: fmt-check build vet test
 
@@ -70,6 +70,19 @@ bench-serve:
 # as a JSON artifact with the pre-sharding serial baseline embedded.
 bench-pipe:
 	go run ./cmd/benchpipe -out BENCH_pipeline.json
+
+# Decode micro-benchmarks: zero-copy vs legacy scanner over NMEA and
+# CSV, one iteration each — a smoke run that proves the benchmarks
+# still compile and execute, not a measurement.
+bench-decode:
+	go test -run '^$$' -bench '^BenchmarkDecode$$' -benchmem -benchtime=1x ./internal/ais/
+
+# Allocation-regression guard: the steady-state slide budget
+# (testing.AllocsPerRun gate in the tracker) and the zero-allocation
+# zero-copy scanners. Run without -race: the race runtime inflates
+# allocation counts and both tests skip themselves under it.
+check-allocs:
+	go test -v -run 'TestSteadyStateSlideAllocs|TestZeroCopyScanAllocs' ./internal/tracker/ ./internal/ais/
 
 # Full row sets at the default scale (N=1000); see -list for ids.
 experiments:

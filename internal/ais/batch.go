@@ -1,0 +1,77 @@
+package ais
+
+import (
+	"time"
+
+	"repro/internal/geo"
+)
+
+// FixBatch is the columnar (struct-of-arrays) form of a slide's worth of
+// positional fixes: parallel MMSI, longitude, latitude and UnixNano
+// timestamp columns backed by one reusable arena. The hot tracking path
+// scans these contiguous columns instead of chasing 48-byte Fix structs,
+// and the arena is recycled across slides (Reset keeps capacity), so a
+// warm pipeline admits a slide without allocating.
+//
+// Timestamps are int64 Unix nanoseconds in UTC. The conversion round
+// trips exactly for instants between the years 1678 and 2262 — far wider
+// than any AIS archive — so a Fix rebuilt with At is structurally
+// identical to the row-oriented original.
+type FixBatch struct {
+	MMSI   []uint32
+	Lon    []float64
+	Lat    []float64
+	TimeNS []int64
+}
+
+// Len returns the number of fixes in the batch.
+func (b *FixBatch) Len() int { return len(b.MMSI) }
+
+// Reset empties the batch, keeping the column capacity for reuse.
+func (b *FixBatch) Reset() {
+	b.MMSI = b.MMSI[:0]
+	b.Lon = b.Lon[:0]
+	b.Lat = b.Lat[:0]
+	b.TimeNS = b.TimeNS[:0]
+}
+
+// Grow ensures capacity for at least n additional fixes.
+func (b *FixBatch) Grow(n int) {
+	if need := len(b.MMSI) + n; need > cap(b.MMSI) {
+		b.MMSI = append(make([]uint32, 0, need), b.MMSI...)
+		b.Lon = append(make([]float64, 0, need), b.Lon...)
+		b.Lat = append(make([]float64, 0, need), b.Lat...)
+		b.TimeNS = append(make([]int64, 0, need), b.TimeNS...)
+	}
+}
+
+// Append adds a row-oriented fix to the columns.
+func (b *FixBatch) Append(f Fix) {
+	b.AppendCols(f.MMSI, f.Pos.Lon, f.Pos.Lat, f.Time.UnixNano())
+}
+
+// AppendCols adds one fix given directly as column values.
+func (b *FixBatch) AppendCols(mmsi uint32, lon, lat float64, tns int64) {
+	b.MMSI = append(b.MMSI, mmsi)
+	b.Lon = append(b.Lon, lon)
+	b.Lat = append(b.Lat, lat)
+	b.TimeNS = append(b.TimeNS, tns)
+}
+
+// At reconstructs the i-th fix in row form.
+func (b *FixBatch) At(i int) Fix {
+	return Fix{
+		MMSI: b.MMSI[i],
+		Pos:  geo.Point{Lon: b.Lon[i], Lat: b.Lat[i]},
+		Time: time.Unix(0, b.TimeNS[i]).UTC(),
+	}
+}
+
+// AppendRows appends every fix in row form to dst and returns it, for
+// consumers that need the legacy row layout (e.g. journaling).
+func (b *FixBatch) AppendRows(dst []Fix) []Fix {
+	for i := range b.MMSI {
+		dst = append(dst, b.At(i))
+	}
+	return dst
+}

@@ -34,20 +34,48 @@ func FuzzScanner(f *testing.F) {
 		f.Add([]byte(s + "\n" + s))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Differential run: the zero-copy fast path (default) against the
+		// legacy string-based decoder held up as the oracle. Both must
+		// emit identical fixes in identical order, reconcile their stats,
+		// and agree on every drop counter.
 		sc := NewScanner(strings.NewReader(string(data)))
+		oracle := NewScanner(strings.NewReader(string(data)))
+		oracle.SetLegacyDecode(true)
 		for sc.Scan() {
-			if fix := sc.Fix(); !fix.Pos.Valid() {
+			fix := sc.Fix()
+			if !fix.Pos.Valid() {
 				t.Fatalf("scanner emitted an invalid position: %v", fix)
 			}
+			if !oracle.Scan() {
+				t.Fatalf("zero-copy path emitted %v, legacy oracle ended", fix)
+			}
+			if want := oracle.Fix(); fix != want {
+				t.Fatalf("decoders diverge:\n zero-copy: %+v\n legacy:    %+v", fix, want)
+			}
+		}
+		if oracle.Scan() {
+			t.Fatalf("legacy oracle emitted %v past the zero-copy path's end", oracle.Fix())
 		}
 		if err := sc.Err(); err != nil {
 			// bufio's token-too-long is the only acceptable read error on
 			// an in-memory stream.
 			t.Logf("scan err: %v", err)
 		}
-		if st := sc.Stats(); !st.Reconciles() {
+		st, ost := sc.Stats(), oracle.Stats()
+		if st != ost {
+			t.Fatalf("stats diverge:\n zero-copy: %+v\n legacy:    %+v", st, ost)
+		}
+		if !st.Reconciles() {
 			t.Fatalf("stats do not reconcile: %+v (fixes+voyage+dropped+blank+fragments = %d, lines = %d)",
 				st, st.Fixes+st.VoyageReports+st.Dropped()+st.Blank+st.Fragments, st.Lines)
+		}
+		if len(sc.Voyages()) != len(oracle.Voyages()) {
+			t.Fatalf("voyage maps diverge: %d zero-copy, %d legacy", len(sc.Voyages()), len(oracle.Voyages()))
+		}
+		for mmsi, v := range sc.Voyages() {
+			if ov, ok := oracle.Voyages()[mmsi]; !ok || ov != v {
+				t.Fatalf("voyage for %d diverges:\n zero-copy: %+v\n legacy:    %+v", mmsi, v, ov)
+			}
 		}
 	})
 }

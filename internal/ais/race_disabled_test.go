@@ -1,0 +1,5 @@
+//go:build !race
+
+package ais
+
+const raceEnabled = false

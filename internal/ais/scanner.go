@@ -2,6 +2,7 @@ package ais
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -88,6 +89,7 @@ type Scanner struct {
 	err     error
 	fix     Fix
 	voyages map[uint32]StaticVoyage
+	legacy  bool
 }
 
 // NewScanner wraps the reader. Lines may be up to 1 MiB long.
@@ -103,19 +105,41 @@ func NewScanner(r io.Reader) *Scanner {
 // surfaced for display and comparison only.
 func (s *Scanner) Voyages() map[uint32]StaticVoyage { return s.voyages }
 
+// SetLegacyDecode forces the allocating string-based decode path for
+// every line instead of the zero-copy fast path. The two paths produce
+// identical fixes and identical ScannerStats on every input; the
+// differential fuzz test uses this switch to hold the legacy decoder up
+// as the oracle.
+func (s *Scanner) SetLegacyDecode(on bool) { s.legacy = on }
+
 // Scan advances to the next cleaned fix. It returns false at end of
 // input or on a read error (see Err); decoding errors only increment
 // the drop counters.
+//
+// The default path decodes each line zero-copy out of the read buffer
+// (see zerocopy.go); a warm scanner emits fixes without allocating.
 func (s *Scanner) Scan() bool {
 	for s.r.Scan() {
 		s.stats.Lines++
-		line := strings.TrimSpace(s.r.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if s.legacy {
+			line := strings.TrimSpace(s.r.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				s.stats.Blank++
+				continue
+			}
+			if fix, ok := s.consume(line); ok {
+				s.fix = fix
+				s.stats.Fixes++
+				return true
+			}
+			continue
+		}
+		line := bytes.TrimSpace(s.r.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			s.stats.Blank++
 			continue
 		}
-		fix, ok := s.consume(line)
-		if ok {
+		if fix, ok := s.consumeBytes(line); ok {
 			s.fix = fix
 			s.stats.Fixes++
 			return true

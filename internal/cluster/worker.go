@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/ais"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/feed"
@@ -76,6 +77,13 @@ type Worker struct {
 	fresh  []tracker.CriticalPoint // current slide's copied critical points
 	cursor feed.Cursor
 	slides int
+
+	// Steady-state scratch: the columnar batch arena the slice feed is
+	// decoded into, and the uplink frames re-filled every slide so the
+	// per-slide encode allocates nothing on the worker side.
+	cols ais.FixBatch
+	out  SlideOutput
+	msg  Message
 }
 
 // NewWorker builds the worker and, when a checkpoint directory is
@@ -191,22 +199,24 @@ func (w *Worker) Run(ctx context.Context) error {
 	slideSec := int64(w.cfg.System.Window.Slide / time.Second)
 	var lastQ time.Time
 	for {
-		b, ok := batcher.Next()
+		// Columnar slide admission: the slice feed decodes straight into
+		// the worker's reusable batch arena.
+		b, ok := batcher.NextInto(&w.cols)
 		if !ok {
 			break
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		for _, f := range b.Fixes {
-			w.cursor.Note(f)
+		for i := 0; i < w.cols.Len(); i++ {
+			w.cursor.Note(w.cols.At(i))
 		}
 		w.fresh = w.fresh[:0]
 		rep := w.sys.ProcessBatch(b)
 		w.slides++
 		lastQ = b.Query
 
-		out := &SlideOutput{
+		w.out = SlideOutput{
 			Worker:         w.cfg.ID,
 			Query:          b.Query,
 			FixesIn:        rep.FixesIn,
@@ -221,12 +231,13 @@ func (w *Worker) Run(ctx context.Context) error {
 				// The previous checkpoint survives; keep streaming.
 				w.logf("worker %d: checkpoint at %s failed: %v", w.cfg.ID, b.Query.Format(time.RFC3339), err)
 			} else {
-				out.CkptSeq = w.mgr.LastSeq()
+				w.out.CkptSeq = w.mgr.LastSeq()
 				cur := w.cursor.Clone()
-				out.CkptCursor = &cur
+				w.out.CkptCursor = &cur
 			}
 		}
-		if err := uplink.send(&Message{Kind: KindSlide, Slide: out}); err != nil {
+		w.msg = Message{Kind: KindSlide, Slide: &w.out}
+		if err := uplink.send(&w.msg); err != nil {
 			return err
 		}
 	}

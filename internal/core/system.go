@@ -137,6 +137,12 @@ type System struct {
 	completed  []bool
 	snaps      []maritime.Snapshot
 
+	// meScratch backs the slide's movement-event stream on the plain
+	// single-recognizer path (no watchdog, no self-heal). With a
+	// watchdog an abandoned Advance goroutine may still hold the slice,
+	// so those paths allocate per slide instead of reusing it.
+	meScratch []rtec.Event
+
 	// Registered alert consumers, notified after every slide.
 	sinks []AlertSink
 
@@ -364,7 +370,7 @@ func (s *System) ProcessBatch(b stream.Batch) SlideReport {
 }
 
 func (s *System) processLocked(b stream.Batch) SlideReport {
-	rep := SlideReport{Query: b.Query, FixesIn: len(b.Fixes)}
+	rep := SlideReport{Query: b.Query, FixesIn: b.Len()}
 	level := DegradeNone
 	if s.degrader != nil {
 		level = s.degrader.Level()
@@ -396,7 +402,13 @@ func (s *System) processLocked(b stream.Batch) SlideReport {
 	}
 
 	if s.recognizer != nil || len(s.partitions) > 0 {
-		events := maritime.MEStream(res.Fresh)
+		var events []rtec.Event
+		if s.recognizer != nil && s.cfg.WatchdogTimeout <= 0 && !s.selfHeal {
+			s.meScratch = maritime.MEStreamInto(s.meScratch[:0], res.Fresh)
+			events = s.meScratch
+		} else {
+			events = maritime.MEStream(res.Fresh)
+		}
 		if level >= DegradeInstantaneousOnly {
 			events = s.filterInstantaneous(events)
 		}

@@ -157,7 +157,12 @@ func Centroid(pts []Point) Point {
 // HeadingDelta returns the absolute angular difference between two
 // headings in degrees, folded into [0, 180].
 func HeadingDelta(h1, h2 float64) float64 {
-	d := math.Mod(math.Abs(h1-h2), 360)
+	d := math.Abs(h1 - h2)
+	if d >= 360 {
+		// Mod(d, 360) == d for d < 360, so the call is only needed —
+		// and only paid — outside the range in-contract headings span.
+		d = math.Mod(d, 360)
+	}
 	if d > 180 {
 		d = 360 - d
 	}
@@ -169,7 +174,12 @@ func HeadingDelta(h1, h2 float64) float64 {
 // values are clockwise. The tracker accumulates these to detect smooth
 // turns whose individual steps are each below the turn threshold.
 func SignedHeadingDelta(from, to float64) float64 {
-	d := math.Mod(to-from, 360)
+	d := to - from
+	if d <= -360 || d >= 360 {
+		// Mod(d, 360) == d for |d| < 360 (and the in-contract heading
+		// range keeps d there); fold only the out-of-range stragglers.
+		d = math.Mod(d, 360)
+	}
 	if d > 180 {
 		d -= 360
 	} else if d <= -180 {

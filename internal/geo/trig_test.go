@@ -1,0 +1,149 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randPoints returns deterministic pseudo-random point pairs spanning the
+// globe, biased toward small separations (the tracker's consecutive-fix
+// regime) but including antipodal-scale jumps.
+func randPoints(n int) [][2]Point {
+	rng := rand.New(rand.NewSource(42))
+	out := make([][2]Point, 0, n)
+	for i := 0; i < n; i++ {
+		a := Point{Lon: rng.Float64()*360 - 180, Lat: rng.Float64()*170 - 85}
+		var b Point
+		if i%3 == 0 {
+			// Unconstrained second point.
+			b = Point{Lon: rng.Float64()*360 - 180, Lat: rng.Float64()*170 - 85}
+		} else {
+			// A nearby fix, ~0–2 km away.
+			b = Point{Lon: a.Lon + (rng.Float64()-0.5)*0.04, Lat: a.Lat + (rng.Float64()-0.5)*0.02}
+		}
+		out = append(out, [2]Point{a, b})
+	}
+	return out
+}
+
+// TestCachedTrigBitIdentical pins the contract the tracker's golden
+// equivalence rests on: the cached-trig variants perform the same
+// floating-point operations in the same order as their uncached
+// counterparts, so results are bit-identical — not merely close.
+func TestCachedTrigBitIdentical(t *testing.T) {
+	for _, pp := range randPoints(2000) {
+		a, b := pp[0], pp[1]
+		ta, tb := LatTrigOf(a), LatTrigOf(b)
+
+		wantD := Haversine(a, b)
+		if gotD := HaversineCached(a, b, ta, tb); gotD != wantD {
+			t.Fatalf("HaversineCached(%v, %v) = %v, Haversine = %v (diff %g)",
+				a, b, gotD, wantD, gotD-wantD)
+		}
+		wantB := Bearing(a, b)
+		if gotB := BearingCached(a, b, ta, tb); gotB != wantB {
+			t.Fatalf("BearingCached(%v, %v) = %v, Bearing = %v", a, b, gotB, wantB)
+		}
+	}
+}
+
+// TestSincosBitIdentical pins the platform assumption LatTrigOf and
+// SinCosDeg rely on: math.Sincos returns exactly what separate math.Sin
+// and math.Cos calls return, so cached trig stays bit-compatible with
+// the uncached formulas that call Sin and Cos individually.
+func TestSincosBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 100000; i++ {
+		x := (rng.Float64() - 0.5) * 4 * math.Pi
+		s, c := math.Sincos(x)
+		if s != math.Sin(x) || c != math.Cos(x) {
+			t.Fatalf("math.Sincos(%v) = (%v, %v), Sin/Cos = (%v, %v)", x, s, c, math.Sin(x), math.Cos(x))
+		}
+	}
+}
+
+// TestVelocityDistBetween checks the fused velocity+distance helper
+// against VelocityBetween plus a separate Haversine call: speed and
+// distance must be bit-identical; the heading (computed through the
+// double-angle fusion) must agree to within a microdegree and stay in
+// [0, 360).
+func TestVelocityDistBetween(t *testing.T) {
+	t0 := time.Unix(1_400_000_000, 0).UTC()
+	for i, pp := range randPoints(2000) {
+		a, b := pp[0], pp[1]
+		dt := time.Duration(1+i%600) * time.Second
+		ta, tb := LatTrigOf(a), LatTrigOf(b)
+
+		wantV, ok := VelocityBetween(a, t0, b, t0.Add(dt))
+		if !ok {
+			t.Fatalf("VelocityBetween rejected positive dt %v", dt)
+		}
+		wantD := Haversine(a, b)
+		gotV, gotD := VelocityDistBetween(a, b, dt, ta, tb)
+		if gotV.SpeedKnots != wantV.SpeedKnots {
+			t.Fatalf("VelocityDistBetween(%v, %v, %v) speed = %v, want %v", a, b, dt, gotV.SpeedKnots, wantV.SpeedKnots)
+		}
+		if gotD != wantD {
+			t.Fatalf("VelocityDistBetween(%v, %v) dist = %v, want %v", a, b, gotD, wantD)
+		}
+		if gotV.HeadingDeg < 0 || gotV.HeadingDeg >= 360 {
+			t.Fatalf("heading %v outside [0, 360)", gotV.HeadingDeg)
+		}
+		if d := HeadingDelta(gotV.HeadingDeg, wantV.HeadingDeg); d > 1e-6 {
+			t.Fatalf("VelocityDistBetween(%v, %v) heading = %v, Bearing-based = %v (delta %g)",
+				a, b, gotV.HeadingDeg, wantV.HeadingDeg, d)
+		}
+	}
+}
+
+// TestSinCosDegMatchesMeanVelocity pins the per-sample cache the tracker
+// keeps for its mean-velocity fold: SinCosDeg plus HeadingFromComponents
+// must reproduce MeanVelocity bit-for-bit.
+func TestSinCosDegMatchesMeanVelocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		vs := make([]Velocity, 1+trial%12)
+		for i := range vs {
+			vs[i] = Velocity{SpeedKnots: rng.Float64() * 30, HeadingDeg: rng.Float64() * 360}
+		}
+		want, _ := MeanVelocity(vs)
+
+		var x, y, speed float64
+		for _, v := range vs {
+			sin, cos := SinCosDeg(v.HeadingDeg)
+			x += v.SpeedKnots * sin
+			y += v.SpeedKnots * cos
+			speed += v.SpeedKnots
+		}
+		got := Velocity{SpeedKnots: speed / float64(len(vs))}
+		if x != 0 || y != 0 {
+			got.HeadingDeg = HeadingFromComponents(x, y)
+		}
+		if got != want {
+			t.Fatalf("cached fold = %+v, MeanVelocity = %+v", got, want)
+		}
+	}
+}
+
+// TestL1BoundDominatesHaversine is the soundness property of the stop-run
+// fast path: for any two points, the L1 bound computed from their
+// coordinate deltas must be >= the true great-circle distance, so a bound
+// that fits inside a radius proves containment.
+func TestL1BoundDominatesHaversine(t *testing.T) {
+	for _, pp := range randPoints(5000) {
+		a, b := pp[0], pp[1]
+		dLat := math.Abs(b.Lat - a.Lat)
+		dLon := math.Abs(b.Lon - a.Lon)
+		if dLon > 180 {
+			// The tracker's bounding boxes never wrap the antimeridian;
+			// keep the property aligned with how the bound is used.
+			continue
+		}
+		bound := L1DistanceBoundMeters(dLat, dLon)
+		if d := Haversine(a, b); d > bound {
+			t.Fatalf("L1 bound %v m < true distance %v m for %v -> %v", bound, d, a, b)
+		}
+	}
+}

@@ -110,7 +110,14 @@ const (
 // event stream. Every event carries the vessel coordinates at detection
 // time (the paper's coord fluent). EventFirst anchors contribute no ME.
 func MEStream(points []tracker.CriticalPoint) []rtec.Event {
-	out := make([]rtec.Event, 0, len(points))
+	return MEStreamInto(make([]rtec.Event, 0, len(points)), points)
+}
+
+// MEStreamInto is MEStream appending into a caller-owned slice, for hot
+// paths that recycle the event buffer across slides. The caller must not
+// hand dst to a consumer that outlives the slide.
+func MEStreamInto(dst []rtec.Event, points []tracker.CriticalPoint) []rtec.Event {
+	out := dst
 	for _, cp := range points {
 		name := ""
 		switch cp.Type {

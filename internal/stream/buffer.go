@@ -62,6 +62,16 @@ func (b *TimeBuffer[T]) At(i int) (time.Time, T) {
 	return e.t, e.v
 }
 
+// Oldest returns the timestamp of the oldest live item and true, or a
+// zero time and false when empty. It lets eviction sweeps settle the
+// common nothing-expires case with one head peek instead of a scan.
+func (b *TimeBuffer[T]) Oldest() (time.Time, bool) {
+	if b.Len() == 0 {
+		return time.Time{}, false
+	}
+	return b.items[b.head].t, true
+}
+
 // Last returns the newest item and true, or zero values and false when
 // empty.
 func (b *TimeBuffer[T]) Last() (time.Time, T, bool) {

@@ -1,0 +1,162 @@
+package tracker
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/stream"
+)
+
+// runTier replays the batches through a tier, collecting every fresh
+// critical point (copied out of the tier's scratch).
+func runTier(tier *Sharded, batches []stream.Batch) []CriticalPoint {
+	var cps []CriticalPoint
+	for _, b := range batches {
+		res := tier.Slide(b)
+		cps = append(cps, res.Fresh...)
+	}
+	return cps
+}
+
+// globalRMSE reconstructs every raw fix from the critical-point synopsis
+// alone (time-proportional interpolation between bracketing points, the
+// paper's trajectory reconstruction) and pools the error fleet-wide.
+func globalRMSE(t *testing.T, cps []CriticalPoint, fixes []ais.Fix) float64 {
+	t.Helper()
+	var sumSq float64
+	var n int
+	for _, f := range fixes {
+		d, ok := reconstructError(cps, f)
+		if !ok {
+			continue
+		}
+		sumSq += d * d
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no fix could be reconstructed")
+	}
+	return math.Sqrt(sumSq / float64(n))
+}
+
+// TestAdaptiveCompressionWithinBudget is the fleetsim ground-truth test
+// of the adaptive tier: with the tuner on, the synopsis must get smaller
+// (better compression than the fixed thresholds) while the fleet-wide
+// reconstruction RMSE stays within the configured budget.
+func TestAdaptiveCompressionWithinBudget(t *testing.T) {
+	batches := simBatches(t, 120, 3)
+	params := DefaultParams()
+	window := stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}
+
+	var fixes []ais.Fix
+	for _, b := range batches {
+		fixes = append(fixes, b.Fixes...)
+	}
+
+	fixed := NewSharded(params, window, 1)
+	fixedCPs := runTier(fixed, batches)
+	fixedStats := fixed.Stats()
+	fixed.Close()
+
+	cfg := DefaultAdaptiveConfig()
+	// Re-tune fast enough for a 3 h run while leaving the 2·M-fix sample
+	// floor reachable (fleetsim vessels report ~2 fixes per 5 min slide).
+	cfg.EvalEverySlides = 12
+	adaptive := NewSharded(params, window, 2)
+	if err := adaptive.EnableAdaptive(cfg); err != nil {
+		t.Fatal(err)
+	}
+	adaptiveCPs := runTier(adaptive, batches)
+	adaptiveStats := adaptive.Stats()
+
+	if adaptiveStats.FixesIn != fixedStats.FixesIn {
+		t.Fatalf("fix intake differs: %d adaptive, %d fixed", adaptiveStats.FixesIn, fixedStats.FixesIn)
+	}
+	tuned := false
+	for _, m := range adaptive.Multipliers() {
+		if m > 1 {
+			tuned = true
+		}
+	}
+	if !tuned {
+		t.Fatal("tuner never loosened any class; test exercises nothing")
+	}
+	if adaptiveStats.Critical >= fixedStats.Critical {
+		t.Errorf("adaptive synopsis not smaller: %d critical points, fixed %d",
+			adaptiveStats.Critical, fixedStats.Critical)
+	}
+
+	budget := cfg.RMSEBudgetMeters
+	if rmse := globalRMSE(t, adaptiveCPs, fixes); rmse > budget {
+		t.Errorf("adaptive reconstruction RMSE %.1f m exceeds %.0f m budget", rmse, budget)
+	}
+	// Sanity: the fixed-threshold synopsis reconstructs at least as well.
+	fixedRMSE := globalRMSE(t, fixedCPs, fixes)
+	adaptiveRMSE := globalRMSE(t, adaptiveCPs, fixes)
+	t.Logf("RMSE fixed %.1f m, adaptive %.1f m; critical points fixed %d, adaptive %d; mults %v",
+		fixedRMSE, adaptiveRMSE, fixedStats.Critical, adaptiveStats.Critical, adaptive.Multipliers())
+	for c, rmse := range adaptive.LastRMSE() {
+		if rmse > budget {
+			t.Errorf("class %d tuned at sampled RMSE %.1f m, above budget %.0f m", c, rmse, budget)
+		}
+	}
+	adaptive.Close()
+}
+
+// TestAdaptiveUnityIsExact pins the opt-in contract from the other side:
+// a tuner restricted to the multiplier 1 must leave the output
+// bit-identical to a tier without the tuner — the adaptive plumbing
+// itself (per-vessel multiplier resolution, observation sampling) may
+// not perturb a single critical point.
+func TestAdaptiveUnityIsExact(t *testing.T) {
+	batches := simBatches(t, 80, 2)
+	params := DefaultParams()
+	window := stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}
+
+	plain := NewSharded(params, window, 2)
+	unity := NewSharded(params, window, 2)
+	cfg := DefaultAdaptiveConfig()
+	cfg.Multipliers = []float64{1}
+	cfg.EvalEverySlides = 4
+	if err := unity.EnableAdaptive(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		want := plain.Slide(b)
+		wantFresh := append([]CriticalPoint(nil), want.Fresh...)
+		wantDelta := append([]CriticalPoint(nil), want.Delta...)
+		got := unity.Slide(b)
+		comparePoints(t, i, "fresh", wantFresh, got.Fresh)
+		comparePoints(t, i, "delta", wantDelta, got.Delta)
+	}
+	plain.Close()
+	unity.Close()
+}
+
+// TestAdaptiveConfigValidate exercises the rejection paths.
+func TestAdaptiveConfigValidate(t *testing.T) {
+	good := DefaultAdaptiveConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []AdaptiveConfig{
+		{RMSEBudgetMeters: 0, EvalEverySlides: 1, SampleVessels: 1, SampleFixesPerVessel: 1},
+		{RMSEBudgetMeters: 50, EvalEverySlides: 0, SampleVessels: 1, SampleFixesPerVessel: 1},
+		{RMSEBudgetMeters: 50, EvalEverySlides: 1, SampleVessels: 0, SampleFixesPerVessel: 1},
+		{RMSEBudgetMeters: 50, EvalEverySlides: 1, SampleVessels: 1, SampleFixesPerVessel: 0},
+		{RMSEBudgetMeters: 50, EvalEverySlides: 1, SampleVessels: 1, SampleFixesPerVessel: 1,
+			Multipliers: []float64{2, -1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+		tier := NewSharded(DefaultParams(), stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}, 1)
+		if err := tier.EnableAdaptive(cfg); err == nil {
+			t.Errorf("config %d: EnableAdaptive accepted invalid config", i)
+		}
+		tier.Close()
+	}
+}

@@ -1,0 +1,101 @@
+package tracker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/fleetsim"
+	"repro/internal/stream"
+)
+
+// benchWorkload is the benchmark fleet: the same shape as the BENCH
+// artifact's baseline workload (seed 42, 400 vessels, 2 h, 5 min slides).
+func benchWorkload(b *testing.B) (rows []stream.Batch, cols []stream.Batch, fixes int) {
+	b.Helper()
+	cfg := fleetsim.DefaultConfig()
+	cfg.Seed = 42
+	cfg.Vessels = 400
+	cfg.Duration = 2 * time.Hour
+	all := fleetsim.NewSimulator(cfg).Run()
+	batcher := stream.NewBatcher(stream.NewSliceSource(all), 5*time.Minute)
+	for {
+		bt, ok := batcher.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, bt)
+		fb := &ais.FixBatch{}
+		for _, f := range bt.Fixes {
+			fb.Append(f)
+		}
+		cols = append(cols, stream.Batch{Cols: fb, Query: bt.Query})
+	}
+	return rows, cols, len(all)
+}
+
+func benchSlide(b *testing.B, batches []stream.Batch, fixes, shards int) {
+	window := stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}
+	params := DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewSharded(params, window, shards)
+		for _, bt := range batches {
+			tr.Slide(bt)
+		}
+		tr.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*fixes), "ns/fix")
+	b.ReportMetric(float64(b.N*fixes)/b.Elapsed().Seconds(), "fixes/s")
+}
+
+// BenchmarkShardedSlide replays the baseline workload through the
+// tracking tier, row-oriented versus columnar, at 1 and 4 shards.
+func BenchmarkShardedSlide(b *testing.B) {
+	rows, cols, fixes := benchWorkload(b)
+	b.Run("row-1shard", func(b *testing.B) { benchSlide(b, rows, fixes, 1) })
+	b.Run("columnar-1shard", func(b *testing.B) { benchSlide(b, cols, fixes, 1) })
+	b.Run("row-4shard", func(b *testing.B) { benchSlide(b, rows, fixes, 4) })
+	b.Run("columnar-4shard", func(b *testing.B) { benchSlide(b, cols, fixes, 4) })
+}
+
+// shiftBatches advances every columnar batch (and its query time) by d,
+// in place, so the same workload can be replayed against a warm tracker
+// as the next stretch of stream time.
+func shiftBatches(batches []stream.Batch, d time.Duration) {
+	for i := range batches {
+		batches[i].Query = batches[i].Query.Add(d)
+		for j, ns := range batches[i].Cols.TimeNS {
+			batches[i].Cols.TimeNS[j] = ns + int64(d)
+		}
+	}
+}
+
+// BenchmarkSteadySlide measures the steady state the long-running
+// deployment sits in: one warm tracking tier, vessels and window
+// populated, replaying the workload as consecutive stretches of stream
+// time. One op is one full 2 h replay (24 slides). Cold-start costs —
+// vessel-map growth, per-vessel state allocation, slice warm-up — are
+// excluded, which is exactly what distinguishes this row from
+// BenchmarkShardedSlide.
+func BenchmarkSteadySlide(b *testing.B) {
+	_, cols, fixes := benchWorkload(b)
+	span := 2 * time.Hour
+	tr := NewSharded(DefaultParams(), stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}, 1)
+	defer tr.Close()
+	// Warm up: one full pass populates the fleet and fills the window.
+	for _, bt := range cols {
+		tr.Slide(bt)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shiftBatches(cols, span)
+		for _, bt := range cols {
+			tr.Slide(bt)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*fixes), "ns/fix")
+	b.ReportMetric(float64(b.N*fixes)/b.Elapsed().Seconds(), "fixes/s")
+}

@@ -1,0 +1,145 @@
+package tracker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ais"
+	"repro/internal/stream"
+)
+
+// toColumnar converts a row batch into the columnar form, appending into
+// the caller's arena. Tests deliberately reuse ONE arena across slides:
+// the tracker must have finished with the previous slide's columns by the
+// time the next batch is staged, exactly like the production Batcher
+// NextInto loop.
+func toColumnar(b stream.Batch, fb *ais.FixBatch) stream.Batch {
+	fb.Reset()
+	for _, f := range b.Fixes {
+		fb.Append(f)
+	}
+	return stream.Batch{Cols: fb, Query: b.Query}
+}
+
+// TestColumnarEquivalence is the golden test of the columnar hot path:
+// feeding the same seeded fleet through struct-of-arrays batches must
+// produce byte-identical fresh and delta streams, and identical final
+// statistics, to the row path — at every shard count, with a single
+// batch arena recycled across all slides.
+func TestColumnarEquivalence(t *testing.T) {
+	batches := simBatches(t, 120, 2)
+	params := DefaultParams()
+	window := stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}
+
+	for _, shards := range []int{1, 2, 4} {
+		rowTier := NewSharded(params, window, shards)
+		colTier := NewSharded(params, window, shards)
+		var arena ais.FixBatch
+		var critical int
+		for i, b := range batches {
+			want := rowTier.Slide(b)
+			got := colTier.Slide(toColumnar(b, &arena))
+			comparePoints(t, i, "fresh", want.Fresh, got.Fresh)
+			comparePoints(t, i, "delta", want.Delta, got.Delta)
+			critical += len(got.Fresh)
+		}
+		if critical == 0 {
+			t.Fatal("run produced no critical points; equivalence vacuous")
+		}
+		wantStats, gotStats := rowTier.Stats(), colTier.Stats()
+		if wantStats.FixesIn != gotStats.FixesIn || wantStats.Critical != gotStats.Critical ||
+			wantStats.Duplicates != gotStats.Duplicates || wantStats.Outliers != gotStats.Outliers {
+			t.Errorf("shards=%d: stats differ: row %+v, columnar %+v", shards, wantStats, gotStats)
+		}
+		for k, v := range wantStats.ByType {
+			if gotStats.ByType[k] != v {
+				t.Errorf("shards=%d: ByType[%v] = %d, want %d", shards, k, gotStats.ByType[k], v)
+			}
+		}
+		if rowTier.VesselCount() != colTier.VesselCount() {
+			t.Errorf("shards=%d: vessel count %d (row) != %d (columnar)",
+				shards, rowTier.VesselCount(), colTier.VesselCount())
+		}
+		rowTier.Close()
+		colTier.Close()
+	}
+}
+
+// TestColumnarArenaReuse pins down the zero-copy contract of the arena:
+// once the working set stabilizes, staging the next slide into the same
+// FixBatch must not grow it. A regression here (e.g. Reset losing
+// capacity) silently reintroduces a per-slide allocation.
+func TestColumnarArenaReuse(t *testing.T) {
+	batches := simBatches(t, 120, 2)
+	var arena ais.FixBatch
+	maxLen := 0
+	for _, b := range batches {
+		toColumnar(b, &arena)
+		if arena.Len() > maxLen {
+			maxLen = arena.Len()
+		}
+	}
+	if maxLen == 0 {
+		t.Fatal("no fixes staged")
+	}
+	// The arena now holds the high-water capacity; re-staging every batch
+	// must not allocate at all.
+	allocs := testing.AllocsPerRun(len(batches), func() {
+		for _, b := range batches {
+			toColumnar(b, &arena)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("re-staging into a warm arena allocated %.1f times per pass, want 0", allocs)
+	}
+}
+
+// TestSteadyStateSlideAllocs is the allocation-free steady state gate:
+// after the tracking tier has warmed (vessel map populated, scratch
+// slices at their high-water marks, synopsis windows full), a columnar
+// slide must run allocation-free up to a small amortized constant —
+// synopsis ring growth and stop-run reallocation are amortized, nothing
+// is allocated per fix or per slide.
+func TestSteadyStateSlideAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts")
+	}
+	batches := simBatches(t, 150, 3)
+	// Drop the far-future drain batch; it evicts every vessel, which is
+	// not a steady state.
+	batches = batches[:len(batches)-1]
+
+	// Prebuild the columnar batches so AllocsPerRun sees only Slide.
+	cols := make([]stream.Batch, len(batches))
+	for i, b := range batches {
+		fb := &ais.FixBatch{}
+		cols[i] = toColumnar(b, fb)
+	}
+
+	params := DefaultParams()
+	window := stream.WindowSpec{Range: time.Hour, Slide: 5 * time.Minute}
+	tier := NewSharded(params, window, 1)
+	defer tier.Close()
+
+	warm := len(cols) - 12 // leave 12 slides (one full window) to measure
+	if warm < 1 {
+		t.Fatalf("run too short: %d slides", len(cols))
+	}
+	for _, b := range cols[:warm] {
+		tier.Slide(b)
+	}
+
+	idx := warm
+	const runs = 10 // AllocsPerRun adds one warm-up call
+	allocs := testing.AllocsPerRun(runs, func() {
+		tier.Slide(cols[idx])
+		idx++
+	})
+	if idx != warm+runs+1 {
+		t.Fatalf("measured %d slides, want %d", idx-warm, runs+1)
+	}
+	const maxAllocs = 10
+	if allocs > maxAllocs {
+		t.Errorf("steady-state slide allocates %.1f times, want <= %d", allocs, maxAllocs)
+	}
+}

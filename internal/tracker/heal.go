@@ -151,6 +151,16 @@ func (s *Sharded) slideHealed(b stream.Batch) SlideResult {
 	n := len(s.shards)
 	s.slideSeq++
 
+	// The journal stores row-form fixes (they must outlive the batch
+	// arena, which the caller recycles next slide), so a columnar batch
+	// is materialized to rows once here. b is a value copy; the caller's
+	// batch is untouched.
+	if b.Cols != nil {
+		s.rowScratch = b.Cols.AppendRows(s.rowScratch[:0])
+		b.Fixes = s.rowScratch
+		b.Cols = nil
+	}
+
 	for i := range s.byShard {
 		s.byShard[i] = s.byShard[i][:0]
 	}

@@ -34,7 +34,6 @@ type VesselInfo struct {
 func (tr *Tracker) infoOf(mmsi uint32, st *vesselState) VesselInfo {
 	info := VesselInfo{
 		MMSI:            mmsi,
-		LastSeen:        st.lastSeen,
 		OdometerM:       st.odometerM,
 		SinceDepartureM: st.departureM,
 		Stopped:         st.stopped,
@@ -42,10 +41,13 @@ func (tr *Tracker) infoOf(mmsi uint32, st *vesselState) VesselInfo {
 		GapOpen:         st.gapOpen,
 		SynopsisLen:     st.synopsis.Len(),
 	}
+	if st.haveSeen {
+		info.LastSeen = nsTime(st.lastSeenNS)
+	}
 	if st.haveLast {
-		info.LastPos = st.last.Pos
-		if st.lastSeen.IsZero() {
-			info.LastSeen = st.last.Time
+		info.LastPos = st.lastPos
+		if !st.haveSeen {
+			info.LastSeen = nsTime(st.lastTNS)
 		}
 	}
 	if st.haveV {

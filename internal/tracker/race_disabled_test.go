@@ -1,0 +1,5 @@
+//go:build !race
+
+package tracker
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package tracker
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-gate tests skip under it because the race runtime inflates
+// allocation counts.
+const raceEnabled = true

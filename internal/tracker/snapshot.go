@@ -54,27 +54,38 @@ type Snapshot struct {
 	Stats   Stats
 }
 
-// snapshotVessel captures one vessel's state. Slices are copied so the
-// snapshot stays valid while the tracker keeps sliding.
+// snapshotVessel captures one vessel's state, converting the columnar
+// in-memory layout back to the stable row-oriented wire format. Slices
+// are copied so the snapshot stays valid while the tracker keeps
+// sliding.
 func snapshotVessel(mmsi uint32, st *vesselState) VesselSnapshot {
 	vs := VesselSnapshot{
 		MMSI:        mmsi,
-		Last:        st.last,
 		HaveLast:    st.haveLast,
 		VPrev:       st.vPrev,
 		HaveV:       st.haveV,
-		Recent:      slices.Clone(st.recent),
 		OutlierRun:  st.outlierRun,
 		GapOpen:     st.gapOpen,
-		StopRun:     slices.Clone(st.stopRun),
 		Stopped:     st.stopped,
-		SlowRun:     slices.Clone(st.slowRun),
 		Slow:        st.slow,
 		RecentTurns: slices.Clone(st.recentTurns),
 		OdometerM:   st.odometerM,
 		DepartureM:  st.departureM,
-		LastSeen:    st.lastSeen,
 	}
+	if st.haveLast {
+		vs.Last = ais.Fix{MMSI: mmsi, Pos: st.lastPos, Time: nsTime(st.lastTNS)}
+	}
+	if st.haveSeen {
+		vs.LastSeen = nsTime(st.lastSeenNS)
+	}
+	if len(st.recent) > 0 {
+		vs.Recent = make([]geo.Velocity, len(st.recent))
+		for i := range st.recent {
+			vs.Recent[i] = st.recent[i].v
+		}
+	}
+	vs.StopRun = runToFixes(mmsi, st.stopRun)
+	vs.SlowRun = runToFixes(mmsi, st.slowRun)
 	if n := st.synopsis.Len(); n > 0 {
 		vs.Synopsis = make([]CriticalPoint, 0, n)
 		st.synopsis.Each(func(_ time.Time, cp CriticalPoint) bool {
@@ -85,25 +96,67 @@ func snapshotVessel(mmsi uint32, st *vesselState) VesselSnapshot {
 	return vs
 }
 
-// restoreVessel rebuilds the in-memory state from its snapshot.
+// runToFixes converts a stop/slow run to the wire's row form.
+func runToFixes(mmsi uint32, run []runFix) []ais.Fix {
+	if len(run) == 0 {
+		return nil
+	}
+	out := make([]ais.Fix, len(run))
+	for i, f := range run {
+		out[i] = ais.Fix{MMSI: mmsi, Pos: f.pos, Time: nsTime(f.tns)}
+	}
+	return out
+}
+
+// fixesToRun converts wire-form run members to the in-memory layout.
+func fixesToRun(fs []ais.Fix) []runFix {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]runFix, len(fs))
+	for i, f := range fs {
+		out[i] = runFix{pos: f.Pos, tns: f.Time.UnixNano()}
+	}
+	return out
+}
+
+// restoreVessel rebuilds the in-memory state from its snapshot. Derived
+// caches — latitude trig, per-sample heading trig, stop-run aggregates —
+// are recomputed with the same math calls ingest would have made, so the
+// restored state is bit-identical to the live one it mirrors.
 func restoreVessel(vs VesselSnapshot) *vesselState {
 	st := &vesselState{
-		last:        vs.Last,
+		mmsi:        vs.MMSI,
 		haveLast:    vs.HaveLast,
 		vPrev:       vs.VPrev,
 		haveV:       vs.HaveV,
-		recent:      slices.Clone(vs.Recent),
 		outlierRun:  vs.OutlierRun,
 		gapOpen:     vs.GapOpen,
-		stopRun:     slices.Clone(vs.StopRun),
+		stopRun:     fixesToRun(vs.StopRun),
 		stopped:     vs.Stopped,
-		slowRun:     slices.Clone(vs.SlowRun),
+		slowRun:     fixesToRun(vs.SlowRun),
 		slow:        vs.Slow,
 		recentTurns: slices.Clone(vs.RecentTurns),
 		odometerM:   vs.OdometerM,
 		departureM:  vs.DepartureM,
-		lastSeen:    vs.LastSeen,
+		mult:        1,
 	}
+	if vs.HaveLast {
+		st.lastPos = vs.Last.Pos
+		st.lastTNS = vs.Last.Time.UnixNano()
+		st.lastTrig = geo.LatTrigOf(vs.Last.Pos)
+	}
+	if !vs.LastSeen.IsZero() {
+		st.lastSeenNS = vs.LastSeen.UnixNano()
+		st.haveSeen = true
+	}
+	if len(vs.Recent) > 0 {
+		st.recent = make([]velEntry, len(vs.Recent))
+		for i, v := range vs.Recent {
+			st.recent[i] = velEntry{v: v}
+		}
+	}
+	st.rebuildStopAgg()
 	for _, cp := range vs.Synopsis {
 		st.synopsis.Append(cp.Time, cp)
 	}

@@ -18,6 +18,14 @@ import (
 // critical points. Detection of instantaneous events and gaps is O(1)
 // per incoming tuple; long-lasting events cost O(m) over the m most
 // recent positions (paper §3.1).
+//
+// The ingest path is columnar: fixes arrive as scalar (MMSI, lon, lat,
+// UnixNano) tuples — read straight out of an ais.FixBatch's parallel
+// arrays or adapted from row-oriented ais.Fix values — and all internal
+// clocks are int64 nanoseconds. Emitted critical points carry time.Time
+// values rebuilt with time.Unix(0, ns).UTC(), which is structurally
+// identical to the times the row path carried, so the two ingest forms
+// produce byte-identical output.
 type Tracker struct {
 	params  Params
 	window  stream.WindowSpec
@@ -28,9 +36,12 @@ type Tracker struct {
 	// not re-allocate per slide. fresh holds the emissions of the
 	// current slide; delta and gapScan back eviction and the slide-time
 	// gap sweep.
-	fresh   []CriticalPoint
-	delta   []CriticalPoint
-	gapScan []uint32
+	fresh     []CriticalPoint
+	delta     []CriticalPoint
+	deltaKey  []deltaSortKey
+	deltaOut  []CriticalPoint
+	gapScan   []uint32
+	evictScan []uint32
 
 	// Emission indexing, enabled only when the tracker runs as one
 	// shard of a Sharded tier: freshIdx records, parallel to fresh, the
@@ -41,9 +52,15 @@ type Tracker struct {
 	curIdx   int32
 	freshIdx []int32
 
-	// lastQuery is the query time that closed the previous slide: the
+	// lastQueryNS is the query time that closed the previous slide: the
 	// boundary against which accepted fixes are classified as late.
-	lastQuery time.Time
+	lastQueryNS int64
+	haveLastQ   bool
+
+	// adaptive, when non-nil, supplies per-vessel-class threshold
+	// multipliers (see adaptive.go). Nil keeps the default fixed
+	// thresholds on a branch-free path.
+	adaptive *AdaptiveState
 
 	// Tier-shared accounting, wired by NewSharded (nil on a standalone
 	// tracker, and nil while a journal replay rebuilds a shard so the
@@ -60,25 +77,57 @@ type Tracker struct {
 // after all ingest-time ones.
 const gapSentinel = int32(1<<31 - 1)
 
+// nsTime rebuilds the time.Time for an internal nanosecond clock value.
+// For UTC instants within time.Unix's normalization range this yields a
+// struct identical to the original fix time.
+func nsTime(ns int64) time.Time { return time.Unix(0, ns).UTC() }
+
+// velEntry is one sample of the recent-velocity window. Heading trig is
+// not cached here: the outlier gate's speed test rejects almost every
+// fix before the heading fold runs, so SinCosDeg is paid per entry only
+// inside that rare fold (recentMeanHeading) instead of once per ingested
+// fix.
+type velEntry struct {
+	v geo.Velocity
+}
+
+// runFix is one member of a stop or slow run: position plus nanosecond
+// timestamp.
+type runFix struct {
+	pos geo.Point
+	tns int64
+}
+
 // vesselState is the per-vessel in-memory motion state.
 type vesselState struct {
-	last     ais.Fix
+	mmsi     uint32
 	haveLast bool
+	lastPos  geo.Point
+	lastTNS  int64
+	lastTrig geo.LatTrig // sin/cos of lastPos.Lat, cached for the next hop
 
 	vPrev geo.Velocity
 	haveV bool
 
-	recent []geo.Velocity // up to M latest velocity vectors (mean course)
+	recent []velEntry // up to M latest velocity vectors (mean course)
 
 	outlierRun int
 	gapOpen    bool
 
-	// Long-term stop run: consecutive low-speed fixes.
-	stopRun []ais.Fix
-	stopped bool
+	// Long-term stop run: consecutive low-speed fixes, with incremental
+	// centroid sums and a bounding box so the within-radius check is
+	// O(1) when the run obviously fits (see stopWithin).
+	stopRun    []runFix
+	stopped    bool
+	stopSumLon float64
+	stopSumLat float64
+	stopMinLon float64
+	stopMaxLon float64
+	stopMinLat float64
+	stopMaxLat float64
 
 	// Slow-motion run: consecutive slow (but moving) fixes.
-	slowRun []ais.Fix
+	slowRun []runFix
 	slow    bool
 
 	recentTurns []float64 // signed heading deltas of the last m steps
@@ -90,8 +139,23 @@ type vesselState struct {
 	odometerM  float64
 	departureM float64
 
-	synopsis stream.TimeBuffer[CriticalPoint]
-	lastSeen time.Time
+	// mult is the adaptive threshold multiplier resolved at the last
+	// ingest (1 when adaptive compression is off).
+	mult float64
+
+	synopsis   stream.TimeBuffer[CriticalPoint]
+	lastSeenNS int64
+	haveSeen   bool
+}
+
+// setLast advances the vessel clock and position, caching the latitude
+// trig for the next hop.
+func (st *vesselState) setLast(pos geo.Point, tns int64, trig geo.LatTrig) {
+	st.lastPos = pos
+	st.lastTNS = tns
+	st.lastTrig = trig
+	st.lastSeenNS = tns
+	st.haveSeen = true
 }
 
 // New returns a tracker with the given parameters and window. It panics
@@ -144,9 +208,17 @@ type SlideResult struct {
 // sharded tier uses the scratch-backed internal phases instead.
 func (tr *Tracker) Slide(b stream.Batch) SlideResult {
 	tr.beginSlide()
-	for i, f := range b.Fixes {
-		tr.curIdx = int32(i)
-		tr.ingest(f)
+	if b.Cols != nil {
+		cols := b.Cols
+		for i := range cols.MMSI {
+			tr.curIdx = int32(i)
+			tr.ingest(cols.MMSI[i], cols.Lon[i], cols.Lat[i], cols.TimeNS[i])
+		}
+	} else {
+		for i, f := range b.Fixes {
+			tr.curIdx = int32(i)
+			tr.ingestFix(f)
+		}
 	}
 	_, delta := tr.finishSlide(b.Query)
 
@@ -167,11 +239,23 @@ func (tr *Tracker) beginSlide() {
 	tr.curIdx = gapSentinel
 }
 
-// ingestIndexed processes one fix tagged with its global batch index,
-// the sharded tier's ingest entry point.
+// ingestFix processes one row-oriented fix.
+func (tr *Tracker) ingestFix(f ais.Fix) {
+	tr.ingest(f.MMSI, f.Pos.Lon, f.Pos.Lat, f.Time.UnixNano())
+}
+
+// ingestIndexed processes one row fix tagged with its global batch
+// index, the sharded tier's row-path ingest entry point.
 func (tr *Tracker) ingestIndexed(f ais.Fix, idx int32) {
 	tr.curIdx = idx
-	tr.ingest(f)
+	tr.ingestFix(f)
+}
+
+// ingestColsIndexed processes fix i of a columnar batch tagged with its
+// global batch index.
+func (tr *Tracker) ingestColsIndexed(cols *ais.FixBatch, i int32) {
+	tr.curIdx = i
+	tr.ingest(cols.MMSI[i], cols.Lon[i], cols.Lat[i], cols.TimeNS[i])
 }
 
 // finishSlide runs the per-slide phases that follow ingestion: the
@@ -183,10 +267,38 @@ func (tr *Tracker) ingestIndexed(f ais.Fix, idx int32) {
 func (tr *Tracker) finishSlide(q time.Time) (gapStart int, delta []CriticalPoint) {
 	tr.curIdx = gapSentinel
 	gapStart = len(tr.fresh)
+	tr.collectSweeps(q)
 	tr.detectGaps(q)
 	delta = tr.evict(q)
-	tr.lastQuery = q
+	tr.lastQueryNS = q.UnixNano()
+	tr.haveLastQ = true
 	return gapStart, delta
+}
+
+// collectSweeps walks the vessel map once, gathering the candidates of
+// both slide-closing phases: vessels due a gap-start emission and
+// vessels with window-expired synopsis points or stale state. Collecting
+// before the gap sweep runs is exact: sweep emissions are stamped at a
+// vessel's last-fix time, so a vessel whose clock is inside the window
+// range cannot gain expired points from the sweep, and one whose clock
+// is outside it is already a full-eviction candidate.
+func (tr *Tracker) collectSweeps(q time.Time) {
+	qns := q.UnixNano()
+	gapNS := int64(tr.params.GapPeriod)
+	cutoff := q.Add(-tr.window.Range)
+	cutoffNS := cutoff.UnixNano()
+	tr.gapScan = tr.gapScan[:0]
+	tr.evictScan = tr.evictScan[:0]
+	for mmsi, st := range tr.vessels {
+		if st.haveLast && !st.gapOpen && qns-st.lastTNS >= gapNS {
+			tr.gapScan = append(tr.gapScan, mmsi)
+		}
+		if st.lastSeenNS <= cutoffNS {
+			tr.evictScan = append(tr.evictScan, mmsi)
+		} else if ts, ok := st.synopsis.Oldest(); ok && !ts.After(cutoff) {
+			tr.evictScan = append(tr.evictScan, mmsi)
+		}
+	}
 }
 
 // emit records a critical point.
@@ -203,8 +315,8 @@ func (tr *Tracker) emit(st *vesselState, cp CriticalPoint) {
 // noteLateAccepted counts an admitted fix whose timestamp precedes the
 // last query time: it belongs to an already-closed slide but still
 // advances its vessel's clock, so it is processed rather than dropped.
-func (tr *Tracker) noteLateAccepted(t time.Time) {
-	if !tr.lastQuery.IsZero() && t.Before(tr.lastQuery) {
+func (tr *Tracker) noteLateAccepted(tns int64) {
+	if tr.haveLastQ && tns < tr.lastQueryNS {
 		tr.stats.LateAccepted++
 		if tr.lateAcc != nil {
 			tr.lateAcc.Add(1)
@@ -212,25 +324,45 @@ func (tr *Tracker) noteLateAccepted(t time.Time) {
 	}
 }
 
-// ingest processes one fix.
-func (tr *Tracker) ingest(f ais.Fix) {
-	tr.stats.FixesIn++
-	st := tr.vessels[f.MMSI]
-	if st == nil {
-		st = &vesselState{}
-		tr.vessels[f.MMSI] = st
+// stopRadiusFor resolves the effective stop radius for a vessel outside
+// the ingest path (gap sweep, run closure).
+func (tr *Tracker) stopRadiusFor(st *vesselState) float64 {
+	if tr.adaptive != nil {
+		return tr.params.StopRadiusMeters * st.mult
 	}
+	return tr.params.StopRadiusMeters
+}
+
+// ingest processes one fix given as scalar column values.
+func (tr *Tracker) ingest(mmsi uint32, lon, lat float64, tns int64) {
+	tr.stats.FixesIn++
+	st := tr.vessels[mmsi]
+	if st == nil {
+		// Presize the ring-style scratch to its steady-state capacity (the
+		// recent/turn windows are bounded by M; stop and slow runs hover
+		// around it) so a new vessel does not pay a growslice ladder on its
+		// first dozen fixes.
+		m := tr.params.M
+		st = &vesselState{
+			mmsi: mmsi, mult: 1,
+			recent:      make([]velEntry, 0, m),
+			recentTurns: make([]float64, 0, m),
+			stopRun:     make([]runFix, 0, 2*m),
+			slowRun:     make([]runFix, 0, 2*m),
+		}
+		tr.vessels[mmsi] = st
+	}
+	pos := geo.Point{Lon: lon, Lat: lat}
 	if !st.haveLast {
-		st.last = f
+		st.setLast(pos, tns, geo.LatTrigOf(pos))
 		st.haveLast = true
-		st.lastSeen = f.Time
-		tr.noteLateAccepted(f.Time)
-		tr.emit(st, CriticalPoint{MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventFirst})
+		tr.noteLateAccepted(tns)
+		tr.emit(st, CriticalPoint{MMSI: mmsi, Pos: pos, Time: nsTime(tns), Type: EventFirst})
 		return
 	}
-	if !f.Time.After(st.last.Time) {
+	if tns <= st.lastTNS {
 		tr.stats.Duplicates++
-		if f.Time.Before(st.last.Time) {
+		if tns < st.lastTNS {
 			// Behind the vessel's own clock: a reordered fix that cannot
 			// be sequenced any more.
 			tr.stats.LateDropped++
@@ -240,10 +372,23 @@ func (tr *Tracker) ingest(f ais.Fix) {
 		}
 		return
 	}
-	tr.noteLateAccepted(f.Time)
+	tr.noteLateAccepted(tns)
 
-	p := tr.params
-	dt := f.Time.Sub(st.last.Time)
+	p := &tr.params
+	dt := time.Duration(tns - st.lastTNS)
+	trig := geo.LatTrigOf(pos)
+
+	// Adaptive compression (opt-in): scale the emission thresholds by
+	// the vessel-class multiplier. With adaptive off the defaults pass
+	// through untouched.
+	turnThr, speedFrac, stopRadius := p.TurnThresholdDeg, p.SpeedChangeFrac, p.StopRadiusMeters
+	if tr.adaptive != nil {
+		m := tr.adaptive.multFor(st.vPrev.SpeedKnots, st.haveV)
+		st.mult = m
+		turnThr *= m
+		speedFrac = min(speedFrac*m, 1)
+		stopRadius *= m
+	}
 
 	// Overload shedding (degradation ladder L3): while the pipeline is
 	// shedding, positions of long-stopped vessels only advance the
@@ -251,13 +396,12 @@ func (tr *Tracker) ingest(f ais.Fix) {
 	// leaves the stop circle (or a communication gap) re-enters the full
 	// path so departures are still caught.
 	if st.stopped && tr.shed != nil && tr.shed.Load() &&
-		dt < p.GapPeriod && geo.Haversine(st.last.Pos, f.Pos) <= p.StopRadiusMeters {
+		dt < p.GapPeriod && geo.HaversineCached(st.lastPos, pos, st.lastTrig, trig) <= stopRadius {
 		tr.stats.Shed++
 		if tr.shedCnt != nil {
 			tr.shedCnt.Add(1)
 		}
-		st.last = f
-		st.lastSeen = f.Time
+		st.setLast(pos, tns, trig)
 		return
 	}
 
@@ -265,16 +409,16 @@ func (tr *Tracker) ingest(f ais.Fix) {
 	// at a slide boundary while the vessel was silent).
 	if dt >= p.GapPeriod || st.gapOpen {
 		if !st.gapOpen {
-			tr.closeRuns(st, st.last)
+			tr.closeRuns(st, st.lastTNS, stopRadius)
 			tr.emit(st, CriticalPoint{
-				MMSI: f.MMSI, Pos: st.last.Pos, Time: st.last.Time, Type: EventGapStart,
+				MMSI: mmsi, Pos: st.lastPos, Time: nsTime(st.lastTNS), Type: EventGapStart,
 			})
 		}
 		st.gapOpen = false
-		tr.emit(st, CriticalPoint{MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventGapEnd})
+		tr.emit(st, CriticalPoint{MMSI: mmsi, Pos: pos, Time: nsTime(tns), Type: EventGapEnd})
 		// Count the chord across the silence: the true path is unknown
 		// but at least this far was covered.
-		hop := geo.Haversine(st.last.Pos, f.Pos)
+		hop := geo.HaversineCached(st.lastPos, pos, st.lastTrig, trig)
 		st.odometerM += hop
 		st.departureM += hop
 		// The course across the silence is unknown: restart motion state.
@@ -282,35 +426,39 @@ func (tr *Tracker) ingest(f ais.Fix) {
 		st.recent = st.recent[:0]
 		st.recentTurns = st.recentTurns[:0]
 		st.outlierRun = 0
-		st.last = f
-		st.lastSeen = f.Time
+		st.setLast(pos, tns, trig)
 		return
 	}
 
-	vNow, ok := geo.VelocityBetween(st.last.Pos, st.last.Time, f.Pos, f.Time)
-	if !ok {
+	if dt <= 0 {
+		// Unreachable (non-advancing timestamps returned above); kept as
+		// the row path's "velocity unknown" guard.
 		tr.stats.Duplicates++
 		return
 	}
+	vNow, dist := geo.VelocityDistBetween(st.lastPos, pos, dt, st.lastTrig, trig)
 
 	// Off-course outlier rejection (paper Figure 2(d)): an abrupt change
 	// in both speed and heading relative to the mean velocity over the
-	// previous m positions marks a temporary deviation to discard.
-	if !p.DisableOutlierFilter && len(st.recent) >= p.M/2 {
-		if vm, ok := geo.MeanVelocity(st.recent); ok {
-			ref := math.Max(vm.SpeedKnots, 1)
-			if vNow.SpeedKnots > p.OutlierMinKnots &&
-				vNow.SpeedKnots > p.OutlierSpeedFactor*ref &&
-				geo.HeadingDelta(vNow.HeadingDeg, vm.HeadingDeg) > p.OutlierHeadingDeg {
-				st.outlierRun++
-				if st.outlierRun < p.OutlierRunLimit {
-					tr.stats.Outliers++
-					return
-				}
-				// Too many consecutive rejections: the course truly
-				// changed. Resynchronize on this fix.
-				st.recent = st.recent[:0]
+	// previous m positions marks a temporary deviation to discard. The
+	// absolute speed floor is checked first so the mean fold only runs
+	// for fixes fast enough to ever be outliers.
+	if !p.DisableOutlierFilter && vNow.SpeedKnots > p.OutlierMinKnots && len(st.recent) >= p.M/2 {
+		// The speed test alone settles nearly every fix; the heading fold
+		// (per-entry trig plus an atan2) only runs once the speed factor
+		// is exceeded. Short-circuit order matches the combined fold, so
+		// accepted/rejected decisions are identical.
+		ref := max(recentMeanSpeed(st.recent), 1)
+		if vNow.SpeedKnots > p.OutlierSpeedFactor*ref &&
+			geo.HeadingDelta(vNow.HeadingDeg, recentMeanHeading(st.recent)) > p.OutlierHeadingDeg {
+			st.outlierRun++
+			if st.outlierRun < p.OutlierRunLimit {
+				tr.stats.Outliers++
+				return
 			}
+			// Too many consecutive rejections: the course truly
+			// changed. Resynchronize on this fix.
+			st.recent = st.recent[:0]
 		}
 	}
 	st.outlierRun = 0
@@ -323,11 +471,11 @@ func (tr *Tracker) ingest(f ais.Fix) {
 	// emitted there — retaining the corner keeps reconstruction tight.
 	if st.haveV && moving && st.vPrev.SpeedKnots > p.VMinKnots {
 		delta := geo.SignedHeadingDelta(st.vPrev.HeadingDeg, vNow.HeadingDeg)
-		if math.Abs(delta) > p.TurnThresholdDeg {
+		if math.Abs(delta) > turnThr {
 			tr.emit(st, CriticalPoint{
-				MMSI: f.MMSI, Pos: st.last.Pos, Time: st.last.Time, Type: EventTurn,
+				MMSI: mmsi, Pos: st.lastPos, Time: nsTime(st.lastTNS), Type: EventTurn,
 				SpeedKn: vNow.SpeedKnots, HeadingDeg: vNow.HeadingDeg,
-				Confidence: marginConfidence(math.Abs(delta), p.TurnThresholdDeg),
+				Confidence: marginConfidence(math.Abs(delta), turnThr),
 			})
 			st.recentTurns = st.recentTurns[:0]
 		} else {
@@ -345,11 +493,11 @@ func (tr *Tracker) ingest(f ais.Fix) {
 			for _, d := range st.recentTurns {
 				cum += d
 			}
-			if math.Abs(cum) > p.TurnThresholdDeg {
+			if math.Abs(cum) > turnThr {
 				tr.emit(st, CriticalPoint{
-					MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventSmoothTurn,
+					MMSI: mmsi, Pos: pos, Time: nsTime(tns), Type: EventSmoothTurn,
 					SpeedKn: vNow.SpeedKnots, HeadingDeg: vNow.HeadingDeg,
-					Confidence: marginConfidence(math.Abs(cum), p.TurnThresholdDeg),
+					Confidence: marginConfidence(math.Abs(cum), turnThr),
 				})
 				st.recentTurns = st.recentTurns[:0]
 			}
@@ -361,81 +509,193 @@ func (tr *Tracker) ingest(f ais.Fix) {
 	// Instantaneous speed change (paper Figure 2(b)): emitted only when
 	// the vessel is not inside a stop episode, where jitter speeds spam.
 	if st.haveV && !st.stopped && (moving || st.vPrev.SpeedKnots > p.VMinKnots) {
-		denom := math.Max(vNow.SpeedKnots, 0.1)
+		denom := max(vNow.SpeedKnots, 0.1)
 		rel := math.Abs(vNow.SpeedKnots-st.vPrev.SpeedKnots) / denom
-		if rel > p.SpeedChangeFrac {
+		if rel > speedFrac {
 			tr.emit(st, CriticalPoint{
-				MMSI: f.MMSI, Pos: f.Pos, Time: f.Time, Type: EventSpeedChange,
+				MMSI: mmsi, Pos: pos, Time: nsTime(tns), Type: EventSpeedChange,
 				SpeedKn: vNow.SpeedKnots, HeadingDeg: vNow.HeadingDeg,
-				Confidence: marginConfidence(rel, p.SpeedChangeFrac),
+				Confidence: marginConfidence(rel, speedFrac),
 			})
 		}
 	}
 
-	tr.updateStopRun(st, f, vNow, moving)
-	tr.updateSlowRun(st, f, vNow, moving)
+	tr.updateStopRun(st, pos, tns, vNow, moving, stopRadius)
+	tr.updateSlowRun(st, pos, tns, vNow, moving)
 
-	hop := geo.Haversine(st.last.Pos, f.Pos)
-	st.odometerM += hop
-	st.departureM += hop
+	// The odometer hop is the same great-circle distance the velocity
+	// was derived from: reuse it instead of recomputing.
+	st.odometerM += dist
+	st.departureM += dist
 
 	if len(st.recent) == p.M {
 		copy(st.recent, st.recent[1:])
 		st.recent = st.recent[:p.M-1]
 	}
-	st.recent = append(st.recent, vNow)
+	st.recent = append(st.recent, velEntry{v: vNow})
 	st.vPrev = vNow
 	st.haveV = true
-	st.last = f
-	st.lastSeen = f.Time
+	st.setLast(pos, tns, trig)
+}
+
+// recentMeanSpeed folds just the speed half of the recent-velocity window,
+// accumulating in the same order geo.MeanVelocity would, so the result
+// is bit-identical to its SpeedKnots.
+func recentMeanSpeed(vs []velEntry) float64 {
+	var speed float64
+	for i := range vs {
+		speed += vs[i].v.SpeedKnots
+	}
+	return speed / float64(len(vs))
+}
+
+// recentMeanHeading folds the heading half of the recent-velocity window,
+// bit-identical to geo.MeanVelocity's HeadingDeg over the same samples:
+// SinCosDeg returns exactly what the per-sample Sin/Cos calls would
+// (pinned by the geo trig tests), and the zero-vector case yields the
+// same zero heading.
+func recentMeanHeading(vs []velEntry) float64 {
+	var x, y float64
+	for i := range vs {
+		sin, cos := geo.SinCosDeg(vs[i].v.HeadingDeg)
+		x += vs[i].v.SpeedKnots * sin
+		y += vs[i].v.SpeedKnots * cos
+	}
+	if x != 0 || y != 0 {
+		return geo.HeadingFromComponents(x, y)
+	}
+	return 0
+}
+
+// resetStopAgg clears the stop-run incremental aggregates.
+func (st *vesselState) resetStopAgg() {
+	st.stopSumLon, st.stopSumLat = 0, 0
+	st.stopMinLon, st.stopMaxLon = 0, 0
+	st.stopMinLat, st.stopMaxLat = 0, 0
+}
+
+// pushStopAgg folds one appended run member into the aggregates,
+// preserving left-to-right summation order so the cached sums equal a
+// fresh front-to-back recomputation bit for bit.
+func (st *vesselState) pushStopAgg(pos geo.Point, first bool) {
+	if first {
+		st.stopSumLon, st.stopSumLat = pos.Lon, pos.Lat
+		st.stopMinLon, st.stopMaxLon = pos.Lon, pos.Lon
+		st.stopMinLat, st.stopMaxLat = pos.Lat, pos.Lat
+		return
+	}
+	st.stopSumLon += pos.Lon
+	st.stopSumLat += pos.Lat
+	if pos.Lon < st.stopMinLon {
+		st.stopMinLon = pos.Lon
+	}
+	if pos.Lon > st.stopMaxLon {
+		st.stopMaxLon = pos.Lon
+	}
+	if pos.Lat < st.stopMinLat {
+		st.stopMinLat = pos.Lat
+	}
+	if pos.Lat > st.stopMaxLat {
+		st.stopMaxLat = pos.Lat
+	}
+}
+
+// rebuildStopAgg recomputes the aggregates front to back after the run
+// shrank from the front — the only mutation that breaks incremental
+// maintenance without changing the summation order.
+func (st *vesselState) rebuildStopAgg() {
+	for i, f := range st.stopRun {
+		st.pushStopAgg(f.pos, i == 0)
+	}
+}
+
+// stopCentroid returns the centroid implied by the cached sums,
+// bit-identical to runCentroid over the current run.
+func (st *vesselState) stopCentroid() geo.Point {
+	n := float64(len(st.stopRun))
+	return geo.Point{Lon: st.stopSumLon / n, Lat: st.stopSumLat / n}
+}
+
+// stopWithin reports whether every run member lies within radius meters
+// of the run centroid — the same answer withinRadius gave the row path.
+// A conservative spherical L1 bound over the run's bounding box settles
+// the common case (a tight anchorage drift) without touching the run;
+// only runs brushing the radius fall back to the exact per-point scan.
+func (st *vesselState) stopWithin(radius float64) bool {
+	c := st.stopCentroid()
+	dLat := max(st.stopMaxLat-c.Lat, c.Lat-st.stopMinLat)
+	dLon := max(st.stopMaxLon-c.Lon, c.Lon-st.stopMinLon)
+	// The 0.999 slack absorbs the bound's own floating-point rounding:
+	// the fast path may only fire when containment is guaranteed.
+	if geo.L1DistanceBoundMeters(dLat, dLon) <= 0.999*radius {
+		return true
+	}
+	for _, f := range st.stopRun {
+		if geo.Haversine(c, f.pos) > radius {
+			return false
+		}
+	}
+	return true
 }
 
 // updateStopRun maintains the long-term stop state machine: at least m
 // consecutive low-speed positions within radius r of their centroid
 // (paper Figure 3(c)).
-func (tr *Tracker) updateStopRun(st *vesselState, f ais.Fix, vNow geo.Velocity, moving bool) {
-	p := tr.params
+func (tr *Tracker) updateStopRun(st *vesselState, pos geo.Point, tns int64, vNow geo.Velocity, moving bool, radius float64) {
+	p := &tr.params
 	if !moving {
-		st.stopRun = append(st.stopRun, f)
+		st.pushStopAgg(pos, len(st.stopRun) == 0)
+		st.stopRun = append(st.stopRun, runFix{pos: pos, tns: tns})
 		// Shrink from the front until the run fits in radius r.
-		for len(st.stopRun) > 1 && !withinRadius(st.stopRun, p.StopRadiusMeters) {
+		for len(st.stopRun) > 1 && !st.stopWithin(radius) {
 			if st.stopped {
 				// The vessel drifted out of the stop circle: close the
 				// episode and start a fresh run at the current position.
-				tr.endStop(st, f.Time)
-				st.stopRun = append(st.stopRun[:0], f)
+				tr.endStop(st, tns, radius)
+				st.stopRun = append(st.stopRun[:0], runFix{pos: pos, tns: tns})
+				st.pushStopAgg(pos, true)
 				return
 			}
-			st.stopRun = st.stopRun[1:]
+			// Copy-shift instead of reslicing so the run keeps its backing
+			// capacity: the allocation-free steady state depends on it.
+			copy(st.stopRun, st.stopRun[1:])
+			st.stopRun = st.stopRun[:len(st.stopRun)-1]
+			st.rebuildStopAgg()
 		}
 		if !st.stopped && len(st.stopRun) >= p.M {
 			st.stopped = true
-			start := st.stopRun[0].Time
+			c := st.stopCentroid()
 			tr.emit(st, CriticalPoint{
-				MMSI: f.MMSI, Pos: runCentroid(st.stopRun), Time: start, Type: EventStopStart,
-				Confidence: stopConfidence(st.stopRun, p.StopRadiusMeters),
+				MMSI: st.mmsi, Pos: c, Time: nsTime(st.stopRun[0].tns), Type: EventStopStart,
+				Confidence: stopConfidenceAt(st.stopRun, c, radius),
 			})
 		}
 		return
 	}
 	if st.stopped {
-		tr.endStop(st, f.Time)
+		tr.endStop(st, tns, radius)
+	} else if len(st.stopRun) != 0 {
+		// Skip the aggregate reset for cruising vessels whose run is
+		// already empty — the common case on every moving fix.
+		st.stopRun = st.stopRun[:0]
+		st.resetStopAgg()
 	}
-	st.stopRun = st.stopRun[:0]
 }
 
 // endStop emits the StopEnd point: the collapsed representation is the
 // centroid of the episode with its total duration.
-func (tr *Tracker) endStop(st *vesselState, end time.Time) {
+func (tr *Tracker) endStop(st *vesselState, endNS int64, radius float64) {
 	run := st.stopRun
+	c := st.stopCentroid()
 	cp := CriticalPoint{
-		MMSI: st.last.MMSI, Pos: runCentroid(run), Time: end, Type: EventStopEnd,
-		Duration:   end.Sub(run[0].Time),
-		Confidence: stopConfidence(run, tr.params.StopRadiusMeters),
+		MMSI: st.mmsi, Pos: c, Time: nsTime(endNS), Type: EventStopEnd,
+		Duration:   time.Duration(endNS - run[0].tns),
+		Confidence: stopConfidenceAt(run, c, radius),
 	}
 	tr.emit(st, cp)
 	st.stopped = false
 	st.stopRun = st.stopRun[:0]
+	st.resetStopAgg()
 	// The stop is a departure point: distance-from-origin restarts here.
 	st.departureM = 0
 }
@@ -443,15 +703,15 @@ func (tr *Tracker) endStop(st *vesselState, end time.Time) {
 // updateSlowRun maintains the slow-motion state machine: at least m
 // consecutive positions at low but nonzero speed, usually spread along a
 // path (paper Figure 3(d)).
-func (tr *Tracker) updateSlowRun(st *vesselState, f ais.Fix, vNow geo.Velocity, moving bool) {
-	p := tr.params
+func (tr *Tracker) updateSlowRun(st *vesselState, pos geo.Point, tns int64, vNow geo.Velocity, moving bool) {
+	p := &tr.params
 	slowNow := moving && vNow.SpeedKnots <= p.VSlowKnots
 	if slowNow {
-		st.slowRun = append(st.slowRun, f)
+		st.slowRun = append(st.slowRun, runFix{pos: pos, tns: tns})
 		if !st.slow && len(st.slowRun) >= p.M {
 			st.slow = true
 			tr.emit(st, CriticalPoint{
-				MMSI: f.MMSI, Pos: runMedian(st.slowRun), Time: st.slowRun[0].Time,
+				MMSI: st.mmsi, Pos: runMedian(st.slowRun), Time: nsTime(st.slowRun[0].tns),
 				Type: EventSlowStart, SpeedKn: vNow.SpeedKnots,
 				Confidence: marginConfidence(p.VSlowKnots-vNow.SpeedKnots+p.VSlowKnots, p.VSlowKnots),
 			})
@@ -463,52 +723,45 @@ func (tr *Tracker) updateSlowRun(st *vesselState, f ais.Fix, vNow geo.Velocity, 
 	}
 	if st.slow {
 		tr.emit(st, CriticalPoint{
-			MMSI: f.MMSI, Pos: runMedian(st.slowRun), Time: f.Time, Type: EventSlowEnd,
-			Duration: f.Time.Sub(st.slowRun[0].Time),
+			MMSI: st.mmsi, Pos: runMedian(st.slowRun), Time: nsTime(tns), Type: EventSlowEnd,
+			Duration: time.Duration(tns - st.slowRun[0].tns),
 		})
 		st.slow = false
 	}
 	st.slowRun = st.slowRun[:0]
 }
 
-// closeRuns ends any open durative episodes at the given last fix,
-// used when a communication gap interrupts them.
-func (tr *Tracker) closeRuns(st *vesselState, last ais.Fix) {
+// closeRuns ends any open durative episodes at the vessel's last fix
+// (endNS), used when a communication gap interrupts them.
+func (tr *Tracker) closeRuns(st *vesselState, endNS int64, radius float64) {
 	if st.stopped {
-		tr.endStop(st, last.Time)
+		tr.endStop(st, endNS, radius)
 	}
 	if st.slow {
 		tr.emit(st, CriticalPoint{
-			MMSI: last.MMSI, Pos: runMedian(st.slowRun), Time: last.Time, Type: EventSlowEnd,
-			Duration: last.Time.Sub(st.slowRun[0].Time),
+			MMSI: st.mmsi, Pos: runMedian(st.slowRun), Time: nsTime(endNS), Type: EventSlowEnd,
+			Duration: time.Duration(endNS - st.slowRun[0].tns),
 		})
 		st.slow = false
 	}
 	st.stopRun = st.stopRun[:0]
+	st.resetStopAgg()
 	st.slowRun = st.slowRun[:0]
 }
 
 // detectGaps performs slide-time gap detection: a vessel silent for at
 // least ΔT as of query time Q gets a gap-start critical point stamped at
-// its last report (paper Figure 3(a)). Vessels are swept in ascending
-// MMSI order so the emission order is deterministic — the sharded tier
-// merges per-shard gap emissions back into exactly this order.
+// its last report (paper Figure 3(a)). Candidates were gathered by
+// collectSweeps; they are swept in ascending MMSI order so the emission
+// order is deterministic — the sharded tier merges per-shard gap
+// emissions back into exactly this order.
 func (tr *Tracker) detectGaps(q time.Time) {
-	tr.gapScan = tr.gapScan[:0]
-	for mmsi, st := range tr.vessels {
-		if !st.haveLast || st.gapOpen {
-			continue
-		}
-		if q.Sub(st.last.Time) >= tr.params.GapPeriod {
-			tr.gapScan = append(tr.gapScan, mmsi)
-		}
-	}
 	slices.Sort(tr.gapScan)
 	for _, mmsi := range tr.gapScan {
 		st := tr.vessels[mmsi]
-		tr.closeRuns(st, st.last)
+		tr.closeRuns(st, st.lastTNS, tr.stopRadiusFor(st))
 		tr.emit(st, CriticalPoint{
-			MMSI: mmsi, Pos: st.last.Pos, Time: st.last.Time, Type: EventGapStart,
+			MMSI: mmsi, Pos: st.lastPos, Time: nsTime(st.lastTNS), Type: EventGapStart,
 		})
 		st.gapOpen = true
 	}
@@ -530,23 +783,57 @@ func compareDelta(a, b CriticalPoint) int {
 	return 0
 }
 
+// deltaSortKey is the integer projection evict sorts instead of moving
+// 80-byte CriticalPoints through a comparison sort. idx (the point's
+// position in the unsorted delta) breaks ties, which makes a plain sort
+// on keys equivalent to a stable sort on the points themselves.
+type deltaSortKey struct {
+	tns  int64
+	mmsi uint32
+	idx  int32
+}
+
+func compareDeltaKey(a, b deltaSortKey) int {
+	switch {
+	case a.tns < b.tns:
+		return -1
+	case a.tns > b.tns:
+		return 1
+	case a.mmsi < b.mmsi:
+		return -1
+	case a.mmsi > b.mmsi:
+		return 1
+	case a.idx < b.idx:
+		return -1
+	case a.idx > b.idx:
+		return 1
+	}
+	return 0
+}
+
 // evict expires critical points older than the window range and removes
 // vessels silent beyond it, returning the expired "delta" points in
 // per-vessel time order. The returned slice is tracker-owned scratch,
-// valid until the next slide.
+// valid until the next slide. Only the candidates collectSweeps gathered
+// are visited; vessels whose oldest retained point is still inside the
+// window were already settled by its head peek.
 func (tr *Tracker) evict(q time.Time) []CriticalPoint {
 	cutoff := q.Add(-tr.window.Range)
+	cutoffNS := cutoff.UnixNano()
 	tr.delta = tr.delta[:0]
-	for mmsi, st := range tr.vessels {
-		st.synopsis.Each(func(ts time.Time, cp CriticalPoint) bool {
-			if ts.After(cutoff) {
-				return false
-			}
-			tr.delta = append(tr.delta, cp)
-			return true
-		})
-		st.synopsis.EvictBefore(cutoff)
-		if !st.lastSeen.After(cutoff) {
+	for _, mmsi := range tr.evictScan {
+		st := tr.vessels[mmsi]
+		if ts, ok := st.synopsis.Oldest(); ok && !ts.After(cutoff) {
+			st.synopsis.Each(func(ts time.Time, cp CriticalPoint) bool {
+				if ts.After(cutoff) {
+					return false
+				}
+				tr.delta = append(tr.delta, cp)
+				return true
+			})
+			st.synopsis.EvictBefore(cutoff)
+		}
+		if st.lastSeenNS <= cutoffNS {
 			st.synopsis.Each(func(_ time.Time, cp CriticalPoint) bool {
 				tr.delta = append(tr.delta, cp)
 				return true
@@ -554,10 +841,26 @@ func (tr *Tracker) evict(q time.Time) []CriticalPoint {
 			delete(tr.vessels, mmsi)
 		}
 	}
-	// Map iteration order is random; keep the delta stream deterministic
-	// for reproducible staging and archival.
-	slices.SortStableFunc(tr.delta, compareDelta)
-	return tr.delta
+	// Candidate order follows map iteration, which is random; keep the
+	// delta stream deterministic for reproducible staging and archival
+	// (idx settles equal (time, MMSI) keys, which can only come from one
+	// vessel's synopsis walk). Sorting 16-byte integer keys
+	// and gathering once is cheaper than a stable sort that swaps 80-byte
+	// points; the idx tiebreak reproduces stable order exactly (UnixNano
+	// ordering coincides with Time ordering for any representable fix
+	// timestamp).
+	tr.deltaKey = tr.deltaKey[:0]
+	for i := range tr.delta {
+		tr.deltaKey = append(tr.deltaKey, deltaSortKey{
+			tns: tr.delta[i].Time.UnixNano(), mmsi: tr.delta[i].MMSI, idx: int32(i),
+		})
+	}
+	slices.SortFunc(tr.deltaKey, compareDeltaKey)
+	tr.deltaOut = tr.deltaOut[:0]
+	for _, k := range tr.deltaKey {
+		tr.deltaOut = append(tr.deltaOut, tr.delta[k.idx])
+	}
+	return tr.deltaOut
 }
 
 // Odometer returns a vessel's traveled distance in meters: the total
@@ -591,26 +894,14 @@ func (tr *Tracker) Synopsis(mmsi uint32) []CriticalPoint {
 	return out
 }
 
-// withinRadius reports whether every fix of the run lies within radius
-// meters of the run centroid.
-func withinRadius(run []ais.Fix, radius float64) bool {
-	c := runCentroid(run)
-	for _, f := range run {
-		if geo.Haversine(c, f.Pos) > radius {
-			return false
-		}
-	}
-	return true
-}
-
-// stopConfidence grades a long-term stop by how tightly the run packs
+// stopConfidenceAt grades a long-term stop by how tightly the run packs
 // inside the radius: a run hugging the centroid is a confident stop, a
-// run brushing the radius boundary less so.
-func stopConfidence(run []ais.Fix, radius float64) float64 {
-	c := runCentroid(run)
+// run brushing the radius boundary less so. c is the run centroid the
+// caller already derived from the cached sums.
+func stopConfidenceAt(run []runFix, c geo.Point, radius float64) float64 {
 	var worst float64
 	for _, f := range run {
-		if d := geo.Haversine(c, f.Pos); d > worst {
+		if d := geo.Haversine(c, f.pos); d > worst {
 			worst = d
 		}
 	}
@@ -621,38 +912,25 @@ func stopConfidence(run []ais.Fix, radius float64) float64 {
 	return conf
 }
 
-// runCentroid returns the centroid of the run's positions. It is
-// computed inline (same arithmetic as geo.Centroid) because it runs for
-// every low-speed fix on the hot path and must not allocate.
-func runCentroid(run []ais.Fix) geo.Point {
-	var sLon, sLat float64
-	for _, f := range run {
-		sLon += f.Pos.Lon
-		sLat += f.Pos.Lat
-	}
-	n := float64(len(run))
-	return geo.Point{Lon: sLon / n, Lat: sLat / n}
-}
-
 // runMedian returns the positionally central fix of the run: the
 // representative critical point of a slow-motion episode (paper §3.1).
 // It picks the fix minimizing the sum of distances to the others — the
 // geometric median restricted to run members.
-func runMedian(run []ais.Fix) geo.Point {
+func runMedian(run []runFix) geo.Point {
 	if len(run) == 1 {
-		return run[0].Pos
+		return run[0].pos
 	}
 	best, bestSum := 0, math.Inf(1)
 	for i := range run {
 		sum := 0.0
 		for j := range run {
 			if i != j {
-				sum += geo.Haversine(run[i].Pos, run[j].Pos)
+				sum += geo.Haversine(run[i].pos, run[j].pos)
 			}
 		}
 		if sum < bestSum {
 			best, bestSum = i, sum
 		}
 	}
-	return run[best].Pos
+	return run[best].pos
 }
