@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster test-analytics bench bench-serve bench-pipe bench-decode check-allocs experiments examples
+.PHONY: all build fmt-check vet test test-short test-race test-recovery test-chaos test-cluster test-analytics test-alertlog serveload-smoke bench bench-serve bench-pipe bench-decode check-allocs experiments examples
 
 all: fmt-check build vet test
 
@@ -45,6 +45,22 @@ test-chaos:
 # detector.
 test-cluster:
 	go test -race -v -run 'TestCluster' ./internal/cluster/
+
+# Durable alert-log chaos suite: replica kills mid-stream with
+# subscriber failover, writer crash mid-segment (fault-injected), and
+# newest-segment corruption — exactly-once delivery (zero gap, zero
+# duplicate) and byte-identical history versus a never-killed control,
+# under the race detector. Includes the log/reader/tailer unit tests
+# and the replay-marker regressions in the serve hub.
+test-alertlog:
+	go test -race -v ./internal/alertlog/
+	go test -race -v -run 'TestSubscribeFrom|TestMarker|TestPublish|TestRing|TestRunLoad' ./internal/serve/
+
+# Multi-replica serving smoke: the in-process load harness drives
+# subscribers round-robin across two replica gateways and asserts
+# error-free delivery through each.
+serveload-smoke:
+	go test -race -v -run 'TestRunLoadAcrossReplicas' ./internal/serve/
 
 # Cross-vessel analytics suite: fleetsim ground-truth precision/recall
 # for rendezvous and dark-rendezvous, index-vs-brute-force collision

@@ -21,6 +21,20 @@
 // envelope sequence exactly where it stopped, so SSE clients
 // reconnecting with Last-Event-ID see every alert exactly once.
 //
+// With -alert-log the gateway appends every published envelope to a
+// segmented durable log (CRC-framed, fsync'd) before any subscriber
+// sees it. Stateless replicas then serve the same stream from the log
+// alone:
+//
+//	serve -alert-log /var/lib/maritime/alerts -addr :8080          # writer
+//	serve -replica -alert-log /var/lib/maritime/alerts -addr :8081 # replica
+//	serve -replica -alert-log /var/lib/maritime/alerts -addr :8082 # another
+//
+// Replicas tail the log, re-publish under the log-global sequence
+// numbers, and answer /events with full Last-Event-ID replay — kill
+// one mid-stream and reconnect to another with the last id: every
+// alert arrives exactly once.
+//
 // With -debug-addr a sidecar listener additionally serves /metrics and
 // net/http/pprof on an address that can stay private to operators.
 package main
@@ -38,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alertlog"
 	"repro/internal/analytics"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -81,8 +96,26 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe restart (empty = off)")
 		ckptEvery = flag.Int("checkpoint-every", 6, "slides between checkpoints")
 		pairwise  = flag.Bool("pairwise", true, "run the cross-vessel analytics tier (rendezvous, dark gap linking, collision screening)")
+
+		logDir      = flag.String("alert-log", "", "durable alert-log directory (empty = off); the writer appends, replicas tail")
+		replicaMode = flag.Bool("replica", false, "serve as a stateless replica tailing -alert-log (no pipeline)")
+		replicaName = flag.String("replica-name", "", "replica identity for /healthz and metrics labels (default: the listen address)")
+		logSegBytes = flag.Int64("log-segment-bytes", 1<<20, "alert-log segment rotation threshold, in bytes")
+		logKeep     = flag.Int("log-keep", 8, "alert-log segments retained (older ones are pruned)")
 	)
 	flag.Parse()
+
+	if *replicaMode {
+		if *logDir == "" {
+			log.Fatal("-replica requires -alert-log")
+		}
+		name := *replicaName
+		if name == "" {
+			name = *addr
+		}
+		runReplica(*addr, *logDir, name, *ring, *subQueue, *verbose)
+		return
+	}
 
 	// The static world knowledge is regenerated from the seed; when
 	// consuming cmd/feed, -seed/-vessels/-areas must match its flags.
@@ -168,6 +201,22 @@ func main() {
 		}
 	}
 
+	// The durable alert log opens (and recovers any torn tail) before the
+	// hub exists, so the sequence floor below sees the post-recovery tail.
+	var alog *alertlog.Log
+	if *logDir != "" {
+		var err error
+		alog, err = alertlog.Open(*logDir, alertlog.Options{SegmentBytes: *logSegBytes, KeepSegments: *logKeep})
+		if err != nil {
+			log.Fatalf("alert-log: %v", err)
+		}
+		defer alog.Close()
+		alog.RegisterMetrics(reg)
+		st := alog.Stats()
+		log.Printf("alert-log %s: %d segments, seq %d..%d (%d records truncated on recovery)",
+			*logDir, st.Segments, st.FirstSeq, st.LastSeq, st.Truncations)
+	}
+
 	opts := serve.Options{RingSize: *ring, SubscriberQueue: *subQueue, Metrics: reg}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -178,6 +227,20 @@ func main() {
 		// replayed below re-publish their alerts under the same sequence
 		// numbers and reconnecting SSE clients deduplicate them.
 		gw.Hub().Restore(*restored.Hub)
+	}
+	if alog != nil {
+		if restored == nil || restored.Hub == nil {
+			// Fresh process over an existing log (e.g. checkpointing is
+			// off): continue the log's sequence rather than restarting at 1
+			// and colliding with durable records.
+			if last := alog.LastSeq(); last > 0 {
+				gw.Hub().Restore(serve.HubSnapshot{Seq: last, Published: last})
+			}
+		}
+		// Replayed slides re-publish under already-durable sequence
+		// numbers; the log's idempotent append skips them, so the log
+		// stays duplicate-free across crash/restart.
+		gw.Hub().AttachLog(alog)
 	}
 
 	var replayGap atomic.Int64
@@ -362,4 +425,62 @@ func main() {
 	st := gw.Hub().Totals()
 	log.Printf("fan-out: %d published, %d delivered, %d dropped across %d live subscribers",
 		st.Published, st.Delivered, st.Dropped, st.Subscribers)
+}
+
+// runReplica serves the alert stream from the durable log alone: no
+// pipeline, no writer state — a hub fed by a log tailer plus the same
+// SSE protocol as the writer gateway. Any number of replicas can tail
+// the same directory; each is independently killable.
+func runReplica(addr, logDir, name string, ring, subQueue int, verbose bool) {
+	log.SetPrefix("serve[" + name + "]: ")
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+
+	hub := serve.NewHub(ring)
+	hub.AttachReplay(alertlog.OpenReplay(logDir))
+	hub.RegisterMetrics(reg)
+
+	tailer := alertlog.NewTailer(logDir, 0, hub.PublishEnvelopes, alertlog.TailOptions{})
+	tailer.RegisterMetrics(reg, name)
+
+	opt := serve.ReplicaOptions{
+		Name:            name,
+		SubscriberQueue: subQueue,
+		Metrics:         reg,
+		Info: func() serve.ReplicaInfo {
+			st := tailer.Stats()
+			return serve.ReplicaInfo{Name: name, Applied: st.Applied, Lag: tailer.Lag(), Skipped: st.Skipped}
+		},
+	}
+	if verbose {
+		opt.Logf = log.Printf
+	}
+	rp := serve.NewReplica(hub, opt)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	tailDone := make(chan struct{})
+	go func() {
+		defer close(tailDone)
+		tailer.Run(ctx)
+	}()
+
+	httpSrv := &http.Server{Addr: addr, Handler: rp.Handler()}
+	go func() {
+		log.Printf("replica on http://%s tailing %s  (endpoints: /events /alerts /healthz /metrics)", addr, logDir)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	<-tailDone
+	hub.Close()
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 2*time.Second)
+	defer stop()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	st := hub.Totals()
+	ts := tailer.Stats()
+	log.Printf("replica done: applied seq %d (%d records, %d skipped), %d delivered, %d dropped",
+		ts.Applied, ts.Records, ts.Skipped, st.Delivered, st.Dropped)
 }

@@ -1,0 +1,37 @@
+package alertlog
+
+import (
+	"errors"
+
+	"repro/internal/serve"
+)
+
+// Replay is a read-only view of a log directory implementing
+// serve.EnvelopeLog for replica hubs: reconnecting subscribers replay
+// history straight from the segment files without the replica ever
+// holding writer state — and, crucially, without running recovery,
+// which would truncate files out from under the live writer.
+type Replay struct {
+	dir string
+}
+
+// OpenReplay returns a read-only replay source over dir. The directory
+// may be empty or not yet created; reads simply find nothing until the
+// writer produces segments.
+func OpenReplay(dir string) *Replay { return &Replay{dir: dir} }
+
+// Append always fails: replicas do not write the log.
+func (r *Replay) Append([]serve.Envelope) error {
+	return errors.New("alertlog: replay source is read-only")
+}
+
+// LastSeq returns the newest fully durable sequence (0 = empty log).
+func (r *Replay) LastSeq() uint64 { return TailSeq(r.dir) }
+
+// ReadSince returns up to max records with sequence > afterSeq, oldest
+// first, reading directly from the segment files.
+func (r *Replay) ReadSince(afterSeq uint64, max int) ([]serve.Envelope, error) {
+	rd := NewReader(r.dir, afterSeq)
+	defer rd.Close()
+	return rd.Next(max)
+}

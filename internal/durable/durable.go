@@ -9,6 +9,7 @@
 package durable
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -39,9 +40,15 @@ var (
 // with NULs by WriteFrame, so readable tags like "MODSNAP" fit.
 const MagicLen = 8
 
-// frame layout after the magic: version (uint16 BE), payload length
-// (uint64 BE), CRC-32C of the payload (uint32 BE), then the payload.
-const headerLen = MagicLen + 2 + 8 + 4
+// HeaderLen is the full fixed frame-header size: magic, version
+// (uint16 BE), payload length (uint64 BE), CRC-32C of the payload
+// (uint32 BE). A frame on disk occupies HeaderLen + len(payload) bytes;
+// multi-frame files (the alert log's segments) use it to track byte
+// offsets without re-parsing.
+const HeaderLen = MagicLen + 2 + 8 + 4
+
+// frame layout after the magic: version, payload length, payload CRC.
+const headerLen = HeaderLen
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -118,6 +125,39 @@ func ReadFrame(r io.Reader, magic string, maxVersion uint16) (payload []byte, ve
 		return nil, version, fmt.Errorf("%w: crc %08x, recorded %08x", ErrChecksum, got, want)
 	}
 	return payload, version, nil
+}
+
+// ScanFrames reads consecutive frames written with WriteFrame from r,
+// calling fn with each verified payload; fn returning false stops the
+// scan after that frame. It returns the byte offset just past the last
+// fully verified frame, the number of frames consumed, and the terminal
+// condition: nil when the stream ends cleanly on a frame boundary (or
+// fn stopped it), and the typed frame error otherwise — ErrTruncated
+// for a torn tail, ErrChecksum for a corrupted one.
+//
+// This is the recovery primitive for multi-frame append-only files: a
+// crash mid-append leaves a torn or checksum-failing final frame, and
+// truncating the file back to the returned offset recovers every frame
+// written before it.
+func ScanFrames(r io.Reader, magic string, maxVersion uint16, fn func(payload []byte, version uint16) bool) (valid int64, frames int, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		// A clean end of input lands exactly on a frame boundary; any
+		// bytes past it that do not form a whole valid frame are the
+		// torn tail.
+		if _, err := br.Peek(1); err == io.EOF {
+			return valid, frames, nil
+		}
+		payload, version, err := ReadFrame(br, magic, maxVersion)
+		if err != nil {
+			return valid, frames, err
+		}
+		valid += int64(HeaderLen + len(payload))
+		frames++
+		if !fn(payload, version) {
+			return valid, frames, nil
+		}
+	}
 }
 
 // WriteFileAtomic writes a file so that path either holds the complete

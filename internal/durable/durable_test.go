@@ -92,6 +92,104 @@ func TestFrameRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestScanFramesMultiFrame(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four is longer")}
+	for _, p := range payloads {
+		buf.Write(frameBytes(t, "TESTFRM", 2, p))
+	}
+	var got [][]byte
+	valid, frames, err := ScanFrames(bytes.NewReader(buf.Bytes()), "TESTFRM", 2,
+		func(payload []byte, version uint16) bool {
+			if version != 2 {
+				t.Errorf("version = %d, want 2", version)
+			}
+			got = append(got, append([]byte(nil), payload...))
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != len(payloads) {
+		t.Errorf("frames = %d, want %d", frames, len(payloads))
+	}
+	if valid != int64(buf.Len()) {
+		t.Errorf("valid = %d, want %d (whole stream)", valid, buf.Len())
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(got[i], p) {
+			t.Errorf("frame %d payload = %q, want %q", i, got[i], p)
+		}
+	}
+}
+
+func TestScanFramesTornTailRecoversPriorFrames(t *testing.T) {
+	var whole bytes.Buffer
+	whole.Write(frameBytes(t, "TESTFRM", 1, []byte("first intact frame")))
+	whole.Write(frameBytes(t, "TESTFRM", 1, []byte("second intact frame")))
+	intact := whole.Len()
+	whole.Write(frameBytes(t, "TESTFRM", 1, []byte("torn final frame")))
+	// Cut the stream mid-final-frame at every possible point: the two
+	// intact frames must always scan out, and valid must stop exactly at
+	// their boundary so a recovery truncate keeps them whole.
+	for cut := intact + 1; cut < whole.Len(); cut++ {
+		var n int
+		valid, frames, err := ScanFrames(bytes.NewReader(whole.Bytes()[:cut]), "TESTFRM", 1,
+			func(payload []byte, _ uint16) bool { n++; return true })
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+		if frames != 2 || n != 2 {
+			t.Fatalf("cut at %d: recovered %d frames, want 2", cut, frames)
+		}
+		if valid != int64(intact) {
+			t.Fatalf("cut at %d: valid = %d, want %d", cut, valid, intact)
+		}
+	}
+}
+
+func TestScanFramesCorruptTail(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(frameBytes(t, "TESTFRM", 1, []byte("good frame")))
+	intact := buf.Len()
+	buf.Write(frameBytes(t, "TESTFRM", 1, []byte("corrupted frame")))
+	raw := buf.Bytes()
+	raw[len(raw)-3] ^= 0x55
+	valid, frames, err := ScanFrames(bytes.NewReader(raw), "TESTFRM", 1,
+		func([]byte, uint16) bool { return true })
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if frames != 1 || valid != int64(intact) {
+		t.Fatalf("frames=%d valid=%d, want 1/%d", frames, valid, intact)
+	}
+}
+
+func TestScanFramesEarlyStop(t *testing.T) {
+	var buf bytes.Buffer
+	first := frameBytes(t, "TESTFRM", 1, []byte("a"))
+	buf.Write(first)
+	buf.Write(frameBytes(t, "TESTFRM", 1, []byte("b")))
+	valid, frames, err := ScanFrames(bytes.NewReader(buf.Bytes()), "TESTFRM", 1,
+		func([]byte, uint16) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stopped-at frame still counts as consumed: valid covers it, so
+	// resumable scanners never reread a frame they already delivered.
+	if frames != 1 || valid != int64(len(first)) {
+		t.Fatalf("frames=%d valid=%d, want 1/%d", frames, valid, len(first))
+	}
+}
+
+func TestScanFramesEmpty(t *testing.T) {
+	valid, frames, err := ScanFrames(bytes.NewReader(nil), "TESTFRM", 1,
+		func([]byte, uint16) bool { return true })
+	if err != nil || valid != 0 || frames != 0 {
+		t.Fatalf("empty scan: valid=%d frames=%d err=%v", valid, frames, err)
+	}
+}
+
 func TestWriteFileAtomic(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "state.bin")
 	if err := WriteFileAtomic(path, func(w io.Writer) error {

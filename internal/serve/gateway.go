@@ -149,6 +149,15 @@ func (g *Gateway) Handler() http.Handler {
 // handleEvents is the SSE endpoint: one subscriber with a bounded
 // drop-oldest queue per connection, pumped by this handler goroutine.
 func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	pumpEvents(w, r, g.hub, g.opt.SubscriberQueue, g.opt.Heartbeat, g.logf)
+}
+
+// pumpEvents is the SSE pump shared by the writer gateway and the
+// stateless replicas: subscribe (resuming from Last-Event-ID when
+// present), stream envelopes with heartbeats, release the subscription
+// when the client goes away.
+func pumpEvents(w http.ResponseWriter, r *http.Request, hub *Hub,
+	queueCap int, heartbeat time.Duration, logf func(string, ...any)) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -161,9 +170,9 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	var sub *Subscriber
 	if last := lastEventID(r); last != nil {
-		sub = g.hub.SubscribeFrom(filter, g.opt.SubscriberQueue, *last)
+		sub = hub.SubscribeFrom(filter, queueCap, *last)
 	} else {
-		sub = g.hub.Subscribe(filter, g.opt.SubscriberQueue)
+		sub = hub.Subscribe(filter, queueCap)
 	}
 	defer sub.Close()
 	// A client that vanishes leaves the pump blocked in NextTimeout;
@@ -177,10 +186,10 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	g.logf("subscriber %d connected (%s)", sub.ID(), r.RemoteAddr)
-	defer g.logf("subscriber %d disconnected", sub.ID())
+	logf("subscriber %d connected (%s)", sub.ID(), r.RemoteAddr)
+	defer logf("subscriber %d disconnected", sub.ID())
 	for {
-		env, ok, timedOut := sub.NextTimeout(g.opt.Heartbeat)
+		env, ok, timedOut := sub.NextTimeout(heartbeat)
 		switch {
 		case timedOut:
 			if writeComment(w, "hb") != nil {

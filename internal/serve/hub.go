@@ -6,22 +6,40 @@
 // stream.IngestBuffer policy applied per consumer), so one slow client
 // can never stall recognition or other subscribers; every drop is
 // counted and surfaced through /healthz.
+//
+// With an alert log attached (internal/alertlog) the hub is one node of
+// a replicated serving tier: the writer hub appends every envelope
+// durably before any subscriber sees it, and stateless replica hubs
+// re-publish the tailed log through PublishEnvelopes, preserving the
+// log-global sequence numbers — so Last-Event-ID reconnect replay gives
+// exactly-once delivery across replica kill/restart, not just across
+// one process's lifetime.
 package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/maritime"
 	"repro/internal/obs"
 )
 
+// MarkerReplayTruncated tags the synthetic envelope a resuming
+// subscriber receives when part of the requested replay range is no
+// longer retained anywhere (ring trimmed and, when a log is attached,
+// log pruned or beyond the queue bound): the gap is announced with its
+// size instead of silently skipped.
+const MarkerReplayTruncated = "replay-truncated"
+
 // Envelope is one recognized alert as published to subscribers: the
 // alert plus stream metadata for ordering, reconnect replay and
 // latency accounting.
 type Envelope struct {
 	// Seq is the hub-wide monotonically increasing sequence number; SSE
-	// clients resume after a reconnect with Last-Event-ID: <seq>.
+	// clients resume after a reconnect with Last-Event-ID: <seq>. With
+	// an alert log attached the sequence is log-global: every replica
+	// serves the same envelope under the same number.
 	Seq uint64 `json:"seq"`
 	// Slide is the query time of the window slide that recognized the
 	// alert (simulated time).
@@ -30,6 +48,24 @@ type Envelope struct {
 	// delivery latency in the load harness.
 	Published time.Time      `json:"published"`
 	Alert     maritime.Alert `json:"alert"`
+	// Marker, when non-empty, makes this a synthetic control envelope
+	// (no alert): MarkerReplayTruncated announces a replay gap. Markers
+	// bypass subscriber filters.
+	Marker string `json:"marker,omitempty"`
+	// Missing is the number of sequence numbers a MarkerReplayTruncated
+	// envelope stands in for.
+	Missing uint64 `json:"missing,omitempty"`
+}
+
+// EnvelopeLog is the durable alert log the hub publishes through —
+// implemented by alertlog.Log. Append must be idempotent by sequence
+// (re-publishing after a checkpoint restore must not duplicate
+// records); ReadSince serves reconnect replay past the in-memory
+// ring's retention.
+type EnvelopeLog interface {
+	Append([]Envelope) error
+	LastSeq() uint64
+	ReadSince(afterSeq uint64, max int) ([]Envelope, error)
 }
 
 // Hub fans recognized alerts out to subscribers. Publish never blocks:
@@ -37,25 +73,46 @@ type Envelope struct {
 // when the consumer falls behind, with drops accounted per subscriber.
 type Hub struct {
 	// pubMu serializes publishers end to end, so envelopes reach the
-	// ring — and every subscriber queue — in sequence order. It is never
-	// held by Subscribe, Stats or remove, which only need mu.
+	// log, the ring — and every subscriber queue — in sequence order.
+	// It is never held by Subscribe, Stats or remove, which only need
+	// mu. The fan-out scratch below is guarded by it.
 	pubMu sync.Mutex
 
-	// mu guards the subscriber registry and the sequence/published
-	// counters. It is held only for short bookkeeping sections — never
-	// across the ring push or a subscriber offer — so registering,
-	// departing and stats never wait on a fan-out in flight.
+	// mu guards the subscriber registry (the matcher) and the
+	// sequence/published counters. It is held only for short
+	// bookkeeping sections — never across the log append, the ring push
+	// or a subscriber offer — so registering, departing and stats never
+	// wait on a fan-out in flight.
 	mu     sync.Mutex
 	seq    uint64
 	nextID int
-	subs   map[*Subscriber]struct{}
+	match  *matcher
 	ring   *Ring
 
+	// log, when set, receives every envelope durably before any
+	// subscriber; replay serves reconnect history past the ring (both
+	// set by AttachLog; replicas set only replay via AttachReplay).
+	log    EnvelopeLog
+	replay EnvelopeLog
+
 	published uint64
+	// logErrs counts failed log appends: the hub keeps serving (its own
+	// subscribers still get the envelopes) but replicas cannot see the
+	// lost records until a checkpoint replay refills them.
+	logErrs atomic.Uint64
 	// Counters of departed subscribers, folded in so Stats stays
 	// cumulative across unsubscribes.
 	goneDelivered uint64
 	goneDropped   uint64
+
+	// Fan-out scratch (under pubMu): per-slot envelope batches built
+	// from the matcher's bitmaps, reused across publishes. fanMark[slot]
+	// == fanGen marks slots touched by the current publish.
+	fanEnvs    [][]Envelope
+	fanSubs    []*Subscriber
+	fanMark    []int
+	fanTouched []int
+	fanGen     int
 }
 
 // NewHub returns a hub retaining ringCap alerts for replay and history
@@ -65,19 +122,42 @@ func NewHub(ringCap int) *Hub {
 		ringCap = 1024
 	}
 	return &Hub{
-		subs: make(map[*Subscriber]struct{}),
-		ring: NewRing(ringCap),
+		match: newMatcher(),
+		ring:  NewRing(ringCap),
 	}
 }
 
 // Ring exposes the alert-history ring buffer.
 func (h *Hub) Ring() *Ring { return h.ring }
 
+// AttachLog routes every publish through the durable alert log before
+// fan-out and uses it for reconnect replay past the ring. Attach before
+// the first publish.
+func (h *Hub) AttachLog(l EnvelopeLog) {
+	h.mu.Lock()
+	h.log = l
+	h.replay = l
+	h.mu.Unlock()
+}
+
+// AttachReplay uses the log only as a replay source — the replica mode:
+// envelopes arrive via PublishEnvelopes (already durable), so nothing
+// is appended.
+func (h *Hub) AttachReplay(l EnvelopeLog) {
+	h.mu.Lock()
+	h.replay = l
+	h.mu.Unlock()
+}
+
+// LogAppendErrors returns how many log appends have failed.
+func (h *Hub) LogAppendErrors() uint64 { return h.logErrs.Load() }
+
 // Publish stamps the slide's alerts with sequence numbers, appends them
-// to the history ring and offers them to every subscriber. It never
-// blocks on a slow consumer, and it delivers outside the hub lock: one
-// publish against 10k subscribers no longer serializes Subscribe,
-// Stats or departures behind every per-subscriber queue lock.
+// to the durable log (when attached), then to the history ring, and
+// offers them to the matched subscribers. It never blocks on a slow
+// consumer; per-subscriber selection runs through the compiled filter
+// matcher, so a publish touches O(matched) subscribers, not all of
+// them.
 //
 // The no-gap/no-dup contract with SubscribeFrom survives the unlocked
 // delivery: envelopes land in the ring before the subscriber snapshot
@@ -94,6 +174,7 @@ func (h *Hub) Publish(slide time.Time, alerts []maritime.Alert) {
 	defer h.pubMu.Unlock()
 
 	h.mu.Lock()
+	log := h.log
 	envs := make([]Envelope, len(alerts))
 	for i, a := range alerts {
 		h.seq++
@@ -102,19 +183,70 @@ func (h *Hub) Publish(slide time.Time, alerts []maritime.Alert) {
 	h.published += uint64(len(envs))
 	h.mu.Unlock()
 
+	// Durability precedes visibility: the log append (with its fsync)
+	// runs outside mu — publishers are serialized by pubMu anyway, and
+	// Subscribe/Stats stay unblocked.
+	if log != nil {
+		if err := log.Append(envs); err != nil {
+			h.logErrs.Add(1)
+		}
+	}
+	h.deliver(envs)
+}
+
+// PublishEnvelopes re-publishes already-sequenced envelopes — the
+// replica path: a tailer feeds the durable log's records through here,
+// preserving their log-global sequence numbers, so SSE replay works
+// identically on every replica. Nothing is appended to any log.
+func (h *Hub) PublishEnvelopes(envs []Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	h.pubMu.Lock()
+	defer h.pubMu.Unlock()
+
+	h.mu.Lock()
+	if last := envs[len(envs)-1].Seq; last > h.seq {
+		h.seq = last
+	}
+	h.published += uint64(len(envs))
+	h.mu.Unlock()
+	h.deliver(envs)
+}
+
+// deliver pushes envelopes to the ring, matches them against every
+// subscriber filter via the bitmap matcher, and offers each subscriber
+// only its matched batch, outside any hub lock. Callers hold pubMu.
+func (h *Hub) deliver(envs []Envelope) {
 	for i := range envs {
 		h.ring.Push(envs[i])
 	}
 
 	h.mu.Lock()
-	subs := make([]*Subscriber, 0, len(h.subs))
-	for s := range h.subs {
-		subs = append(subs, s)
+	m := h.match
+	if n := len(m.slots); len(h.fanEnvs) < n {
+		h.fanEnvs = append(h.fanEnvs, make([][]Envelope, n-len(h.fanEnvs))...)
+		h.fanSubs = append(h.fanSubs, make([]*Subscriber, n-len(h.fanSubs))...)
+		h.fanMark = append(h.fanMark, make([]int, n-len(h.fanMark))...)
+	}
+	h.fanGen++
+	gen := h.fanGen
+	h.fanTouched = h.fanTouched[:0]
+	for i := range envs {
+		bsForEach(m.match(envs[i].Alert), func(slot int) {
+			if h.fanMark[slot] != gen {
+				h.fanMark[slot] = gen
+				h.fanEnvs[slot] = h.fanEnvs[slot][:0]
+				h.fanSubs[slot] = m.slots[slot]
+				h.fanTouched = append(h.fanTouched, slot)
+			}
+			h.fanEnvs[slot] = append(h.fanEnvs[slot], envs[i])
+		})
 	}
 	h.mu.Unlock()
 
-	for _, s := range subs {
-		s.offer(envs)
+	for _, slot := range h.fanTouched {
+		h.fanSubs[slot].offer(h.fanEnvs[slot])
 	}
 }
 
@@ -126,8 +258,12 @@ func (h *Hub) Subscribe(f Filter, queueCap int) *Subscriber {
 
 // SubscribeFrom registers a consumer and atomically pre-loads its queue
 // with the retained history after sequence afterSeq, so an SSE client
-// reconnecting with Last-Event-ID resumes without gaps or duplicates
-// (within the ring's retention).
+// reconnecting with Last-Event-ID resumes without gaps or duplicates.
+// The ring serves recent history; with a log attached, history past the
+// ring's retention is replayed from the log (bounded by the queue
+// capacity — older records would only be dropped-oldest out again).
+// Any range retained nowhere is announced with a MarkerReplayTruncated
+// envelope carrying the gap size, never silently skipped.
 func (h *Hub) SubscribeFrom(f Filter, queueCap int, afterSeq uint64) *Subscriber {
 	return h.subscribe(f, queueCap, &afterSeq)
 }
@@ -136,8 +272,44 @@ func (h *Hub) subscribe(f Filter, queueCap int, afterSeq *uint64) *Subscriber {
 	if queueCap <= 0 {
 		queueCap = 256
 	}
-	s := &Subscriber{filter: f, cap: queueCap, hub: h}
+	s := &Subscriber{filter: f, cap: queueCap, hub: h, slot: -1}
 	s.cond = sync.NewCond(&s.mu)
+
+	// Resuming: fetch the log replay before taking the registry lock —
+	// it reads segment files from disk. Overlap with the ring preload
+	// below is deduplicated by sequence in offer.
+	var logEnvs []Envelope
+	var logFloor uint64 // first seq the log replay could still deliver
+	if afterSeq != nil {
+		h.mu.Lock()
+		replay := h.replay
+		h.mu.Unlock()
+		if replay != nil {
+			after := *afterSeq
+			// Replaying more than the queue holds is wasted work: the
+			// oldest records would immediately drop out again. Floor the
+			// cursor — reserving one slot for the truncation marker the
+			// floor itself produces, so the marker is never the entry the
+			// overflowing queue evicts — and announce the skipped prefix.
+			if room := uint64(queueCap - 1); replay.LastSeq() > room && after < replay.LastSeq()-room {
+				after = replay.LastSeq() - room
+			}
+			logFloor = after + 1
+			cursor := after
+			for {
+				batch, err := replay.ReadSince(cursor, 4096)
+				if err != nil || len(batch) == 0 {
+					break
+				}
+				logEnvs = append(logEnvs, batch...)
+				cursor = batch[len(batch)-1].Seq
+			}
+			if len(logEnvs) > 0 {
+				logFloor = logEnvs[0].Seq
+			}
+		}
+	}
+
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.nextID++
@@ -149,10 +321,32 @@ func (h *Hub) subscribe(f Filter, queueCap int, afterSeq *uint64) *Subscriber {
 	// registration could deliver alerts from before the resume point.
 	s.lastSeq = h.seq
 	if afterSeq != nil {
-		s.lastSeq = *afterSeq
-		s.offer(h.ring.Since(*afterSeq))
+		after := *afterSeq
+		s.lastSeq = after
+		// The oldest sequence the preloads below can still deliver:
+		// from the log replay when it produced anything, else from the
+		// ring.
+		firstAvail := logFloor
+		if len(logEnvs) == 0 {
+			firstAvail = h.ring.FirstSeq()
+		}
+		switch {
+		case h.seq <= after:
+			// Nothing new since the cursor; nothing to announce.
+		case firstAvail == 0:
+			// Everything after the cursor is gone (empty ring, no log).
+			s.offer([]Envelope{{Seq: h.seq, Marker: MarkerReplayTruncated, Missing: h.seq - after}})
+		case firstAvail > after+1:
+			// A prefix of the requested range is gone; announce exactly
+			// how much before delivering the surviving tail.
+			s.offer([]Envelope{{Seq: firstAvail - 1, Marker: MarkerReplayTruncated, Missing: firstAvail - 1 - after}})
+		}
+		if len(logEnvs) > 0 {
+			s.offer(logEnvs)
+		}
+		s.offer(h.ring.Since(after))
 	}
-	h.subs[s] = struct{}{}
+	s.slot = h.match.add(s)
 	return s
 }
 
@@ -161,10 +355,10 @@ func (h *Hub) subscribe(f Filter, queueCap int, afterSeq *uint64) *Subscriber {
 func (h *Hub) remove(s *Subscriber, delivered, dropped uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if _, ok := h.subs[s]; !ok {
+	if s.slot < 0 || s.slot >= len(h.match.slots) || h.match.slots[s.slot] != s {
 		return
 	}
-	delete(h.subs, s)
+	h.match.remove(s.slot, s.filter)
 	h.goneDelivered += delivered
 	h.goneDropped += dropped
 }
@@ -183,6 +377,9 @@ type HubStats struct {
 	Published   uint64 `json:"published"`
 	Delivered   uint64 `json:"delivered"`
 	Dropped     uint64 `json:"dropped"`
+	// LogAppendErrors counts durable-log appends that failed (serving
+	// continued; replicas miss those records until replay refills them).
+	LogAppendErrors uint64 `json:"log_append_errors,omitempty"`
 	// Subs details the live subscribers (departed ones are folded into
 	// the totals above).
 	Subs []SubStats `json:"subs,omitempty"`
@@ -203,12 +400,16 @@ func (h *Hub) stats(detail bool) HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	st := HubStats{
-		Subscribers: len(h.subs),
-		Published:   h.published,
-		Delivered:   h.goneDelivered,
-		Dropped:     h.goneDropped,
+		Published:       h.published,
+		Delivered:       h.goneDelivered,
+		Dropped:         h.goneDropped,
+		LogAppendErrors: h.logErrs.Load(),
 	}
-	for s := range h.subs {
+	for _, s := range h.match.slots {
+		if s == nil {
+			continue
+		}
+		st.Subscribers++
 		ss := s.Stats()
 		st.Delivered += ss.Delivered
 		st.Dropped += ss.Dropped
@@ -230,6 +431,8 @@ func (h *Hub) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(h.Totals().Delivered) })
 	r.CounterFunc("maritime_hub_dropped_total", "Envelopes dropped by subscriber queues (drop-oldest overflow).", nil,
 		func() float64 { return float64(h.Totals().Dropped) })
+	r.CounterFunc("maritime_hub_log_append_errors_total", "Durable alert-log appends that failed.", nil,
+		func() float64 { return float64(h.logErrs.Load()) })
 }
 
 // Subscriber is one consumer's bounded drop-oldest queue. The producer
@@ -237,6 +440,7 @@ func (h *Hub) RegisterMetrics(r *obs.Registry) {
 // with Next/NextTimeout.
 type Subscriber struct {
 	id     int
+	slot   int
 	filter Filter
 	hub    *Hub
 
@@ -258,7 +462,9 @@ type Subscriber struct {
 func (s *Subscriber) ID() int { return s.id }
 
 // offer filters and enqueues the published envelopes, dropping this
-// subscriber's oldest entries on overflow. It never blocks.
+// subscriber's oldest entries on overflow. It never blocks. Marker
+// envelopes bypass the filter — a truncation announcement concerns
+// every resuming subscriber.
 func (s *Subscriber) offer(envs []Envelope) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -271,7 +477,7 @@ func (s *Subscriber) offer(envs []Envelope) {
 			continue // duplicate of an envelope already offered
 		}
 		s.lastSeq = e.Seq
-		if !s.filter.Match(e.Alert) {
+		if e.Marker == "" && !s.filter.Match(e.Alert) {
 			continue
 		}
 		if len(s.queue)-s.head >= s.cap {

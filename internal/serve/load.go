@@ -10,10 +10,16 @@ import (
 	"time"
 )
 
-// LoadOptions configures a fan-out load run against a gateway.
+// LoadOptions configures a fan-out load run against a gateway or a set
+// of replica gateways.
 type LoadOptions struct {
 	// BaseURL is the gateway root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when non-empty, overrides BaseURL with several serving
+	// endpoints (the writer gateway and/or its replicas); subscribers
+	// are spread round-robin across them, measuring the whole serving
+	// tier instead of one node.
+	BaseURLs []string
 	// Subscribers is how many concurrent SSE clients to drive.
 	Subscribers int
 	// Duration bounds the run; the clients disconnect when it elapses.
@@ -28,8 +34,10 @@ type LoadOptions struct {
 // across every subscriber.
 type LoadReport struct {
 	Subscribers int
+	Replicas    int           // serving endpoints the subscribers were spread over
 	Errors      int           // subscriber streams that ended in error
 	Events      uint64        // envelopes received across all subscribers
+	PerReplica  []uint64      // envelopes received via each endpoint, in BaseURLs order
 	Elapsed     time.Duration // wall-clock run time
 	P50         time.Duration // delivery latency percentiles
 	P95         time.Duration
@@ -48,8 +56,8 @@ func (r LoadReport) Rate() float64 {
 // String renders the report for logs.
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"%d subscribers: %d events in %s (%.0f ev/s, %d errors); latency p50=%s p95=%s p99=%s max=%s",
-		r.Subscribers, r.Events, r.Elapsed.Round(time.Millisecond), r.Rate(), r.Errors,
+		"%d subscribers over %d replicas: %d events in %s (%.0f ev/s, %d errors); latency p50=%s p95=%s p99=%s max=%s",
+		r.Subscribers, r.Replicas, r.Events, r.Elapsed.Round(time.Millisecond), r.Rate(), r.Errors,
 		r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
 		r.P99.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
 }
@@ -109,18 +117,26 @@ func (h *latencyHist) percentile(q float64) time.Duration {
 	return time.Duration(h.max.Load())
 }
 
-// RunLoad drives opt.Subscribers concurrent SSE clients against the
-// gateway for opt.Duration and reports aggregate throughput and
-// delivery-latency tails. Latency is receive time minus the envelope's
-// Published stamp, so it covers fan-out queueing, encoding and the
-// loopback wire.
+// RunLoad drives opt.Subscribers concurrent SSE clients — spread
+// round-robin over the configured endpoints — for opt.Duration and
+// reports aggregate throughput and delivery-latency tails. Latency is
+// receive time minus the envelope's Published stamp, so it covers
+// fan-out queueing (and, via a replica, the log append + tail), SSE
+// encoding and the wire.
 func RunLoad(ctx context.Context, opt LoadOptions) LoadReport {
 	if opt.Subscribers <= 0 {
 		opt.Subscribers = 1
 	}
-	url := strings.TrimRight(opt.BaseURL, "/") + "/events"
-	if opt.Query != "" {
-		url += "?" + opt.Query
+	bases := opt.BaseURLs
+	if len(bases) == 0 {
+		bases = []string{opt.BaseURL}
+	}
+	urls := make([]string, len(bases))
+	for i, b := range bases {
+		urls[i] = strings.TrimRight(b, "/") + "/events"
+		if opt.Query != "" {
+			urls[i] += "?" + opt.Query
+		}
 	}
 	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
 	defer cancel()
@@ -131,29 +147,37 @@ func RunLoad(ctx context.Context, opt LoadOptions) LoadReport {
 		errs   atomic.Int64
 		wg     sync.WaitGroup
 	)
+	perReplica := make([]atomic.Uint64, len(urls))
 	start := time.Now()
 	for i := 0; i < opt.Subscribers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(replica int) {
 			defer wg.Done()
-			err := StreamAlerts(runCtx, url, 0, func(e Envelope) {
+			err := StreamAlerts(runCtx, urls[replica], 0, func(e Envelope) {
 				events.Add(1)
+				perReplica[replica].Add(1)
 				hist.observe(time.Since(e.Published))
 			})
 			if err != nil {
 				errs.Add(1)
 			}
-		}()
+		}(i % len(urls))
 	}
 	wg.Wait()
-	return LoadReport{
+	rep := LoadReport{
 		Subscribers: opt.Subscribers,
+		Replicas:    len(urls),
 		Errors:      int(errs.Load()),
 		Events:      events.Load(),
+		PerReplica:  make([]uint64, len(urls)),
 		Elapsed:     time.Since(start),
 		P50:         hist.percentile(0.50),
 		P95:         hist.percentile(0.95),
 		P99:         hist.percentile(0.99),
 		Max:         time.Duration(hist.max.Load()),
 	}
+	for i := range perReplica {
+		rep.PerReplica[i] = perReplica[i].Load()
+	}
+	return rep
 }

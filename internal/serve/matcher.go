@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"math/bits"
+
+	"repro/internal/maritime"
+)
+
+// The matcher compiles every subscriber's mmsi/ce/area filter into
+// shared per-key bitmaps over subscriber slots, so one publish matches
+// an alert against ALL subscribers in a handful of word-wide AND/OR
+// operations and then touches only the matched ones — O(matched) per
+// event instead of O(subscribers). CE names, area ids and MMSIs are
+// interned as map keys holding one bitmap each; subscribers with no
+// constraint on a dimension sit in that dimension's wildcard bitmap.
+//
+// The hub mutates the matcher under its registry lock (subscribe and
+// remove) and matches under the same lock during fan-out; matching is
+// read-only plus two reused scratch bitsets.
+
+// bitset is a growable bit vector over subscriber slots. Operations
+// tolerate length mismatches: words beyond a bitset's length are zero.
+type bitset []uint64
+
+// bsSet returns b with bit i set, growing as needed.
+func bsSet(b bitset, i int) bitset {
+	w := i >> 6
+	for len(b) <= w {
+		b = append(b, 0)
+	}
+	b[w] |= 1 << (uint(i) & 63)
+	return b
+}
+
+// bsClear clears bit i in place (no-op when out of range).
+func bsClear(b bitset, i int) {
+	if w := i >> 6; w < len(b) {
+		b[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// bsEmpty reports whether no bit is set.
+func bsEmpty(b bitset) bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bsOrInto widens dst to hold src and ORs src in, returning dst.
+func bsOrInto(dst, src bitset) bitset {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, w := range src {
+		dst[i] |= w
+	}
+	return dst
+}
+
+// bsAndInto ANDs src into dst in place; dst words beyond src are
+// cleared (their src words are implicitly zero).
+func bsAndInto(dst, src bitset) {
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] &= src[i]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// bsForEach calls fn with each set bit, ascending.
+func bsForEach(b bitset, fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// matcher is the compiled filter index. All access is under the hub's
+// registry lock.
+type matcher struct {
+	// slots maps slot index → subscriber; nil entries are free and
+	// recycled through free.
+	slots []*Subscriber
+	free  []int
+
+	// Per-dimension bitmaps: a subscriber appears in the wildcard set
+	// when its filter leaves the dimension unconstrained, otherwise in
+	// the bitmap of every key it subscribed to.
+	wildMMSI bitset
+	wildCE   bitset
+	wildArea bitset
+	mmsi     map[uint32]bitset
+	ces      map[string]bitset
+	areas    map[string]bitset
+
+	// cand/dim are matching scratch, reused per match call.
+	cand bitset
+	dim  bitset
+}
+
+func newMatcher() *matcher {
+	return &matcher{
+		mmsi:  make(map[uint32]bitset),
+		ces:   make(map[string]bitset),
+		areas: make(map[string]bitset),
+	}
+}
+
+// add registers the subscriber's filter and returns its slot.
+func (m *matcher) add(s *Subscriber) int {
+	var slot int
+	if n := len(m.free); n > 0 {
+		slot = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.slots[slot] = s
+	} else {
+		slot = len(m.slots)
+		m.slots = append(m.slots, s)
+	}
+	f := s.filter
+	if f.MMSI == nil {
+		m.wildMMSI = bsSet(m.wildMMSI, slot)
+	} else {
+		for v := range f.MMSI {
+			m.mmsi[v] = bsSet(m.mmsi[v], slot)
+		}
+	}
+	if f.CEs == nil {
+		m.wildCE = bsSet(m.wildCE, slot)
+	} else {
+		for ce := range f.CEs {
+			m.ces[ce] = bsSet(m.ces[ce], slot)
+		}
+	}
+	if f.Areas == nil {
+		m.wildArea = bsSet(m.wildArea, slot)
+	} else {
+		for a := range f.Areas {
+			m.areas[a] = bsSet(m.areas[a], slot)
+		}
+	}
+	return slot
+}
+
+// remove clears the subscriber out of every bitmap it appears in and
+// recycles the slot; bitmaps left empty release their interned key.
+func (m *matcher) remove(slot int, f Filter) {
+	if slot < 0 || slot >= len(m.slots) || m.slots[slot] == nil {
+		return
+	}
+	m.slots[slot] = nil
+	m.free = append(m.free, slot)
+	if f.MMSI == nil {
+		bsClear(m.wildMMSI, slot)
+	} else {
+		for v := range f.MMSI {
+			if bs, ok := m.mmsi[v]; ok {
+				bsClear(bs, slot)
+				if bsEmpty(bs) {
+					delete(m.mmsi, v)
+				}
+			}
+		}
+	}
+	if f.CEs == nil {
+		bsClear(m.wildCE, slot)
+	} else {
+		for ce := range f.CEs {
+			if bs, ok := m.ces[ce]; ok {
+				bsClear(bs, slot)
+				if bsEmpty(bs) {
+					delete(m.ces, ce)
+				}
+			}
+		}
+	}
+	if f.Areas == nil {
+		bsClear(m.wildArea, slot)
+	} else {
+		for a := range f.Areas {
+			if bs, ok := m.areas[a]; ok {
+				bsClear(bs, slot)
+				if bsEmpty(bs) {
+					delete(m.areas, a)
+				}
+			}
+		}
+	}
+}
+
+// match returns the slots whose filters accept the alert. The result is
+// scratch owned by the matcher, valid until the next match call. The
+// semantics mirror Filter.Match exactly: a pairwise alert passes an
+// MMSI constraint through either vessel, and each dimension is a
+// conjunction.
+func (m *matcher) match(a maritime.Alert) bitset {
+	m.cand = bsOrInto(m.cand[:0], m.wildMMSI)
+	if bs, ok := m.mmsi[a.Vessel]; ok {
+		m.cand = bsOrInto(m.cand, bs)
+	}
+	if a.Vessel2 != 0 {
+		if bs, ok := m.mmsi[a.Vessel2]; ok {
+			m.cand = bsOrInto(m.cand, bs)
+		}
+	}
+	m.dim = bsOrInto(m.dim[:0], m.wildCE)
+	if bs, ok := m.ces[a.CE]; ok {
+		m.dim = bsOrInto(m.dim, bs)
+	}
+	bsAndInto(m.cand, m.dim)
+	m.dim = bsOrInto(m.dim[:0], m.wildArea)
+	if bs, ok := m.areas[a.AreaID]; ok {
+		m.dim = bsOrInto(m.dim, bs)
+	}
+	bsAndInto(m.cand, m.dim)
+	return m.cand
+}

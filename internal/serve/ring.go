@@ -61,6 +61,18 @@ func (r *Ring) Last(n int) []Envelope {
 	return out
 }
 
+// FirstSeq returns the sequence number of the oldest retained envelope
+// (0 when the ring is empty) — the replay floor: a Since(seq) with
+// seq < FirstSeq()-1 has lost the evicted prefix.
+func (r *Ring) FirstSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return 0
+	}
+	return r.buf[r.start].Seq
+}
+
 // Since returns the retained envelopes with sequence strictly greater
 // than seq, oldest first. A reconnecting client that was away longer
 // than the ring's retention silently loses the evicted prefix — the

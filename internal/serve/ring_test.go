@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// pushSeqs fills the ring with envelopes seq first..last.
+func pushSeqs(r *Ring, first, last uint64) {
+	for seq := first; seq <= last; seq++ {
+		r.Push(Envelope{Seq: seq, Slide: time.Unix(int64(seq), 0)})
+	}
+}
+
+func ringSeqs(envs []Envelope) []uint64 {
+	out := make([]uint64, len(envs))
+	for i, e := range envs {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+func requireSeqs(t *testing.T, got []Envelope, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got seqs %v, want %v", ringSeqs(got), want)
+	}
+	for i, e := range got {
+		if e.Seq != want[i] {
+			t.Fatalf("got seqs %v, want %v", ringSeqs(got), want)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(4)
+	if r.FirstSeq() != 0 {
+		t.Errorf("FirstSeq of empty ring = %d, want 0", r.FirstSeq())
+	}
+	if got := r.Since(0); got != nil {
+		t.Errorf("Since on empty ring = %v, want nil", ringSeqs(got))
+	}
+	if got := r.Last(5); len(got) != 0 {
+		t.Errorf("Last on empty ring = %v, want empty", ringSeqs(got))
+	}
+}
+
+// TestRingExactCapacity pins behavior at the fill boundary: exactly cap
+// entries, nothing evicted yet.
+func TestRingExactCapacity(t *testing.T) {
+	r := NewRing(4)
+	pushSeqs(r, 1, 4)
+	if r.FirstSeq() != 1 {
+		t.Errorf("FirstSeq = %d, want 1 (no eviction at exact capacity)", r.FirstSeq())
+	}
+	requireSeqs(t, r.Since(0), 1, 2, 3, 4)
+	requireSeqs(t, r.Last(0), 1, 2, 3, 4)
+}
+
+// TestRingWrapBoundaries exercises Since/Last/FirstSeq after the buffer
+// has wrapped: the oldest retained entry sits mid-array, and the binary
+// search must still find every boundary correctly.
+func TestRingWrapBoundaries(t *testing.T) {
+	r := NewRing(4)
+	pushSeqs(r, 1, 10) // retained: 7..10, start index mid-buffer
+	if r.FirstSeq() != 7 {
+		t.Fatalf("FirstSeq = %d, want 7", r.FirstSeq())
+	}
+	requireSeqs(t, r.Since(0), 7, 8, 9, 10) // cursor before the trim
+	requireSeqs(t, r.Since(6), 7, 8, 9, 10) // cursor exactly at the trim boundary
+	requireSeqs(t, r.Since(7), 8, 9, 10)    // cursor on the oldest retained entry
+	requireSeqs(t, r.Since(9), 10)          // cursor one before the head
+	if got := r.Since(10); got != nil {     // cursor at the head: caught up
+		t.Fatalf("Since(head) = %v, want nil", ringSeqs(got))
+	}
+	if got := r.Since(99); got != nil { // cursor past the head
+		t.Fatalf("Since(past head) = %v, want nil", ringSeqs(got))
+	}
+	requireSeqs(t, r.Last(1), 10)
+	requireSeqs(t, r.Last(4), 7, 8, 9, 10)
+	requireSeqs(t, r.Last(99), 7, 8, 9, 10) // n beyond retention clamps
+	requireSeqs(t, r.Last(0), 7, 8, 9, 10)  // 0 = everything retained
+}
+
+// TestRingSingleSlot is the degenerate ring: every push evicts.
+func TestRingSingleSlot(t *testing.T) {
+	r := NewRing(1)
+	pushSeqs(r, 1, 3)
+	if r.FirstSeq() != 3 {
+		t.Errorf("FirstSeq = %d, want 3", r.FirstSeq())
+	}
+	requireSeqs(t, r.Since(0), 3)
+	requireSeqs(t, r.Last(0), 3)
+}

@@ -15,6 +15,12 @@ type HubSnapshot struct {
 	Published uint64
 	// Ring holds the retained history, oldest first.
 	Ring []Envelope
+	// LogSeq is the durable alert log's last appended sequence at
+	// snapshot time (0 when no log is attached; decodes zero from
+	// checkpoints written before the log existed). On restore it tells
+	// the wiring how far the log already reaches: replayed slides with
+	// Seq <= LogSeq deduplicate inside the log's idempotent append.
+	LogSeq uint64
 }
 
 // Snapshot captures the hub's replay state. Subscribers are not
@@ -23,6 +29,9 @@ type HubSnapshot struct {
 func (h *Hub) Snapshot() HubSnapshot {
 	h.mu.Lock()
 	snap := HubSnapshot{Seq: h.seq, Published: h.published}
+	if h.log != nil {
+		snap.LogSeq = h.log.LastSeq()
+	}
 	h.mu.Unlock()
 	snap.Ring = h.ring.Last(0)
 	return snap
@@ -49,9 +58,11 @@ func (h *Hub) Restore(snap HubSnapshot) {
 // gateway stops accepting connections separately.
 func (h *Hub) Close() {
 	h.mu.Lock()
-	subs := make([]*Subscriber, 0, len(h.subs))
-	for s := range h.subs {
-		subs = append(subs, s)
+	subs := make([]*Subscriber, 0, len(h.match.slots))
+	for _, s := range h.match.slots {
+		if s != nil {
+			subs = append(subs, s)
+		}
 	}
 	h.mu.Unlock()
 	// Subscriber.Close re-enters the hub via remove, so it must run

@@ -24,7 +24,14 @@ func writeEvent(w io.Writer, e Envelope) error {
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", e.Seq, data)
+	// Marker envelopes (e.g. replay-truncated) go out under their own
+	// event name so plain EventSource listeners on "alert" never see a
+	// synthetic record as a recognized alert.
+	name := "alert"
+	if e.Marker != "" {
+		name = e.Marker
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, name, data)
 	return err
 }
 
